@@ -1,0 +1,80 @@
+//===- bench/bench_ablation_coupling.cpp - why decoupling matters --------------===//
+//
+// Ablation of the paper's core insight ("the two roles of a ReLU",
+// §3.1). The LP of Algorithm 1 is exact for the *decoupled* network.
+// Applying the same Delta to the original *coupled* DNN moves the
+// linear-region boundaries, so spec rows that the DDNN provably
+// satisfies can be violated by the coupled network - increasingly so
+// for earlier layers (more downstream activations to flip). For the
+// final (post-activation) layer the two coincide: no activation is
+// downstream, so there is nothing to re-couple.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PointRepair.h"
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+int main() {
+  std::printf("=== Ablation: DDNN (decoupled) vs coupled application of "
+              "the repair Delta ===\n");
+  Task2Workload W = makeTask2Workload(10);
+
+  // A pointwise spec on the fogged endpoints of 10 lines.
+  PointSpec Spec;
+  for (const auto &Line : W.Lines)
+    Spec.push_back({Line.Fogged,
+                    classificationConstraint(data::kDigitClasses, Line.Label,
+                                             1e-4),
+                    std::nullopt});
+
+  TablePrinter Table({"Layer", "Kind", "DDNN violations",
+                      "coupled violations", "DDNN max viol",
+                      "coupled max viol"});
+  for (int LayerIdx : W.Net.parameterizedLayerIndices()) {
+    RepairResult Result = repairPoints(W.Net, LayerIdx, Spec);
+    if (Result.Status != RepairStatus::Success) {
+      Table.addRow({std::to_string(LayerIdx),
+                    W.Net.layer(LayerIdx).describe(),
+                    toString(Result.Status), "-", "-", "-"});
+      continue;
+    }
+    // Apply the same Delta to a plain copy of the network (re-coupled).
+    Network Coupled = W.Net;
+    cast<LinearLayer>(Coupled.layer(LayerIdx)).addToParams(Result.Delta);
+
+    int DdnnViolations = 0, CoupledViolations = 0;
+    double DdnnMax = 0.0, CoupledMax = 0.0;
+    for (const SpecPoint &P : Spec) {
+      double VD = P.Constraint.violation(Result.Repaired->evaluate(P.X));
+      double VC = P.Constraint.violation(Coupled.evaluate(P.X));
+      if (VD > 1e-7)
+        ++DdnnViolations;
+      if (VC > 1e-7)
+        ++CoupledViolations;
+      DdnnMax = std::max(DdnnMax, VD);
+      CoupledMax = std::max(CoupledMax, VC);
+    }
+    Table.addRow({std::to_string(LayerIdx),
+                  W.Net.layer(LayerIdx).describe(),
+                  std::to_string(DdnnViolations) + " / " +
+                      std::to_string(static_cast<int>(Spec.size())),
+                  std::to_string(CoupledViolations) + " / " +
+                      std::to_string(static_cast<int>(Spec.size())),
+                  formatDouble(DdnnMax, 6), formatDouble(CoupledMax, 6)});
+  }
+  Table.print(std::cout);
+  std::printf("\nThe DDNN column is provably zero (Theorem 5.4); the "
+              "coupled column shows the repair breaking once weight "
+              "changes also move the linear regions.\n");
+  return 0;
+}

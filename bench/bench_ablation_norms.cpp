@@ -1,0 +1,64 @@
+//===- bench/bench_ablation_norms.cpp - norm-objective ablation ---------------===//
+//
+// Ablation of Definition 5.3's "user-defined measure of size": the same
+// Task-2 line-repair problem solved under l1, l-infinity, and combined
+// objectives. l1 touches few weights (sparser repairs, typically lower
+// drawdown); l-infinity spreads tiny changes over many weights. The
+// paper mentions both encodings (§2, §3.1); this quantifies the choice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PointRepair.h"
+#include "core/PolytopeRepair.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+int main() {
+  std::printf("=== Ablation: repair-norm objective (l1 vs l-inf vs "
+              "l1+l-inf) ===\n");
+  Task2Workload W = makeTask2Workload(25);
+  std::printf("buggy network: %.1f%% clean, %.1f%% fogged\n\n",
+              100 * W.CleanAccuracy, 100 * W.FogAccuracy);
+  PointSpec Points = keyPointSpec(W.Net, task2Spec(W, 25, 1e-4));
+  int OutputLayer = W.Net.parameterizedLayerIndices().back();
+
+  TablePrinter Table({"Objective", "|Delta|_1", "|Delta|_inf",
+                      "changed params", "D", "G", "T"});
+  for (lp::Norm Objective :
+       {lp::Norm::L1, lp::Norm::LInf, lp::Norm::L1PlusLInf}) {
+    RepairOptions Options;
+    Options.Objective = Objective;
+    RepairResult Result = repairPoints(W.Net, OutputLayer, Points, Options);
+    if (Result.Status != RepairStatus::Success) {
+      Table.addRow({toString(Objective), "-", "-", "-",
+                    toString(Result.Status), "-", "-"});
+      continue;
+    }
+    int Changed = 0;
+    for (double D : Result.Delta)
+      if (std::fabs(D) > 1e-9)
+        ++Changed;
+    double D = 100 * (W.CleanAccuracy -
+                      Result.Repaired->accuracy(W.CleanTest.Inputs,
+                                                W.CleanTest.Labels));
+    double G = 100 * (Result.Repaired->accuracy(W.FogTest.Inputs,
+                                                W.FogTest.Labels) -
+                      W.FogAccuracy);
+    Table.addRow({toString(Objective), formatDouble(Result.DeltaL1, 3),
+                  formatDouble(Result.DeltaLInf, 4),
+                  std::to_string(Changed) + " / " +
+                      std::to_string(static_cast<int>(Result.Delta.size())),
+                  formatDouble(D, 1), formatDouble(G, 1),
+                  formatDuration(Result.Stats.TotalSeconds)});
+  }
+  Table.print(std::cout);
+  return 0;
+}

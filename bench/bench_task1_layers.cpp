@@ -1,0 +1,63 @@
+//===- bench/bench_task1_layers.cpp - Figure 7(a) and 7(b) -------------------===//
+//
+// Per-layer view of Task 1 at the 400-point repair set: drawdown as a
+// function of the repaired layer (Figure 7a) and the time split into
+// Jacobian / LP / other per layer (Figure 7b). The paper's headline
+// trends: later layers repair with less drawdown, and the time budget
+// is dominated by one phase (Jacobians for the paper's PyTorch; the LP
+// for our closed-form Jacobians - noted in EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PointRepair.h"
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+int main() {
+  // The paper plots the 400-point set; we use 100 (+40 anchors) at our
+  // ~100x smaller network scale - the per-layer trends are the target.
+  std::printf("=== Task 1 per-layer repair at 100 points "
+              "(Figure 7a / 7b) ===\n");
+  Task1Workload W = makeTask1Workload(100);
+  std::printf("buggy network: %.1f%% validation accuracy\n\n",
+              100 * W.ValidationAccuracy);
+  PointSpec Spec = task1Spec(W, 100, /*AnchorCount=*/40);
+
+  TablePrinter Table({"Layer", "Kind", "Params", "Drawdown(%)",
+                      "T total", "T jacobian", "T lp", "T other",
+                      "LP rows used", "CG rounds"});
+  for (int LayerIdx : W.Net.parameterizedLayerIndices()) {
+    RepairResult Result = repairPoints(W.Net, LayerIdx, Spec);
+    std::string Drawdown = "infeasible";
+    if (Result.Status == RepairStatus::Success)
+      Drawdown = formatDouble(
+          100 * (W.ValidationAccuracy -
+                 Result.Repaired->accuracy(W.Validation.Inputs,
+                                           W.Validation.Labels)),
+          1);
+    int NumParams =
+        cast<LinearLayer>(W.Net.layer(LayerIdx)).numParams();
+    Table.addRow({std::to_string(LayerIdx),
+                  W.Net.layer(LayerIdx).describe(),
+                  std::to_string(NumParams),
+                  Drawdown, formatDuration(Result.Stats.TotalSeconds),
+                  formatDuration(Result.Stats.JacobianSeconds),
+                  formatDuration(Result.Stats.LpSeconds),
+                  formatDuration(Result.Stats.OtherSeconds),
+                  std::to_string(Result.Stats.LpRowsUsed),
+                  std::to_string(Result.Stats.CgRounds)});
+  }
+  Table.print(std::cout);
+  std::printf("\nFigure 7(a): the Drawdown column by layer; "
+              "Figure 7(b): the T jacobian / T lp / T other columns.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/bench_task2_lines.cpp - Table 2 ----------------------------------===//
+//
+// Task 2 (§7.2): 1-D polytope (line) repair of an FC digit classifier
+// over clean->fog lines. Regenerates Table 2: PR on the middle layer
+// ("Layer 2") and output layer ("Layer 3") vs FT[1]/FT[2] trained on
+// sampled line points, over 10/25/50/100 lines. Columns: key points,
+// drawdown D (clean test), generalization G (fogged test), time T.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PointRepair.h"
+#include "core/PolytopeRepair.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+int main() {
+  const int LineCounts[] = {10, 25, 50, 100};
+  std::printf("=== Task 2: 1-D polytope (fog-line) repair "
+              "(Table 2) ===\n");
+  Task2Workload W = makeTask2Workload(100);
+  std::printf("buggy network: %.1f%% clean accuracy (drawdown set), "
+              "%.1f%% fogged accuracy (generalization set), %.1f%% on "
+              "line fog-endpoints\n\n",
+              100 * W.CleanAccuracy, 100 * W.FogAccuracy,
+              100 * W.LineEndpointAccuracy);
+
+  std::vector<int> Layers = W.Net.parameterizedLayerIndices();
+  int Layer2 = Layers[1]; // hidden->hidden ("Layer 2" in the paper)
+  int Layer3 = Layers[2]; // hidden->output ("Layer 3")
+
+  TablePrinter Table({"Lines", "Points", "PR(L2) D", "G", "T",
+                      "PR(L3) D", "G", "T", "FT[1] D", "G", "T",
+                      "FT[2] D", "G", "T"});
+
+  for (int NumLines : LineCounts) {
+    PolytopeSpec Spec = task2Spec(W, NumLines, 1e-4);
+    double LinRegionsSeconds = 0.0;
+    int NumRegions = 0;
+    PointSpec Points =
+        keyPointSpec(W.Net, Spec, &LinRegionsSeconds, &NumRegions);
+
+    auto RunPr = [&](int LayerIdx, double &D, double &G, double &T) {
+      WallTimer Timer;
+      RepairResult Result = repairPoints(W.Net, LayerIdx, Points);
+      T = Timer.seconds() + LinRegionsSeconds;
+      if (Result.Status != RepairStatus::Success) {
+        D = G = -999;
+        return;
+      }
+      D = 100 * (W.CleanAccuracy -
+                 Result.Repaired->accuracy(W.CleanTest.Inputs,
+                                           W.CleanTest.Labels));
+      G = 100 * (Result.Repaired->accuracy(W.FogTest.Inputs,
+                                           W.FogTest.Labels) -
+                 W.FogAccuracy);
+    };
+    double D2, G2, T2, D3, G3, T3;
+    RunPr(Layer2, D2, G2, T2);
+    RunPr(Layer3, D3, G3, T3);
+
+    // FT on sampled line points: the paper gives FT the same number of
+    // sampled points as PR has key points.
+    auto RunFt = [&](double LearningRate, uint64_t Seed, double &D,
+                     double &G, double &T) {
+      Rng R(Seed);
+      Dataset Samples =
+          task2Samples(W, NumLines, static_cast<int>(Points.size()), R);
+      FineTuneOptions Options;
+      Options.LearningRate = LearningRate;
+      Options.Momentum = 0.9;
+      Options.BatchSize = 16;
+      Options.MaxEpochs = 300;
+      Options.TimeoutSeconds = 60.0;
+      FineTuneResult Result = fineTune(W.Net, Samples, Options, R);
+      T = Result.Seconds;
+      D = 100 * (W.CleanAccuracy -
+                 accuracy(Result.Tuned, W.CleanTest.Inputs,
+                          W.CleanTest.Labels));
+      G = 100 * (accuracy(Result.Tuned, W.FogTest.Inputs,
+                          W.FogTest.Labels) -
+                 W.FogAccuracy);
+    };
+    double FD1, FG1, FT1, FD2, FG2, FT2sec;
+    RunFt(0.05, 5001, FD1, FG1, FT1);
+    RunFt(0.01, 5002, FD2, FG2, FT2sec);
+
+    Table.addRow({std::to_string(NumLines),
+                  std::to_string(static_cast<int>(Points.size())),
+                  formatDouble(D2, 1), formatDouble(G2, 1),
+                  formatDuration(T2), formatDouble(D3, 1),
+                  formatDouble(G3, 1), formatDuration(T3),
+                  formatDouble(FD1, 1), formatDouble(FG1, 1),
+                  formatDuration(FT1), formatDouble(FD2, 1),
+                  formatDouble(FG2, 1), formatDuration(FT2sec)});
+  }
+  std::printf("Table 2 (D: drawdown %%, G: generalization %%, T: time; "
+              "PR guarantees all infinitely-many line points, FT only "
+              "its samples):\n");
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench/bench_task2_mft.cpp - Table 3 -------------------------------------===//
+//
+// Task 2's modified fine-tuning grid (Table 3): MFT[1]/MFT[2] on
+// Layer 2 and Layer 3 over 10/25/50/100 lines, trained on sampled line
+// points with a holdout. Columns: efficacy E on the sampled repair set,
+// drawdown D, generalization G, time T. MFT is not a repair algorithm
+// (E < 100), but exhibits low drawdown - the paper's trade-off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PolytopeRepair.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+int main() {
+  const int LineCounts[] = {10, 25, 50, 100};
+  std::printf("=== Task 2: MFT baselines (Table 3) ===\n");
+  Task2Workload W = makeTask2Workload(100);
+  std::printf("buggy network: %.1f%% clean, %.1f%% fogged\n\n",
+              100 * W.CleanAccuracy, 100 * W.FogAccuracy);
+
+  std::vector<int> Layers = W.Net.parameterizedLayerIndices();
+  int Layer2 = Layers[1];
+  int Layer3 = Layers[2];
+
+  TablePrinter Table({"Lines", "Cfg", "Layer", "E", "D", "G", "T"});
+  for (int NumLines : LineCounts) {
+    // Sample as many points as PR has key points (cf. Table 2).
+    PointSpec Points = keyPointSpec(W.Net, task2Spec(W, NumLines, 1e-4));
+    for (int Config = 1; Config <= 2; ++Config) {
+      for (int LayerIdx : {Layer2, Layer3}) {
+        Rng R(6000 + 10 * NumLines + Config);
+        Dataset Samples = task2Samples(
+            W, NumLines, static_cast<int>(Points.size()), R);
+        ModifiedFineTuneOptions Options;
+        Options.LearningRate = Config == 1 ? 0.05 : 0.01;
+        Options.Momentum = 0.9;
+        Options.BatchSize = 16;
+        Options.LayerIndex = LayerIdx;
+        Options.MaxEpochs = 80;
+        ModifiedFineTuneResult Result =
+            modifiedFineTune(W.Net, Samples, Options, R);
+        double D = 100 * (W.CleanAccuracy -
+                          accuracy(Result.Tuned, W.CleanTest.Inputs,
+                                   W.CleanTest.Labels));
+        double G = 100 * (accuracy(Result.Tuned, W.FogTest.Inputs,
+                                   W.FogTest.Labels) -
+                          W.FogAccuracy);
+        Table.addRow({std::to_string(NumLines),
+                      "MFT[" + std::to_string(Config) + "]",
+                      LayerIdx == Layer2 ? "2" : "3",
+                      formatDouble(100 * Result.RepairAccuracy, 1),
+                      formatDouble(D, 1), formatDouble(G, 1),
+                      formatDuration(Result.Seconds)});
+      }
+    }
+  }
+  std::printf("Table 3 (E: efficacy %%, D: drawdown %%, G: generalization "
+              "%%, T: time):\n");
+  Table.print(std::cout);
+  return 0;
+}

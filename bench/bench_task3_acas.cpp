@@ -1,0 +1,156 @@
+//===- bench/bench_task3_acas.cpp - §7.3 numbers -------------------------------===//
+//
+// Task 3 (§7.3): 2-D polytope repair of an ACAS-style advisory network
+// against a phi_8-style safety property. Regenerates the section's
+// prose numbers: PR efficacy on all repair slices (provably 100%),
+// drawdown / generalization on held-out point sets, the timing
+// breakdown (LinRegions / Jacobian / LP / other), per-layer
+// feasibility (the paper found only the last layer satisfiable), and
+// the FT / MFT comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/PointRepair.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+using namespace prdnn::data;
+
+int main() {
+  std::printf("=== Task 3: 2-D polytope ACAS repair (§7.3) ===\n");
+  Task3Workload W = makeTask3Workload(/*NumRepairSlices=*/10,
+                                      /*NumOtherSlices=*/12,
+                                      /*SetSize=*/2000);
+  std::printf("buggy network: %.1f%% advisory accuracy; %zu repair "
+              "slices; %zu generalization counterexamples; %d drawdown "
+              "points\n",
+              100 * W.PolicyAccuracy, W.RepairSlices.size(),
+              W.Generalization.size(), W.Drawdown.size());
+
+  double LinRegionsSeconds = 0.0;
+  int NumRegions = 0;
+  Dataset FtSamples;
+  PointSpec Spec = task3Spec(W, &LinRegionsSeconds, &NumRegions, &FtSamples);
+  std::printf("LinRegions: %d regions over the %zu slices -> %zu key "
+              "points (%.1fs)\n\n",
+              NumRegions, W.RepairSlices.size(), Spec.size(),
+              LinRegionsSeconds);
+
+  // --- RQ1/RQ4: repair the last layer -----------------------------------------
+  std::vector<int> Layers = W.Net.parameterizedLayerIndices();
+  int LastLayer = Layers.back();
+  RepairResult Result = repairPoints(W.Net, LastLayer, Spec);
+  if (Result.Status != RepairStatus::Success) {
+    std::printf("last-layer repair FAILED: %s\n", toString(Result.Status));
+    return 1;
+  }
+  std::printf("PR (last layer): SUCCESS; |Delta|_1 = %.4f; total %.1fs "
+              "(LinRegions %.1fs, Jacobian %.1fs, LP %.1fs, other "
+              "%.1fs)\n",
+              Result.DeltaL1,
+              Result.Stats.TotalSeconds + LinRegionsSeconds,
+              LinRegionsSeconds, Result.Stats.JacobianSeconds,
+              Result.Stats.LpSeconds, Result.Stats.OtherSeconds);
+
+  const DecoupledNetwork &Repaired = *Result.Repaired;
+  // RQ2 drawdown: points the buggy network classified correctly.
+  int StillCorrect = 0;
+  for (int I = 0; I < W.Drawdown.size(); ++I)
+    if (Repaired.classify(W.Drawdown.Inputs[I]) == W.Drawdown.Labels[I])
+      ++StillCorrect;
+  std::printf("RQ2 drawdown: %d of %d previously-correct points still "
+              "correct (drawdown %.2f%%)\n",
+              StillCorrect, W.Drawdown.size(),
+              100.0 * (W.Drawdown.size() - StillCorrect) /
+                  W.Drawdown.size());
+
+  // RQ3 generalization: counterexamples outside the repair slices.
+  double GenBefore = safeFraction(W.Generalization, [&](const Vector &X) {
+    return W.Net.classify(X);
+  });
+  double GenAfter = safeFraction(W.Generalization, [&](const Vector &X) {
+    return Repaired.classify(X);
+  });
+  std::printf("RQ3 generalization: property satisfaction on held-out "
+              "counterexamples %.1f%% -> %.1f%%\n\n",
+              100 * GenBefore, 100 * GenAfter);
+
+  // --- Per-layer feasibility (paper: only the last layer satisfiable) --------
+  TablePrinter LayerTable({"Layer", "Kind", "Status", "T"});
+  for (int LayerIdx : Layers) {
+    if (LayerIdx == LastLayer) {
+      LayerTable.addRow({std::to_string(LayerIdx),
+                         W.Net.layer(LayerIdx).describe(), "Success",
+                         formatDuration(Result.Stats.TotalSeconds)});
+      continue;
+    }
+    RepairResult Other = repairPoints(W.Net, LayerIdx, Spec);
+    LayerTable.addRow({std::to_string(LayerIdx),
+                       W.Net.layer(LayerIdx).describe(),
+                       toString(Other.Status),
+                       formatDuration(Other.Stats.TotalSeconds)});
+  }
+  std::printf("Per-layer repair feasibility:\n");
+  LayerTable.print(std::cout);
+
+  // --- FT / MFT baselines ------------------------------------------------------
+  std::printf("\nBaselines on the %d sampled key points:\n",
+              FtSamples.size());
+  double BuggySampleAcc =
+      accuracy(W.Net, FtSamples.Inputs, FtSamples.Labels);
+  std::printf("  buggy accuracy on sampled repair points: %.1f%%\n",
+              100 * BuggySampleAcc);
+  {
+    FineTuneOptions Options;
+    Options.LearningRate = 0.001;
+    Options.Momentum = 0.9;
+    Options.BatchSize = 16;
+    Options.MaxEpochs = 250;
+    Options.TimeoutSeconds = 60.0;
+    Rng R(7001);
+    FineTuneResult Ft = fineTune(W.Net, FtSamples, Options, R);
+    int FtCorrect = 0;
+    for (int I = 0; I < W.Drawdown.size(); ++I)
+      if (Ft.Tuned.classify(W.Drawdown.Inputs[I]) == W.Drawdown.Labels[I])
+        ++FtCorrect;
+    std::printf("  FT: efficacy %.1f%%%s, drawdown %.2f%%, "
+                "generalization -> %.1f%%, %s\n",
+                100 * Ft.RepairAccuracy, Ft.TimedOut ? " (timed out)" : "",
+                100.0 * (W.Drawdown.size() - FtCorrect) / W.Drawdown.size(),
+                100 * safeFraction(W.Generalization, [&](const Vector &X) {
+                  return Ft.Tuned.classify(X);
+                }),
+                formatDuration(Ft.Seconds).c_str());
+  }
+  for (int LayerIdx : {Layers[Layers.size() - 2], LastLayer}) {
+    ModifiedFineTuneOptions Options;
+    Options.LearningRate = 0.001;
+    Options.Momentum = 0.9;
+    Options.BatchSize = 16;
+    Options.LayerIndex = LayerIdx;
+    Options.MaxEpochs = 80;
+    Rng R(7100 + LayerIdx);
+    ModifiedFineTuneResult Mft = modifiedFineTune(W.Net, FtSamples, Options,
+                                                  R);
+    int MftCorrect = 0;
+    for (int I = 0; I < W.Drawdown.size(); ++I)
+      if (Mft.Tuned.classify(W.Drawdown.Inputs[I]) == W.Drawdown.Labels[I])
+        ++MftCorrect;
+    std::printf("  MFT(layer %d): efficacy %.1f%%, drawdown %.2f%%, "
+                "generalization -> %.1f%%, %s\n",
+                LayerIdx, 100 * Mft.RepairAccuracy,
+                100.0 * (W.Drawdown.size() - MftCorrect) /
+                    W.Drawdown.size(),
+                100 * safeFraction(W.Generalization, [&](const Vector &X) {
+                  return Mft.Tuned.classify(X);
+                }),
+                formatDuration(Mft.Seconds).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,263 @@
+//===- core/PointRepair.cpp -----------------------------------------------===//
+
+#include "core/PointRepair.h"
+
+#include "nn/Jacobian.h"
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace prdnn;
+
+const char *prdnn::toString(RepairStatus Status) {
+  switch (Status) {
+  case RepairStatus::Success:
+    return "Success";
+  case RepairStatus::Infeasible:
+    return "Infeasible";
+  case RepairStatus::SolverFailure:
+    return "SolverFailure";
+  }
+  PRDNN_UNREACHABLE("bad RepairStatus");
+}
+
+namespace {
+
+/// One LP row over the *effective* (unfrozen) parameters:
+/// Coef . Delta <= Hi.
+struct SpecRow {
+  std::vector<double> Coef;
+  double Hi;
+
+  double violationAt(const std::vector<double> &Delta) const {
+    double Activity = 0.0;
+    for (size_t J = 0; J < Coef.size(); ++J)
+      Activity += Coef[J] * Delta[J];
+    return Activity - Hi;
+  }
+};
+
+} // namespace
+
+RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
+                                 const PointSpec &Spec,
+                                 const RepairOptions &Options) {
+  WallTimer Total;
+  RepairResult Result;
+  Result.Stats.SpecPoints = static_cast<int>(Spec.size());
+
+  const auto *Target = dyn_cast<LinearLayer>(&Net.layer(LayerIndex));
+  assert(Target && Target->numParams() > 0 &&
+         "repair layer must be a parameterized linear layer");
+  int NumParams = Target->numParams();
+
+  // Effective (unfrozen) parameter index map.
+  std::vector<int> Effective;
+  if (Options.ParamMask) {
+    assert(static_cast<int>(Options.ParamMask->size()) == NumParams &&
+           "parameter mask size mismatch");
+    for (int P = 0; P < NumParams; ++P)
+      if ((*Options.ParamMask)[static_cast<size_t>(P)])
+        Effective.push_back(P);
+  } else {
+    Effective.resize(static_cast<size_t>(NumParams));
+    std::iota(Effective.begin(), Effective.end(), 0);
+  }
+  int NumEff = static_cast<int>(Effective.size());
+  assert(NumEff > 0 && "all parameters frozen");
+
+  // --- Jacobian phase (Algorithm 1, lines 4-6) -----------------------------
+  std::vector<SpecRow> Rows;
+  {
+    WallTimer JacobianTimer;
+    for (const SpecPoint &P : Spec) {
+      JacobianResult Jr =
+          paramJacobian(Net, LayerIndex, P.X,
+                        P.Pattern ? &*P.Pattern : nullptr);
+      const OutputConstraint &C = P.Constraint;
+      assert(C.A.cols() == Net.outputSize() &&
+             "constraint output dimension mismatch");
+      // Row k: (A_k J) Delta <= b_k - A_k N(x) - RowMargin.
+      for (int K = 0; K < C.numRows(); ++K) {
+        SpecRow Row;
+        Row.Coef.assign(static_cast<size_t>(NumEff), 0.0);
+        double Activity = 0.0;
+        for (int O = 0; O < C.A.cols(); ++O) {
+          double AKo = C.A(K, O);
+          if (AKo == 0.0)
+            continue;
+          Activity += AKo * Jr.Output[O];
+          const double *JRow = Jr.J.rowData(O);
+          for (int E = 0; E < NumEff; ++E)
+            Row.Coef[static_cast<size_t>(E)] += AKo * JRow[Effective[E]];
+        }
+        Row.Hi = C.B[K] - Activity - Options.RowMargin;
+        Rows.push_back(std::move(Row));
+      }
+    }
+    Result.Stats.JacobianSeconds = JacobianTimer.seconds();
+  }
+  Result.Stats.SpecRows = static_cast<int>(Rows.size());
+
+  // --- LP phase (Algorithm 1, lines 7-8) ------------------------------------
+  std::vector<double> DeltaEff(static_cast<size_t>(NumEff), 0.0);
+  double LpSeconds = 0.0;
+  int LpIterations = 0;
+  int RowsUsed = 0;
+  bool Solved = false;
+
+  auto SolveWithRows = [&](const std::vector<int> &Use,
+                           std::vector<double> &Out) -> lp::SolveStatus {
+    lp::DeltaLp Lp(NumEff, Options.Objective, Options.DeltaBound);
+    for (int RI : Use)
+      Lp.addConstraint(Rows[static_cast<size_t>(RI)].Coef, -lp::kInfinity,
+                       Rows[static_cast<size_t>(RI)].Hi);
+    WallTimer LpTimer;
+    lp::LpSolution Sol = lp::solveLp(Lp.problem(), Options.Lp);
+    LpSeconds += LpTimer.seconds();
+    LpIterations += Sol.Iterations;
+    if (Sol.Status == lp::SolveStatus::Optimal)
+      Out = Lp.extractDelta(Sol.X);
+    return Sol.Status;
+  };
+
+  if (!Options.UseConstraintGeneration) {
+    std::vector<int> All(Rows.size());
+    std::iota(All.begin(), All.end(), 0);
+    lp::SolveStatus Status = SolveWithRows(All, DeltaEff);
+    RowsUsed = static_cast<int>(All.size());
+    if (Status == lp::SolveStatus::Infeasible) {
+      Result.Status = RepairStatus::Infeasible;
+      Result.Stats.LpSeconds = LpSeconds;
+      Result.Stats.TotalSeconds = Total.seconds();
+      return Result;
+    }
+    Solved = Status == lp::SolveStatus::Optimal;
+  } else {
+    // Constraint generation: start from the rows violated by Delta = 0
+    // and add violated rows until the relaxation optimum is feasible for
+    // every row (then it is optimal for the full LP).
+    std::vector<char> InLp(Rows.size(), 0);
+    std::vector<int> Active;
+    for (size_t RI = 0; RI < Rows.size(); ++RI)
+      if (Rows[RI].Hi < 0.0) {
+        Active.push_back(static_cast<int>(RI));
+        InLp[RI] = 1;
+      }
+
+    if (Active.empty()) {
+      // Delta = 0 already satisfies the (margined) spec.
+      Solved = true;
+    } else {
+      for (int Round = 0; Round < Options.MaxCgRounds && !Solved; ++Round) {
+        ++Result.Stats.CgRounds;
+        lp::SolveStatus Status = SolveWithRows(Active, DeltaEff);
+        RowsUsed = static_cast<int>(Active.size());
+        if (Status == lp::SolveStatus::Infeasible) {
+          // A subset is infeasible, so the full system is too.
+          Result.Status = RepairStatus::Infeasible;
+          Result.Stats.LpSeconds = LpSeconds;
+          Result.Stats.LpIterations = LpIterations;
+          Result.Stats.LpRowsUsed = RowsUsed;
+          Result.Stats.TotalSeconds = Total.seconds();
+          return Result;
+        }
+        if (Status != lp::SolveStatus::Optimal)
+          break; // fall through to the full solve below
+
+        // Collect rows the relaxation optimum still violates.
+        std::vector<std::pair<double, int>> Violated;
+        for (size_t RI = 0; RI < Rows.size(); ++RI) {
+          if (InLp[RI])
+            continue;
+          double V = Rows[RI].violationAt(DeltaEff);
+          if (V > 10 * Options.Lp.FeasTol)
+            Violated.push_back({V, static_cast<int>(RI)});
+        }
+        if (Violated.empty()) {
+          Solved = true;
+          break;
+        }
+        int Take = std::min<int>(Options.CgBatch,
+                                 static_cast<int>(Violated.size()));
+        std::partial_sort(Violated.begin(), Violated.begin() + Take,
+                          Violated.end(), std::greater<>());
+        for (int K = 0; K < Take; ++K) {
+          Active.push_back(Violated[K].second);
+          InLp[Violated[K].second] = 1;
+        }
+      }
+    }
+
+    if (!Solved) {
+      // Generation did not converge in budget; fall back to one full
+      // solve (still exact).
+      std::vector<int> All(Rows.size());
+      std::iota(All.begin(), All.end(), 0);
+      lp::SolveStatus Status = SolveWithRows(All, DeltaEff);
+      RowsUsed = static_cast<int>(All.size());
+      if (Status == lp::SolveStatus::Infeasible) {
+        Result.Status = RepairStatus::Infeasible;
+        Result.Stats.LpSeconds = LpSeconds;
+        Result.Stats.LpIterations = LpIterations;
+        Result.Stats.LpRowsUsed = RowsUsed;
+        Result.Stats.TotalSeconds = Total.seconds();
+        return Result;
+      }
+      Solved = Status == lp::SolveStatus::Optimal;
+    }
+  }
+
+  Result.Stats.LpSeconds = LpSeconds;
+  Result.Stats.LpIterations = LpIterations;
+  Result.Stats.LpRowsUsed = RowsUsed;
+
+  if (!Solved) {
+    Result.Status = RepairStatus::SolverFailure;
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  }
+
+  // --- Apply and verify (Algorithm 1, lines 9-10) ---------------------------
+  Result.Delta.assign(static_cast<size_t>(NumParams), 0.0);
+  for (int E = 0; E < NumEff; ++E)
+    Result.Delta[static_cast<size_t>(Effective[E])] = DeltaEff[E];
+  for (double D : Result.Delta) {
+    Result.DeltaL1 += std::fabs(D);
+    Result.DeltaLInf = std::max(Result.DeltaLInf, std::fabs(D));
+  }
+
+  DecoupledNetwork Repaired = DecoupledNetwork::fromNetwork(Net);
+  cast<LinearLayer>(Repaired.valueChannel().layer(LayerIndex))
+      .addToParams(Result.Delta);
+
+  // Re-verify the specification against the repaired DDNN itself.
+  double Verified = 0.0;
+  for (const SpecPoint &P : Spec) {
+    Vector Y = P.Pattern ? Repaired.evaluateWithPattern(P.X, *P.Pattern)
+                         : Repaired.evaluate(P.X);
+    Verified = std::max(Verified, P.Constraint.violation(Y));
+  }
+  Result.Stats.VerifiedViolation = Verified;
+  if (Verified > 100 * Options.Lp.FeasTol + 1e-9) {
+    // The LP said feasible but the network disagrees: numerical failure,
+    // never silently accepted.
+    Result.Status = RepairStatus::SolverFailure;
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  }
+
+  Result.Repaired = std::move(Repaired);
+  Result.Status = RepairStatus::Success;
+  Result.Stats.TotalSeconds = Total.seconds();
+  Result.Stats.OtherSeconds = std::max(
+      0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
+               Result.Stats.LpSeconds);
+  return Result;
+}

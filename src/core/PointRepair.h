@@ -1,0 +1,108 @@
+//===- core/PointRepair.h - Provable Pointwise Repair (§5) -----*- C++ -*-===//
+///
+/// \file
+/// Algorithm 1 (PointRepair): reduces single-layer repair of a DDNN to
+/// a linear program over the parameter change Delta of one value-channel
+/// layer. Because the DDNN output is affine in those parameters
+/// (Theorem 4.5), each spec row A_x N'(x) <= b_x becomes the exact
+/// linear constraint (A_x J_x) Delta <= b_x - A_x N(x), and the LP's
+/// norm objective yields a *provably minimal* single-layer repair
+/// (Theorem 5.4) - or a proof that none exists (Infeasible).
+///
+/// Engineering additions over the paper's pseudocode, all
+/// guarantee-preserving:
+///  - optional constraint generation: solve on the violated rows first
+///    and add rows lazily; a relaxation optimum feasible for all rows is
+///    optimal for the full LP (standard cutting-plane argument);
+///  - an optional parameter mask to freeze a subset of the layer's
+///    parameters (used e.g. to reproduce the paper's Figure 3 example,
+///    whose hand-drawn network lacks some bias edges);
+///  - a final network-level re-verification of the spec, so a Success
+///    status certifies the repaired DDNN itself, not just LP algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_CORE_POINTREPAIR_H
+#define PRDNN_CORE_POINTREPAIR_H
+
+#include "core/DecoupledNetwork.h"
+#include "core/Specification.h"
+#include "lp/NormObjective.h"
+#include "lp/Simplex.h"
+
+#include <optional>
+
+namespace prdnn {
+
+enum class RepairStatus {
+  /// A provably minimal single-layer repair was found and re-verified.
+  Success,
+  /// No single-layer repair of the chosen layer satisfies the spec
+  /// (definitive, per Theorem 5.4).
+  Infeasible,
+  /// The LP solver failed (iteration limit / numerical trouble).
+  SolverFailure,
+};
+
+const char *toString(RepairStatus Status);
+
+struct RepairOptions {
+  /// Which norm of Delta to minimize (Definition 5.3's measure).
+  lp::Norm Objective = lp::Norm::L1;
+  /// Box constraint |Delta_j| <= DeltaBound (kInfinity allowed).
+  double DeltaBound = lp::kInfinity;
+  /// Margin subtracted from spec rows inside the LP; a small positive
+  /// value keeps satisfaction strict under floating-point noise.
+  double RowMargin = 1e-6;
+  /// Solve on violated rows first, adding violated rows lazily.
+  bool UseConstraintGeneration = true;
+  int MaxCgRounds = 64;
+  /// Violated rows admitted per generation round.
+  int CgBatch = 512;
+  /// Optional per-parameter mask (size = layer param count); false
+  /// freezes the parameter at its current value.
+  std::optional<std::vector<bool>> ParamMask;
+  lp::SimplexOptions Lp;
+};
+
+struct RepairStats {
+  double JacobianSeconds = 0.0;
+  double LpSeconds = 0.0;
+  double OtherSeconds = 0.0;
+  double TotalSeconds = 0.0;
+  int SpecPoints = 0;
+  int SpecRows = 0;
+  int LpRowsUsed = 0;
+  int CgRounds = 0;
+  int LpIterations = 0;
+  /// Post-repair max spec violation measured on the network itself.
+  double VerifiedViolation = 0.0;
+  // Filled by polytope repair (Algorithm 2) only:
+  /// Time computing LinRegions (SyReNN transforms).
+  double LinRegionsSeconds = 0.0;
+  /// Key points generated from region vertices (the paper's "Points").
+  int KeyPoints = 0;
+  /// Linear regions across all specification polytopes.
+  int LinearRegions = 0;
+};
+
+struct RepairResult {
+  RepairStatus Status = RepairStatus::SolverFailure;
+  /// The repaired DDNN (valid iff Status == Success).
+  std::optional<DecoupledNetwork> Repaired;
+  /// Full-layer Delta (zeros at frozen parameters).
+  std::vector<double> Delta;
+  double DeltaL1 = 0.0;
+  double DeltaLInf = 0.0;
+  RepairStats Stats;
+};
+
+/// Algorithm 1. \p LayerIndex names a parameterized linear layer of
+/// \p Net (see Network::parameterizedLayerIndices).
+RepairResult repairPoints(const Network &Net, int LayerIndex,
+                          const PointSpec &Spec,
+                          const RepairOptions &Options = RepairOptions());
+
+} // namespace prdnn
+
+#endif // PRDNN_CORE_POINTREPAIR_H

@@ -1,0 +1,78 @@
+//===- core/PolytopeRepair.cpp -------------------------------------------===//
+
+#include "core/PolytopeRepair.h"
+
+#include "support/Timer.h"
+#include "syrenn/LineTransform.h"
+#include "syrenn/PlaneTransform.h"
+
+#include <cassert>
+
+using namespace prdnn;
+
+PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
+                              double *LinRegionsSeconds, int *NumRegions) {
+  assert(Net.isPiecewiseLinear() &&
+         "polytope repair requires a piecewise-linear network (§6)");
+  PointSpec Points;
+  int Regions = 0;
+  WallTimer Timer;
+  double TransformSeconds = 0.0;
+
+  for (const SpecPolytope &P : Spec) {
+    if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape)) {
+      WallTimer T;
+      LinePartition Partition = lineRegions(Net, Segment->A, Segment->B);
+      TransformSeconds += T.seconds();
+      Regions += Partition.numPieces();
+      for (int Piece = 0; Piece < Partition.numPieces(); ++Piece) {
+        // The region's pattern, sampled at an interior point; both piece
+        // endpoints are repaired *as members of this region*
+        // (Appendix B), so interior breakpoints appear twice with
+        // different patterns.
+        NetworkPattern Pattern = computePattern(
+            Net, Partition.pointAt(Partition.midpoint(Piece)));
+        for (double T2 : {Partition.Ts[static_cast<size_t>(Piece)],
+                          Partition.Ts[static_cast<size_t>(Piece) + 1]})
+          Points.push_back(
+              SpecPoint{Partition.pointAt(T2), P.Constraint, Pattern});
+      }
+      continue;
+    }
+    const auto &Plane = std::get<PlanePolytope>(P.Shape);
+    WallTimer T;
+    std::vector<PlaneRegion> PlaneRegions = planeRegions(Net, Plane.Vertices);
+    TransformSeconds += T.seconds();
+    Regions += static_cast<int>(PlaneRegions.size());
+    for (const PlaneRegion &Region : PlaneRegions) {
+      NetworkPattern Pattern = computePattern(Net, Region.centroid());
+      for (const Vector &V : Region.InputVertices)
+        Points.push_back(SpecPoint{V, P.Constraint, Pattern});
+    }
+  }
+
+  if (LinRegionsSeconds)
+    *LinRegionsSeconds = TransformSeconds;
+  if (NumRegions)
+    *NumRegions = Regions;
+  return Points;
+}
+
+RepairResult prdnn::repairPolytopes(const Network &Net, int LayerIndex,
+                                    const PolytopeSpec &Spec,
+                                    const RepairOptions &Options) {
+  WallTimer Total;
+  double LinRegionsSeconds = 0.0;
+  int NumRegions = 0;
+  PointSpec Points = keyPointSpec(Net, Spec, &LinRegionsSeconds, &NumRegions);
+
+  RepairResult Result = repairPoints(Net, LayerIndex, Points, Options);
+  Result.Stats.LinRegionsSeconds = LinRegionsSeconds;
+  Result.Stats.KeyPoints = static_cast<int>(Points.size());
+  Result.Stats.LinearRegions = NumRegions;
+  Result.Stats.TotalSeconds = Total.seconds();
+  Result.Stats.OtherSeconds =
+      std::max(0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
+                        Result.Stats.LpSeconds - LinRegionsSeconds);
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===- core/PolytopeRepair.h - Provable Polytope Repair (§6) ---*- C++ -*-===//
+///
+/// \file
+/// Algorithm 2 (PolytopeRepair): reduces repair over polytopes with
+/// infinitely many points to pointwise repair on finitely many *key
+/// points*. For a PWL network whose value channel alone is edited, the
+/// linear regions do not move (Theorem 4.6), each region's image is the
+/// convex hull of its vertices' images, and hence the polytope spec
+/// holds iff the point spec on all region vertices holds (Theorem 6.4).
+///
+/// Key points are generated with their owning region's activation
+/// pattern pinned (Appendix B), so the same input can appear once per
+/// adjacent region with different Jacobians.
+///
+/// Supported polytopes: 1-D segments (via syrenn/LineTransform.h) and
+/// 2-D convex polygons (via syrenn/PlaneTransform.h), matching the
+/// scalability envelope reported in the paper (§2, §7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_CORE_POLYTOPEREPAIR_H
+#define PRDNN_CORE_POLYTOPEREPAIR_H
+
+#include "core/PointRepair.h"
+
+namespace prdnn {
+
+/// Algorithm 2. \p Net must be piecewise-linear; \p LayerIndex names a
+/// parameterized linear layer. Statuses as in repairPoints; on Success
+/// the repaired DDNN provably satisfies the constraint on *every* point
+/// of every specification polytope.
+RepairResult repairPolytopes(const Network &Net, int LayerIndex,
+                             const PolytopeSpec &Spec,
+                             const RepairOptions &Options = RepairOptions());
+
+/// The point specification Algorithm 2 constructs (exposed for tests,
+/// diagnostics, and the FT/MFT baselines, which sample the same key
+/// points). \p LinRegionsSeconds and \p NumRegions, when non-null,
+/// receive the transform time and region count.
+PointSpec keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
+                       double *LinRegionsSeconds = nullptr,
+                       int *NumRegions = nullptr);
+
+} // namespace prdnn
+
+#endif // PRDNN_CORE_POLYTOPEREPAIR_H

@@ -1,0 +1,82 @@
+//===- core/Specification.cpp --------------------------------------------------===//
+
+#include "core/Specification.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+
+double OutputConstraint::violation(const Vector &Y) const {
+  assert(Y.size() == A.cols() && "output dimension mismatch");
+  double Worst = 0.0;
+  for (int R = 0; R < A.rows(); ++R) {
+    double Activity = 0.0;
+    const double *Row = A.rowData(R);
+    for (int C = 0; C < A.cols(); ++C)
+      Activity += Row[C] * Y[C];
+    Worst = std::max(Worst, Activity - B[R]);
+  }
+  return Worst;
+}
+
+OutputConstraint prdnn::classificationConstraint(int NumClasses, int Label,
+                                                 double Margin) {
+  assert(Label >= 0 && Label < NumClasses && "label out of range");
+  OutputConstraint C;
+  C.A = Matrix(NumClasses - 1, NumClasses);
+  C.B = Vector(NumClasses - 1);
+  int Row = 0;
+  for (int J = 0; J < NumClasses; ++J) {
+    if (J == Label)
+      continue;
+    C.A(Row, J) = 1.0;
+    C.A(Row, Label) = -1.0;
+    C.B[Row] = -Margin;
+    ++Row;
+  }
+  return C;
+}
+
+OutputConstraint prdnn::boxConstraint(const Vector &Lo, const Vector &Hi) {
+  assert(Lo.size() == Hi.size() && "box bound dimension mismatch");
+  int Dim = Lo.size();
+  int Rows = 0;
+  for (int I = 0; I < Dim; ++I) {
+    if (std::isfinite(Hi[I]))
+      ++Rows;
+    if (std::isfinite(Lo[I]))
+      ++Rows;
+  }
+  OutputConstraint C;
+  C.A = Matrix(Rows, Dim);
+  C.B = Vector(Rows);
+  int Row = 0;
+  for (int I = 0; I < Dim; ++I) {
+    if (std::isfinite(Hi[I])) {
+      C.A(Row, I) = 1.0;
+      C.B[Row] = Hi[I];
+      ++Row;
+    }
+    if (std::isfinite(Lo[I])) {
+      C.A(Row, I) = -1.0;
+      C.B[Row] = -Lo[I];
+      ++Row;
+    }
+  }
+  return C;
+}
+
+bool prdnn::satisfies(const Network &Net, const PointSpec &Spec, double Tol) {
+  return maxViolation(Net, Spec) <= Tol;
+}
+
+double prdnn::maxViolation(const Network &Net, const PointSpec &Spec) {
+  double Worst = 0.0;
+  for (const SpecPoint &P : Spec) {
+    Vector Y = P.Pattern ? evaluateWithPattern(Net, P.X, *P.Pattern)
+                         : Net.evaluate(P.X);
+    Worst = std::max(Worst, P.Constraint.violation(Y));
+  }
+  return Worst;
+}

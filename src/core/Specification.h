@@ -1,0 +1,89 @@
+//===- core/Specification.h - repair specifications ------------*- C++ -*-===//
+///
+/// \file
+/// Pointwise and polytope repair specifications (Definitions 5.1 and
+/// 6.1). Each specification element pairs an input object (a point, a
+/// segment, or a planar convex polygon) with a polyhedral output
+/// constraint A N(x) <= b. Builders cover the constraint shapes the
+/// evaluation uses: "classified as label L (with margin)" and output
+/// boxes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_CORE_SPECIFICATION_H
+#define PRDNN_CORE_SPECIFICATION_H
+
+#include "nn/ActivationPattern.h"
+#include "nn/Network.h"
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+namespace prdnn {
+
+/// Polyhedral output constraint A y <= b.
+struct OutputConstraint {
+  Matrix A;
+  Vector B;
+
+  int numRows() const { return A.rows(); }
+
+  /// Largest violation max_k (A y - b)_k clamped at 0.
+  double violation(const Vector &Y) const;
+
+  bool satisfiedBy(const Vector &Y, double Tol = 1e-6) const {
+    return violation(Y) <= Tol;
+  }
+};
+
+/// "Output argmax is \p Label, with margin": y_j - y_Label <= -Margin
+/// for all j != Label. The general affine form from §3.1.
+OutputConstraint classificationConstraint(int NumClasses, int Label,
+                                          double Margin = 0.0);
+
+/// Lo <= y <= Hi componentwise; infinite bounds are skipped.
+OutputConstraint boxConstraint(const Vector &Lo, const Vector &Hi);
+
+/// One point of a pointwise repair specification. \p Pattern, when
+/// present, pins the activation pattern used for the Jacobian and the
+/// satisfaction check (Appendix B: vertices of linear regions must be
+/// repaired as members of a specific region).
+struct SpecPoint {
+  Vector X;
+  OutputConstraint Constraint;
+  std::optional<NetworkPattern> Pattern;
+};
+
+/// Pointwise repair specification (X, A., b.) of Definition 5.1.
+using PointSpec = std::vector<SpecPoint>;
+
+/// 1-D input polytope: the segment from A to B.
+struct SegmentPolytope {
+  Vector A, B;
+};
+
+/// 2-D input polytope: a convex polygon given by its vertices (in
+/// order), lying in a 2-D affine subspace of the input space.
+struct PlanePolytope {
+  std::vector<Vector> Vertices;
+};
+
+/// One polytope of a polytope repair specification (Definition 6.1).
+struct SpecPolytope {
+  std::variant<SegmentPolytope, PlanePolytope> Shape;
+  OutputConstraint Constraint;
+};
+
+using PolytopeSpec = std::vector<SpecPolytope>;
+
+/// N |= (X, A., b.) (Definition 5.2), checked pointwise with pinned
+/// patterns honored.
+bool satisfies(const Network &Net, const PointSpec &Spec, double Tol = 1e-6);
+
+/// Largest constraint violation over the spec (0 when satisfied).
+double maxViolation(const Network &Net, const PointSpec &Spec);
+
+} // namespace prdnn
+
+#endif // PRDNN_CORE_SPECIFICATION_H

@@ -1,0 +1,109 @@
+//===- data/Acas.cpp -----------------------------------------------------===//
+
+#include "data/Acas.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+using namespace prdnn::data;
+
+double prdnn::data::acasThreat(const Vector &X) {
+  assert(X.size() == kAcasInputs && "ACAS state must be 5-D");
+  double Rho = (X[0] + 1.0) / 2.0;    // 0 = on top of us, 1 = far away
+  double Theta = X[1] * M_PI;        // bearing to the intruder
+  double VInt = (X[4] + 1.0) / 2.0;  // intruder speed
+  // Closer, more head-on, faster intruders are more threatening. The
+  // bearing factor is in [0.2, 1], the speed factor in [0.6, 1].
+  double Proximity = 1.0 - Rho;
+  double Bearing = 0.6 + 0.4 * std::cos(Theta);
+  double Speed = 0.6 + 0.4 * VInt;
+  return Proximity * Bearing * Speed;
+}
+
+int prdnn::data::acasAdvisory(const Vector &X) {
+  double Threat = acasThreat(X);
+  if (Threat < kAcasCocThreat)
+    return AcasCoc;
+  // Intruder to the left (theta > 0) -> turn right, and vice versa;
+  // near-zero bearing uses the relative heading to break the tie.
+  double Direction = X[1];
+  if (std::fabs(Direction) < 0.05)
+    Direction = X[2] >= 0.0 ? -1.0 : 1.0;
+  bool TurnRight = Direction > 0.0;
+  bool Strong = Threat > 0.65;
+  if (TurnRight)
+    return Strong ? AcasStrongRight : AcasWeakRight;
+  return Strong ? AcasStrongLeft : AcasWeakLeft;
+}
+
+bool prdnn::data::acasSafeAdvisory(int Advisory) {
+  return Advisory == AcasCoc || Advisory == AcasWeakLeft;
+}
+
+Dataset prdnn::data::makeAcasDataset(int Count, Rng &R) {
+  Dataset Data;
+  for (int I = 0; I < Count; ++I) {
+    Vector X(kAcasInputs);
+    for (int J = 0; J < kAcasInputs; ++J)
+      X[J] = R.uniform(-1.0, 1.0);
+    int Label = acasAdvisory(X);
+    Data.push(std::move(X), Label);
+  }
+  return Data;
+}
+
+Network prdnn::data::trainAcasNetwork(int Hidden, int TrainCount, int Epochs,
+                                      Rng &R) {
+  Network Net;
+  auto RandomFc = [&R](int Out, int In) {
+    Matrix W(Out, In);
+    double Scale = std::sqrt(2.0 / In);
+    for (int I = 0; I < Out; ++I)
+      for (int J = 0; J < In; ++J)
+        W(I, J) = Scale * R.normal();
+    return std::make_unique<FullyConnectedLayer>(std::move(W), Vector(Out));
+  };
+  // 5 hidden ReLU layers, mirroring the N_{2,9} depth.
+  int Size = kAcasInputs;
+  for (int LayerIdx = 0; LayerIdx < 5; ++LayerIdx) {
+    Net.addLayer(RandomFc(Hidden, Size));
+    Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+    Size = Hidden;
+  }
+  Net.addLayer(RandomFc(kAcasAdvisories, Size));
+
+  Dataset Train = makeAcasDataset(TrainCount, R);
+  SgdOptions Options;
+  Options.LearningRate = 0.05;
+  Options.Momentum = 0.9;
+  Options.BatchSize = 32;
+  Options.Epochs = Epochs;
+  trainSgd(Net, Train, Options, R);
+  return Net;
+}
+
+std::vector<Vector> prdnn::data::randomSafeSlice(Rng &R) {
+  // Fix three coordinates, vary two. x0 stays inside the safe region.
+  int VaryA = R.uniformInt(1, kAcasInputs - 1);
+  int VaryB = R.uniformInt(1, kAcasInputs - 1);
+  while (VaryB == VaryA)
+    VaryB = R.uniformInt(1, kAcasInputs - 1);
+
+  Vector Base(kAcasInputs);
+  Base[0] = R.uniform(kAcasSafeRho, 1.0);
+  for (int J = 1; J < kAcasInputs; ++J)
+    Base[J] = R.uniform(-1.0, 1.0);
+
+  auto Corner = [&](double SA, double SB) {
+    Vector V = Base;
+    V[VaryA] = SA;
+    V[VaryB] = SB;
+    return V;
+  };
+  return {Corner(-1.0, -1.0), Corner(1.0, -1.0), Corner(1.0, 1.0),
+          Corner(-1.0, 1.0)};
+}

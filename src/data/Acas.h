@@ -1,0 +1,71 @@
+//===- data/Acas.h - collision-avoidance policy stand-in -------*- C++ -*-===//
+///
+/// \file
+/// An ACAS Xu-style aircraft collision-avoidance substrate, the
+/// repo-local substitute for the N_{2,9} network and property phi_8 of
+/// Task 3 (see DESIGN.md §3). A closed-form advisory policy over the
+/// normalized 5-D state [rho, theta, psi, v_own, v_int] in [-1,1]^5 is
+/// sampled to train a 7-layer FC ReLU network; the safety property is
+/// the phi_8 analogue
+///
+///    for all x in SafeRegion: advisory(x) in {COC, WL}
+///
+/// which the trained network violates in pockets - exactly the setup
+/// the paper repairs on 2-D slices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_DATA_ACAS_H
+#define PRDNN_DATA_ACAS_H
+
+#include "support/Rng.h"
+#include "train/Sgd.h"
+
+namespace prdnn {
+namespace data {
+
+constexpr int kAcasInputs = 5;
+constexpr int kAcasAdvisories = 5;
+
+/// Advisory indices (clear-of-conflict, weak/strong left/right).
+enum AcasAdvisory {
+  AcasCoc = 0,
+  AcasWeakLeft = 1,
+  AcasWeakRight = 2,
+  AcasStrongLeft = 3,
+  AcasStrongRight = 4,
+};
+
+/// The ground-truth rule-based policy; input components in [-1, 1]:
+/// x0 = normalized distance rho, x1 = bearing theta / pi, x2 = relative
+/// heading psi / pi, x3/x4 = normalized speeds.
+int acasAdvisory(const Vector &X);
+
+/// Threat score underlying the policy (COC iff below kAcasCocThreat).
+double acasThreat(const Vector &X);
+constexpr double kAcasCocThreat = 0.35;
+
+/// The safe region: distance x0 >= kAcasSafeRho guarantees the true
+/// policy is COC (threat provably < kAcasCocThreat there).
+constexpr double kAcasSafeRho = 0.4;
+
+/// True iff \p Advisory is permitted inside the safe region (phi_8
+/// analogue: COC or weak-left).
+bool acasSafeAdvisory(int Advisory);
+
+/// Uniform samples over [-1,1]^5 labeled by the policy.
+Dataset makeAcasDataset(int Count, Rng &R);
+
+/// Trains the Task-3 "buggy network": FC ReLU, \p Hidden units per
+/// hidden layer, 5 hidden layers (7 layers with the in/out maps).
+Network trainAcasNetwork(int Hidden, int TrainCount, int Epochs, Rng &R);
+
+/// A random axis-aligned 2-D rectangle (slice) inside the safe region:
+/// two of the five coordinates vary over their ranges, the others are
+/// fixed. Returns the four corners in input space.
+std::vector<Vector> randomSafeSlice(Rng &R);
+
+} // namespace data
+} // namespace prdnn
+
+#endif // PRDNN_DATA_ACAS_H

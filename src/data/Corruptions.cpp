@@ -1,0 +1,77 @@
+//===- data/Corruptions.cpp ----------------------------------------------------===//
+
+#include "data/Corruptions.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prdnn;
+using namespace prdnn::data;
+
+Vector prdnn::data::fogCorrupt(const Vector &Image, int Height, int Width,
+                               double Severity, Rng &R) {
+  assert(Image.size() == Height * Width && "image shape mismatch");
+  assert(Severity >= 0.0 && Severity <= 1.0 && "severity out of range");
+  // Coarse 4x4 haze lattice, bilinearly upsampled: smooth like the
+  // plasma-fractal fog of MNIST-C, cheap and deterministic.
+  constexpr int Coarse = 4;
+  double Lattice[Coarse + 1][Coarse + 1];
+  for (int Y = 0; Y <= Coarse; ++Y)
+    for (int X = 0; X <= Coarse; ++X)
+      Lattice[Y][X] = R.uniform(0.65, 1.0);
+
+  Vector Out(Image.size());
+  for (int Y = 0; Y < Height; ++Y) {
+    double FY = static_cast<double>(Y) / Height * Coarse;
+    int LY = std::min(static_cast<int>(FY), Coarse - 1);
+    double TY = FY - LY;
+    for (int X = 0; X < Width; ++X) {
+      double FX = static_cast<double>(X) / Width * Coarse;
+      int LX = std::min(static_cast<int>(FX), Coarse - 1);
+      double TX = FX - LX;
+      double Haze = (1 - TY) * ((1 - TX) * Lattice[LY][LX] +
+                                TX * Lattice[LY][LX + 1]) +
+                    TY * ((1 - TX) * Lattice[LY + 1][LX] +
+                          TX * Lattice[LY + 1][LX + 1]);
+      int I = Y * Width + X;
+      Out[I] = std::clamp((1.0 - Severity) * Image[I] + Severity * Haze,
+                          0.0, 1.0);
+    }
+  }
+  return Out;
+}
+
+Vector prdnn::data::noiseCorrupt(const Vector &Image, double Stddev, Rng &R) {
+  Vector Out = Image;
+  for (int I = 0; I < Out.size(); ++I)
+    Out[I] = std::clamp(Out[I] + R.normal(0.0, Stddev), 0.0, 1.0);
+  return Out;
+}
+
+Vector prdnn::data::contrastCorrupt(const Vector &Image, double Factor) {
+  Vector Out = Image;
+  for (int I = 0; I < Out.size(); ++I)
+    Out[I] = std::clamp(0.5 + Factor * (Out[I] - 0.5), 0.0, 1.0);
+  return Out;
+}
+
+Vector prdnn::data::occludeBar(const Vector &Image, int Channels, int Height,
+                               int Width, int BarWidth, Rng &R) {
+  assert(Image.size() == Channels * Height * Width && "image shape mismatch");
+  Vector Out = Image;
+  bool Verticalbar = R.bernoulli(0.5);
+  if (Verticalbar) {
+    int X0 = R.uniformInt(0, std::max(0, Width - BarWidth));
+    for (int C = 0; C < Channels; ++C)
+      for (int Y = 0; Y < Height; ++Y)
+        for (int X = X0; X < std::min(Width, X0 + BarWidth); ++X)
+          Out[(C * Height + Y) * Width + X] = 0.0;
+  } else {
+    int Y0 = R.uniformInt(0, std::max(0, Height - BarWidth));
+    for (int C = 0; C < Channels; ++C)
+      for (int Y = Y0; Y < std::min(Height, Y0 + BarWidth); ++Y)
+        for (int X = 0; X < Width; ++X)
+          Out[(C * Height + Y) * Width + X] = 0.0;
+  }
+  return Out;
+}

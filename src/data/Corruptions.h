@@ -1,0 +1,41 @@
+//===- data/Corruptions.h - image corruption operators ---------*- C++ -*-===//
+///
+/// \file
+/// Corruption operators in the style of MNIST-C [46]. Task 2 uses the
+/// fog operator: images are blended toward a smooth bright haze field,
+/// and the repair specification is the *line* from a clean image to its
+/// fogged version - "each image along the line is corrupted by a
+/// different amount of fog" (§1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_DATA_CORRUPTIONS_H
+#define PRDNN_DATA_CORRUPTIONS_H
+
+#include "linalg/Vector.h"
+#include "support/Rng.h"
+
+namespace prdnn {
+namespace data {
+
+/// MNIST-C-style fog: I' = (1 - Severity) I + Severity * Haze, where
+/// Haze is a smooth (bilinearly upsampled) bright random field.
+/// Severity in [0, 1].
+Vector fogCorrupt(const Vector &Image, int Height, int Width,
+                  double Severity, Rng &R);
+
+/// Additive Gaussian pixel noise, clamped to [0, 1].
+Vector noiseCorrupt(const Vector &Image, double Stddev, Rng &R);
+
+/// Multiplies contrast around 0.5: I' = 0.5 + Factor (I - 0.5).
+Vector contrastCorrupt(const Vector &Image, double Factor);
+
+/// Zeroes a random full-height or full-width bar of the given width
+/// (per channel for multi-channel images laid out channel-major).
+Vector occludeBar(const Vector &Image, int Channels, int Height, int Width,
+                  int BarWidth, Rng &R);
+
+} // namespace data
+} // namespace prdnn
+
+#endif // PRDNN_DATA_CORRUPTIONS_H

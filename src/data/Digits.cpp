@@ -1,0 +1,123 @@
+//===- data/Digits.cpp ----------------------------------------------------===//
+
+#include "data/Digits.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+using namespace prdnn::data;
+
+namespace {
+
+// Seven-segment encoding; segments: 0=top, 1=top-right, 2=bottom-right,
+// 3=bottom, 4=bottom-left, 5=top-left, 6=middle.
+constexpr int kSegments[10] = {
+    0b0111111, // 0: all but middle
+    0b0000110, // 1
+    0b1011011, // 2
+    0b1001111, // 3
+    0b1100110, // 4
+    0b1101101, // 5
+    0b1111101, // 6
+    0b0000111, // 7
+    0b1111111, // 8
+    0b1101111, // 9
+};
+
+struct SegmentBox {
+  int Y0, X0, Y1, X1; // inclusive pixel box (pre-jitter)
+};
+
+/// Segment geometry on a 12-row x 8-column glyph box.
+SegmentBox segmentBox(int Segment, int Thickness) {
+  int T = Thickness;
+  switch (Segment) {
+  case 0:
+    return {0, 0, T - 1, 7}; // top
+  case 1:
+    return {0, 8 - T, 5, 7}; // top-right
+  case 2:
+    return {6, 8 - T, 11, 7}; // bottom-right
+  case 3:
+    return {12 - T, 0, 11, 7}; // bottom
+  case 4:
+    return {6, 0, 11, T - 1}; // bottom-left
+  case 5:
+    return {0, 0, 5, T - 1}; // top-left
+  case 6:
+    return {6 - T / 2, 0, 6 - T / 2 + T - 1, 7}; // middle
+  }
+  return {0, 0, 0, 0};
+}
+
+} // namespace
+
+Vector prdnn::data::makeDigitImage(int Digit, Rng &R) {
+  assert(Digit >= 0 && Digit < kDigitClasses && "digit out of range");
+  Vector Image(kDigitPixels);
+
+  int OffY = 2 + R.uniformInt(-1, 1);
+  int OffX = 4 + R.uniformInt(-2, 2);
+  int Thickness = R.uniformInt(1, 2);
+  double Intensity = R.uniform(0.7, 1.0);
+
+  int Mask = kSegments[Digit];
+  for (int Segment = 0; Segment < 7; ++Segment) {
+    if (!(Mask & (1 << Segment)))
+      continue;
+    SegmentBox Box = segmentBox(Segment, Thickness);
+    for (int Y = Box.Y0; Y <= Box.Y1; ++Y)
+      for (int X = Box.X0; X <= Box.X1; ++X) {
+        int PY = Y + OffY, PX = X + OffX;
+        if (PY < 0 || PY >= kDigitImage || PX < 0 || PX >= kDigitImage)
+          continue;
+        Image[PY * kDigitImage + PX] = Intensity;
+      }
+  }
+  for (int I = 0; I < kDigitPixels; ++I) {
+    Image[I] += R.normal(0.0, 0.08);
+    Image[I] = std::clamp(Image[I], 0.0, 1.0);
+  }
+  return Image;
+}
+
+Dataset prdnn::data::makeDigits(int Count, Rng &R) {
+  Dataset Data;
+  for (int I = 0; I < Count; ++I) {
+    int Digit = I % kDigitClasses;
+    Data.push(makeDigitImage(Digit, R), Digit);
+  }
+  return Data;
+}
+
+Network prdnn::data::trainDigitClassifier(int Hidden, int TrainCount,
+                                          int Epochs, Rng &R) {
+  Network Net;
+  auto RandomFc = [&R](int Out, int In) {
+    Matrix W(Out, In);
+    double Scale = std::sqrt(2.0 / In); // He initialization
+    for (int I = 0; I < Out; ++I)
+      for (int J = 0; J < In; ++J)
+        W(I, J) = Scale * R.normal();
+    return std::make_unique<FullyConnectedLayer>(std::move(W), Vector(Out));
+  };
+  Net.addLayer(RandomFc(Hidden, kDigitPixels));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(RandomFc(Hidden, Hidden));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(RandomFc(kDigitClasses, Hidden));
+
+  Dataset Train = makeDigits(TrainCount, R);
+  SgdOptions Options;
+  Options.LearningRate = 0.05;
+  Options.Momentum = 0.9;
+  Options.BatchSize = 32;
+  Options.Epochs = Epochs;
+  trainSgd(Net, Train, Options, R);
+  return Net;
+}

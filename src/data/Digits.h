@@ -1,0 +1,39 @@
+//===- data/Digits.h - synthetic handwritten-digit stand-in ----*- C++ -*-===//
+///
+/// \file
+/// Synthetic 16x16 grayscale digit images, the repo-local substitute
+/// for MNIST (see DESIGN.md §3). Digits are rendered from jittered
+/// seven-segment templates with varying position, thickness, stroke
+/// intensity, and additive noise: easy enough that a small FC ReLU
+/// network reaches MNIST-like accuracy, hard enough that corruptions
+/// (data/Corruptions.h) break it - which is all Task 2 needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_DATA_DIGITS_H
+#define PRDNN_DATA_DIGITS_H
+
+#include "support/Rng.h"
+#include "train/Sgd.h"
+
+namespace prdnn {
+namespace data {
+
+constexpr int kDigitImage = 16;
+constexpr int kDigitPixels = kDigitImage * kDigitImage;
+constexpr int kDigitClasses = 10;
+
+/// Renders one digit image of class \p Digit.
+Vector makeDigitImage(int Digit, Rng &R);
+
+/// A balanced dataset of \p Count images.
+Dataset makeDigits(int Count, Rng &R);
+
+/// The standard Task-2 "buggy network": an MNIST-style ReLU-3-N
+/// fully-connected classifier trained on clean digits.
+Network trainDigitClassifier(int Hidden, int TrainCount, int Epochs, Rng &R);
+
+} // namespace data
+} // namespace prdnn
+
+#endif // PRDNN_DATA_DIGITS_H

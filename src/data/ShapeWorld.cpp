@@ -1,0 +1,182 @@
+//===- data/ShapeWorld.cpp -------------------------------------------------===//
+
+#include "data/ShapeWorld.h"
+
+#include "data/Corruptions.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "nn/PoolLayers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+using namespace prdnn::data;
+
+namespace {
+
+/// Shape mask value (0/1) for class Shape at pixel (Y, X) given a
+/// jittered center (CY, CX) and radius Rad.
+bool inShape(int Shape, int Y, int X, double CY, double CX, double Rad) {
+  double DY = Y - CY, DX = X - CX;
+  double AbsY = std::fabs(DY), AbsX = std::fabs(DX);
+  double Dist = std::sqrt(DY * DY + DX * DX);
+  switch (Shape) {
+  case 0: // disk
+    return Dist <= Rad;
+  case 1: // square outline
+    return std::max(AbsY, AbsX) <= Rad && std::max(AbsY, AbsX) >= Rad - 1.6;
+  case 2: // triangle (upward)
+    return DY >= -Rad && DY <= Rad && AbsX <= (DY + Rad) * 0.5;
+  case 3: // cross
+    return (AbsY <= 1.2 && AbsX <= Rad) || (AbsX <= 1.2 && AbsY <= Rad);
+  case 4: // ring
+    return Dist <= Rad && Dist >= Rad - 1.8;
+  case 5: // horizontal bar
+    return AbsY <= 1.8 && AbsX <= Rad;
+  case 6: // vertical bar
+    return AbsX <= 1.8 && AbsY <= Rad;
+  case 7: // diamond
+    return AbsY + AbsX <= Rad;
+  case 8: // checker
+    return (static_cast<int>(AbsY / 2) + static_cast<int>(AbsX / 2)) % 2 ==
+               0 &&
+           std::max(AbsY, AbsX) <= Rad;
+  }
+  return false;
+}
+
+} // namespace
+
+Vector prdnn::data::makeShapeImage(int Shape, Rng &R) {
+  assert(Shape >= 0 && Shape < kShapeClasses && "shape class out of range");
+  Vector Image(kShapePixels);
+
+  double CY = kShapeImage / 2.0 + R.uniform(-1.5, 1.5);
+  double CX = kShapeImage / 2.0 + R.uniform(-1.5, 1.5);
+  double Rad = R.uniform(4.0, 6.0);
+
+  // A distinct but jittered base color per class plus a dim background.
+  double Hue = (Shape * 0.83 + R.uniform(-0.06, 0.06));
+  Hue -= std::floor(Hue);
+  double Fg[3] = {0.55 + 0.45 * std::sin(2 * M_PI * Hue),
+                  0.55 + 0.45 * std::sin(2 * M_PI * Hue + 2.1),
+                  0.55 + 0.45 * std::sin(2 * M_PI * Hue + 4.2)};
+  double Bg = R.uniform(0.05, 0.2);
+
+  for (int C = 0; C < kShapeChannels; ++C)
+    for (int Y = 0; Y < kShapeImage; ++Y)
+      for (int X = 0; X < kShapeImage; ++X) {
+        double Value = inShape(Shape, Y, X, CY, CX, Rad) ? Fg[C] : Bg;
+        Value += R.normal(0.0, 0.05);
+        Image[(C * kShapeImage + Y) * kShapeImage + X] =
+            std::clamp(Value, 0.0, 1.0);
+      }
+  return Image;
+}
+
+Dataset prdnn::data::makeShapeWorld(int Count, Rng &R) {
+  Dataset Data;
+  for (int I = 0; I < Count; ++I) {
+    int Shape = I % kShapeClasses;
+    Data.push(makeShapeImage(Shape, R), Shape);
+  }
+  return Data;
+}
+
+Vector prdnn::data::shiftDistribution(const Vector &Image, Rng &R) {
+  Vector Out = Image;
+  const int HW = kShapeImage * kShapeImage;
+
+  // Channel permutation (severe hue shift).
+  if (R.bernoulli(0.7)) {
+    int Perm[3] = {1, 2, 0};
+    if (R.bernoulli(0.5)) {
+      Perm[0] = 2;
+      Perm[1] = 0;
+      Perm[2] = 1;
+    }
+    Vector Tmp = Out;
+    for (int C = 0; C < 3; ++C)
+      for (int I = 0; I < HW; ++I)
+        Out[C * HW + I] = Tmp[Perm[C] * HW + I];
+  }
+  // Contrast inversion.
+  if (R.bernoulli(0.5))
+    for (int I = 0; I < Out.size(); ++I)
+      Out[I] = 1.0 - Out[I];
+  // Occluding bar.
+  if (R.bernoulli(0.6))
+    Out = occludeBar(Out, kShapeChannels, kShapeImage, kShapeImage,
+                     R.uniformInt(2, 4), R);
+  // Heavy noise.
+  Out = noiseCorrupt(Out, R.uniform(0.1, 0.25), R);
+  return Out;
+}
+
+Dataset prdnn::data::makeNaturalAdversarials(const Network &Net, int Count,
+                                             Rng &R) {
+  Dataset Data;
+  int Shape = 0;
+  int Attempts = 0;
+  const int MaxAttempts = 400 * Count + 1000;
+  while (Data.size() < Count && ++Attempts < MaxAttempts) {
+    Vector Image = shiftDistribution(makeShapeImage(Shape, R), R);
+    // NAE's defining filter: keep only what the model gets wrong.
+    if (Net.classify(Image) != Shape) {
+      Data.push(std::move(Image), Shape);
+      Shape = (Shape + 1) % kShapeClasses;
+    }
+  }
+  assert(Data.size() == Count &&
+         "failed to find enough adversarial examples");
+  return Data;
+}
+
+Network prdnn::data::trainShapeClassifier(int TrainCount, int Epochs,
+                                          Rng &R) {
+  Network Net;
+  auto RandomConv = [&R](int InC, int InH, int InW, int OutC, int K, int S,
+                         int P) {
+    std::vector<double> Kernels(
+        static_cast<size_t>(OutC) * InC * K * K);
+    double Scale = std::sqrt(2.0 / (InC * K * K));
+    for (double &V : Kernels)
+      V = Scale * R.normal();
+    return std::make_unique<Conv2DLayer>(InC, InH, InW, OutC, K, K, S, P,
+                                         std::move(Kernels),
+                                         std::vector<double>(OutC, 0.0));
+  };
+  auto RandomFc = [&R](int Out, int In) {
+    Matrix W(Out, In);
+    double Scale = std::sqrt(2.0 / In);
+    for (int I = 0; I < Out; ++I)
+      for (int J = 0; J < In; ++J)
+        W(I, J) = Scale * R.normal();
+    return std::make_unique<FullyConnectedLayer>(std::move(W), Vector(Out));
+  };
+
+  // conv(3->6) relu pool | conv(6->6) relu pool | fc 16 relu | fc 9:
+  // ten layers, four of them repairable, mirroring the paper's
+  // SqueezeNet slice at a scale our dense simplex handles comfortably.
+  Net.addLayer(RandomConv(3, 16, 16, 6, 3, 1, 1));
+  Net.addLayer(std::make_unique<ReLULayer>(6 * 16 * 16));
+  Net.addLayer(std::make_unique<MaxPool2DLayer>(6, 16, 16, 2, 2, 2));
+  Net.addLayer(RandomConv(6, 8, 8, 6, 3, 1, 1));
+  Net.addLayer(std::make_unique<ReLULayer>(6 * 8 * 8));
+  Net.addLayer(std::make_unique<MaxPool2DLayer>(6, 8, 8, 2, 2, 2));
+  Net.addLayer(std::make_unique<FlattenLayer>(6 * 4 * 4));
+  Net.addLayer(RandomFc(16, 6 * 4 * 4));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(RandomFc(kShapeClasses, 16));
+
+  Dataset Train = makeShapeWorld(TrainCount, R);
+  SgdOptions Options;
+  Options.LearningRate = 0.02;
+  Options.Momentum = 0.9;
+  Options.BatchSize = 32;
+  Options.Epochs = Epochs;
+  trainSgd(Net, Train, Options, R);
+  return Net;
+}

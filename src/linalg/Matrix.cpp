@@ -1,0 +1,113 @@
+//===- linalg/Matrix.cpp ---------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <cmath>
+
+using namespace prdnn;
+
+Matrix Matrix::identity(int Size) {
+  Matrix Result(Size, Size);
+  for (int I = 0; I < Size; ++I)
+    Result(I, I) = 1.0;
+  return Result;
+}
+
+Matrix Matrix::fromRows(
+    std::initializer_list<std::initializer_list<double>> Rows) {
+  int NumRows = static_cast<int>(Rows.size());
+  int NumCols = NumRows == 0 ? 0 : static_cast<int>(Rows.begin()->size());
+  Matrix Result(NumRows, NumCols);
+  int R = 0;
+  for (const auto &Row : Rows) {
+    assert(static_cast<int>(Row.size()) == NumCols && "ragged matrix rows");
+    int C = 0;
+    for (double V : Row)
+      Result(R, C++) = V;
+    ++R;
+  }
+  return Result;
+}
+
+Vector Matrix::apply(const Vector &X) const {
+  assert(X.size() == NumCols && "matrix-vector shape mismatch");
+  Vector Result(NumRows);
+  for (int R = 0; R < NumRows; ++R) {
+    const double *Row = rowData(R);
+    double Sum = 0.0;
+    for (int C = 0; C < NumCols; ++C)
+      Sum += Row[C] * X[C];
+    Result[R] = Sum;
+  }
+  return Result;
+}
+
+Vector Matrix::applyTransposed(const Vector &X) const {
+  assert(X.size() == NumRows && "matrix-vector shape mismatch");
+  Vector Result(NumCols);
+  for (int R = 0; R < NumRows; ++R) {
+    const double *Row = rowData(R);
+    double Scale = X[R];
+    if (Scale == 0.0)
+      continue;
+    for (int C = 0; C < NumCols; ++C)
+      Result[C] += Scale * Row[C];
+  }
+  return Result;
+}
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.NumRows && "matrix-matrix shape mismatch");
+  Matrix Result(NumRows, Other.NumCols);
+  for (int R = 0; R < NumRows; ++R) {
+    const double *LhsRow = rowData(R);
+    double *OutRow = Result.rowData(R);
+    for (int K = 0; K < NumCols; ++K) {
+      double Scale = LhsRow[K];
+      if (Scale == 0.0)
+        continue;
+      const double *RhsRow = Other.rowData(K);
+      for (int C = 0; C < Other.NumCols; ++C)
+        OutRow[C] += Scale * RhsRow[C];
+    }
+  }
+  return Result;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix Result(NumCols, NumRows);
+  for (int R = 0; R < NumRows; ++R)
+    for (int C = 0; C < NumCols; ++C)
+      Result(C, R) = (*this)(R, C);
+  return Result;
+}
+
+Matrix &Matrix::operator+=(const Matrix &Other) {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "matrix shape mismatch");
+  for (size_t I = 0, E = Values.size(); I < E; ++I)
+    Values[I] += Other.Values[I];
+  return *this;
+}
+
+Matrix &Matrix::operator*=(double Scale) {
+  for (double &V : Values)
+    V *= Scale;
+  return *this;
+}
+
+double Matrix::normInf() const {
+  double Max = 0.0;
+  for (double V : Values)
+    Max = std::max(Max, std::fabs(V));
+  return Max;
+}
+
+double Matrix::maxAbsDiff(const Matrix &Other) const {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "matrix shape mismatch");
+  double Max = 0.0;
+  for (size_t I = 0, E = Values.size(); I < E; ++I)
+    Max = std::max(Max, std::fabs(Values[I] - Other.Values[I]));
+  return Max;
+}

@@ -1,0 +1,88 @@
+//===- linalg/Matrix.h - dense row-major matrix ----------------*- C++ -*-===//
+///
+/// \file
+/// Dense row-major matrix of doubles. Used for layer weights, the
+/// backward accumulation matrices in nn/Jacobian.h, and the simplex
+/// solver's basis inverse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_LINALG_MATRIX_H
+#define PRDNN_LINALG_MATRIX_H
+
+#include "linalg/Vector.h"
+
+#include <cassert>
+#include <vector>
+
+namespace prdnn {
+
+/// Dense row-major matrix.
+class Matrix {
+public:
+  Matrix() : NumRows(0), NumCols(0) {}
+
+  /// Zero matrix with \p Rows x \p Cols entries.
+  Matrix(int Rows, int Cols)
+      : NumRows(Rows), NumCols(Cols),
+        Values(static_cast<size_t>(Rows) * static_cast<size_t>(Cols), 0.0) {
+    assert(Rows >= 0 && Cols >= 0 && "negative matrix shape");
+  }
+
+  static Matrix identity(int Size);
+
+  /// Builds a matrix from nested initializer rows (for tests/examples).
+  static Matrix fromRows(std::initializer_list<std::initializer_list<double>>
+                             Rows);
+
+  int rows() const { return NumRows; }
+  int cols() const { return NumCols; }
+
+  double operator()(int Row, int Col) const {
+    assert(Row >= 0 && Row < NumRows && Col >= 0 && Col < NumCols &&
+           "matrix index out of range");
+    return Values[static_cast<size_t>(Row) * NumCols + Col];
+  }
+  double &operator()(int Row, int Col) {
+    assert(Row >= 0 && Row < NumRows && Col >= 0 && Col < NumCols &&
+           "matrix index out of range");
+    return Values[static_cast<size_t>(Row) * NumCols + Col];
+  }
+
+  const double *rowData(int Row) const {
+    assert(Row >= 0 && Row < NumRows && "row index out of range");
+    return Values.data() + static_cast<size_t>(Row) * NumCols;
+  }
+  double *rowData(int Row) {
+    assert(Row >= 0 && Row < NumRows && "row index out of range");
+    return Values.data() + static_cast<size_t>(Row) * NumCols;
+  }
+
+  /// Matrix-vector product A*x.
+  Vector apply(const Vector &X) const;
+
+  /// Transposed product A^T * x.
+  Vector applyTransposed(const Vector &X) const;
+
+  /// Matrix-matrix product (*this) * Other.
+  Matrix multiply(const Matrix &Other) const;
+
+  Matrix transposed() const;
+
+  Matrix &operator+=(const Matrix &Other);
+  Matrix &operator*=(double Scale);
+
+  /// Largest absolute entry.
+  double normInf() const;
+
+  /// Largest absolute difference against \p Other (shapes must match).
+  double maxAbsDiff(const Matrix &Other) const;
+
+private:
+  int NumRows, NumCols;
+  std::vector<double> Values;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_LINALG_MATRIX_H

@@ -1,0 +1,93 @@
+//===- linalg/Vector.cpp ---------------------------------------------------===//
+
+#include "linalg/Vector.h"
+
+#include <cmath>
+
+using namespace prdnn;
+
+Vector Vector::constant(int Size, double Value) {
+  Vector Result(Size);
+  for (int I = 0; I < Size; ++I)
+    Result[I] = Value;
+  return Result;
+}
+
+Vector &Vector::operator+=(const Vector &Other) {
+  assert(size() == Other.size() && "vector size mismatch");
+  for (int I = 0, E = size(); I < E; ++I)
+    Values[static_cast<size_t>(I)] += Other[I];
+  return *this;
+}
+
+Vector &Vector::operator-=(const Vector &Other) {
+  assert(size() == Other.size() && "vector size mismatch");
+  for (int I = 0, E = size(); I < E; ++I)
+    Values[static_cast<size_t>(I)] -= Other[I];
+  return *this;
+}
+
+Vector &Vector::operator*=(double Scale) {
+  for (double &V : Values)
+    V *= Scale;
+  return *this;
+}
+
+Vector Vector::operator+(const Vector &Other) const {
+  Vector Result = *this;
+  Result += Other;
+  return Result;
+}
+
+Vector Vector::operator-(const Vector &Other) const {
+  Vector Result = *this;
+  Result -= Other;
+  return Result;
+}
+
+Vector Vector::operator*(double Scale) const {
+  Vector Result = *this;
+  Result *= Scale;
+  return Result;
+}
+
+double Vector::dot(const Vector &Other) const {
+  assert(size() == Other.size() && "vector size mismatch");
+  double Sum = 0.0;
+  for (int I = 0, E = size(); I < E; ++I)
+    Sum += (*this)[I] * Other[I];
+  return Sum;
+}
+
+double Vector::norm1() const {
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += std::fabs(V);
+  return Sum;
+}
+
+double Vector::norm2() const { return std::sqrt(dot(*this)); }
+
+double Vector::normInf() const {
+  double Max = 0.0;
+  for (double V : Values)
+    Max = std::max(Max, std::fabs(V));
+  return Max;
+}
+
+int Vector::argmax() const {
+  assert(size() > 0 && "argmax of empty vector");
+  int Best = 0;
+  for (int I = 1, E = size(); I < E; ++I)
+    if ((*this)[I] > (*this)[Best])
+      Best = I;
+  return Best;
+}
+
+double Vector::maxAbsDiff(const Vector &Other) const {
+  assert(size() == Other.size() && "vector size mismatch");
+  double Max = 0.0;
+  for (int I = 0, E = size(); I < E; ++I)
+    Max = std::max(Max, std::fabs((*this)[I] - Other[I]));
+  return Max;
+}

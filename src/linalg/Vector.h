@@ -1,0 +1,85 @@
+//===- linalg/Vector.h - dense double vector -------------------*- C++ -*-===//
+///
+/// \file
+/// Dense vector of doubles. This (with linalg/Matrix.h) replaces the
+/// PyTorch tensor operations the paper's implementation relied on; the
+/// repair pipeline only needs dense real arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_LINALG_VECTOR_H
+#define PRDNN_LINALG_VECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace prdnn {
+
+/// Dense, heap-allocated vector of doubles with the handful of
+/// operations the repair pipeline needs.
+class Vector {
+public:
+  Vector() = default;
+
+  /// Zero vector of dimension \p Size.
+  explicit Vector(int Size) : Values(static_cast<size_t>(Size), 0.0) {
+    assert(Size >= 0 && "negative vector size");
+  }
+
+  Vector(std::initializer_list<double> Init) : Values(Init) {}
+
+  explicit Vector(std::vector<double> Init) : Values(std::move(Init)) {}
+
+  /// Vector of dimension \p Size with every entry \p Value.
+  static Vector constant(int Size, double Value);
+
+  int size() const { return static_cast<int>(Values.size()); }
+
+  double operator[](int Index) const {
+    assert(Index >= 0 && Index < size() && "vector index out of range");
+    return Values[static_cast<size_t>(Index)];
+  }
+  double &operator[](int Index) {
+    assert(Index >= 0 && Index < size() && "vector index out of range");
+    return Values[static_cast<size_t>(Index)];
+  }
+
+  const double *data() const { return Values.data(); }
+  double *data() { return Values.data(); }
+  const std::vector<double> &values() const { return Values; }
+
+  auto begin() const { return Values.begin(); }
+  auto end() const { return Values.end(); }
+
+  Vector &operator+=(const Vector &Other);
+  Vector &operator-=(const Vector &Other);
+  Vector &operator*=(double Scale);
+
+  Vector operator+(const Vector &Other) const;
+  Vector operator-(const Vector &Other) const;
+  Vector operator*(double Scale) const;
+
+  double dot(const Vector &Other) const;
+
+  /// Sum of absolute values.
+  double norm1() const;
+  /// Euclidean norm.
+  double norm2() const;
+  /// Maximum absolute value (0 for the empty vector).
+  double normInf() const;
+
+  /// Index of the (first) largest entry; vector must be non-empty.
+  int argmax() const;
+
+  /// Largest absolute difference against \p Other.
+  double maxAbsDiff(const Vector &Other) const;
+
+private:
+  std::vector<double> Values;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_LINALG_VECTOR_H

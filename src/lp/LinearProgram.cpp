@@ -1,0 +1,63 @@
+//===- lp/LinearProgram.cpp ------------------------------------------------===//
+
+#include "lp/LinearProgram.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+using namespace prdnn::lp;
+
+int LinearProgram::addVariable(double Lo, double Hi, double ObjectiveCoef) {
+  assert(Lo <= Hi && "variable with empty bound interval");
+  VarLo.push_back(Lo);
+  VarHi.push_back(Hi);
+  Objective.push_back(ObjectiveCoef);
+  return numVariables() - 1;
+}
+
+void LinearProgram::setObjectiveCoef(int Var, double Coef) {
+  assert(Var >= 0 && Var < numVariables() && "bad variable index");
+  Objective[static_cast<size_t>(Var)] = Coef;
+}
+
+int LinearProgram::addRow(std::vector<int> Index, std::vector<double> Value,
+                          double Lo, double Hi) {
+  assert(Index.size() == Value.size() && "row index/value length mismatch");
+  assert(Lo <= Hi && "row with empty bound interval");
+#ifndef NDEBUG
+  for (int I : Index)
+    assert(I >= 0 && I < numVariables() && "row references unknown variable");
+#endif
+  Rows.push_back(LpRow{std::move(Index), std::move(Value), Lo, Hi});
+  return numRows() - 1;
+}
+
+double LinearProgram::rowActivity(int Row, const std::vector<double> &X) const {
+  const LpRow &R = Rows[static_cast<size_t>(Row)];
+  double Sum = 0.0;
+  for (size_t K = 0; K < R.Index.size(); ++K)
+    Sum += R.Value[K] * X[static_cast<size_t>(R.Index[K])];
+  return Sum;
+}
+
+double LinearProgram::objectiveValue(const std::vector<double> &X) const {
+  double Sum = 0.0;
+  for (int J = 0; J < numVariables(); ++J)
+    Sum += Objective[static_cast<size_t>(J)] * X[static_cast<size_t>(J)];
+  return Sum;
+}
+
+double LinearProgram::maxViolation(const std::vector<double> &X) const {
+  double Worst = 0.0;
+  for (int J = 0; J < numVariables(); ++J) {
+    Worst = std::max(Worst, VarLo[J] - X[static_cast<size_t>(J)]);
+    Worst = std::max(Worst, X[static_cast<size_t>(J)] - VarHi[J]);
+  }
+  for (int I = 0; I < numRows(); ++I) {
+    double Activity = rowActivity(I, X);
+    Worst = std::max(Worst, Rows[I].Lo - Activity);
+    Worst = std::max(Worst, Activity - Rows[I].Hi);
+  }
+  return std::max(Worst, 0.0);
+}

@@ -1,0 +1,99 @@
+//===- lp/LinearProgram.h - LP problem container ---------------*- C++ -*-===//
+///
+/// \file
+/// Container for linear programs in general bounded form:
+///
+///   minimize    c . x
+///   subject to  RowLo_i <= a_i . x <= RowHi_i   for every row i
+///               VarLo_j <= x_j     <= VarHi_j   for every variable j
+///
+/// with +/- infinity allowed on any bound. This is the problem class the
+/// paper hands to Gurobi (Definition 2.6 plus the standard two-sided
+/// extension); lp/Simplex.h provides the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_LP_LINEARPROGRAM_H
+#define PRDNN_LP_LINEARPROGRAM_H
+
+#include <limits>
+#include <vector>
+
+namespace prdnn {
+namespace lp {
+
+/// Infinity marker for unbounded variable/row bounds.
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A single two-sided linear constraint RowLo <= sum coef*x <= RowHi,
+/// stored sparsely.
+struct LpRow {
+  std::vector<int> Index;
+  std::vector<double> Value;
+  double Lo;
+  double Hi;
+};
+
+/// General-form LP container; see file comment for the problem shape.
+class LinearProgram {
+public:
+  /// Adds a variable with the given bounds and objective coefficient;
+  /// returns its index.
+  int addVariable(double Lo, double Hi, double ObjectiveCoef = 0.0);
+
+  /// Adds a free (unbounded) variable; returns its index.
+  int addFreeVariable(double ObjectiveCoef = 0.0) {
+    return addVariable(-kInfinity, kInfinity, ObjectiveCoef);
+  }
+
+  void setObjectiveCoef(int Var, double Coef);
+
+  /// Adds the two-sided row Lo <= sum Value[k]*x[Index[k]] <= Hi;
+  /// returns the row index. Duplicate indices within a row are not
+  /// allowed.
+  int addRow(std::vector<int> Index, std::vector<double> Value, double Lo,
+             double Hi);
+
+  /// Convenience: sum coef*x <= Hi.
+  int addRowLe(std::vector<int> Index, std::vector<double> Value, double Hi) {
+    return addRow(std::move(Index), std::move(Value), -kInfinity, Hi);
+  }
+
+  /// Convenience: sum coef*x >= Lo.
+  int addRowGe(std::vector<int> Index, std::vector<double> Value, double Lo) {
+    return addRow(std::move(Index), std::move(Value), Lo, kInfinity);
+  }
+
+  /// Convenience: sum coef*x == Value.
+  int addRowEq(std::vector<int> Index, std::vector<double> Value,
+               double Rhs) {
+    return addRow(std::move(Index), std::move(Value), Rhs, Rhs);
+  }
+
+  int numVariables() const { return static_cast<int>(VarLo.size()); }
+  int numRows() const { return static_cast<int>(Rows.size()); }
+
+  double variableLo(int Var) const { return VarLo[Var]; }
+  double variableHi(int Var) const { return VarHi[Var]; }
+  double objectiveCoef(int Var) const { return Objective[Var]; }
+  const LpRow &row(int Row) const { return Rows[Row]; }
+
+  /// Value of row \p Row's linear form at \p X.
+  double rowActivity(int Row, const std::vector<double> &X) const;
+
+  /// Objective value c . x.
+  double objectiveValue(const std::vector<double> &X) const;
+
+  /// Largest bound violation (rows and variables) of \p X; 0 when
+  /// feasible.
+  double maxViolation(const std::vector<double> &X) const;
+
+private:
+  std::vector<double> VarLo, VarHi, Objective;
+  std::vector<LpRow> Rows;
+};
+
+} // namespace lp
+} // namespace prdnn
+
+#endif // PRDNN_LP_LINEARPROGRAM_H

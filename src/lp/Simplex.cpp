@@ -1,0 +1,740 @@
+//===- lp/Simplex.cpp - bounded-variable revised simplex -------------------===//
+//
+// Implementation notes. The LP
+//
+//   min c.x   s.t.  RowLo <= A x <= RowHi,  VarLo <= x <= VarHi
+//
+// is rewritten with one slack per row as the equality system
+//
+//   [A | -I] z = 0,    z = (x, s),   s_i in [RowLo_i, RowHi_i].
+//
+// The initial basis is the slack set (basis matrix -I), which is always
+// nonsingular; phase 1 then minimizes the total bound violation of the
+// basic variables (composite phase-1 for bounded variables, cf. Chvatal
+// ch. 8), after which phase 2 minimizes the true objective. The basis
+// inverse is kept densely and updated with product-form (eta) pivots;
+// it is recomputed from scratch by Gauss-Jordan elimination periodically
+// and before any terminal status is reported, so returned solutions are
+// always re-verified against a freshly factorized basis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+using namespace prdnn;
+using namespace prdnn::lp;
+
+const char *prdnn::lp::toString(SolveStatus Status) {
+  switch (Status) {
+  case SolveStatus::Optimal:
+    return "Optimal";
+  case SolveStatus::Infeasible:
+    return "Infeasible";
+  case SolveStatus::Unbounded:
+    return "Unbounded";
+  case SolveStatus::IterationLimit:
+    return "IterationLimit";
+  case SolveStatus::NumericalError:
+    return "NumericalError";
+  }
+  PRDNN_UNREACHABLE("bad SolveStatus");
+}
+
+namespace {
+
+enum class VarStatus : uint8_t { Basic, AtLower, AtUpper, FreeNb };
+
+/// One simplex solve; owns all scaled problem data and factorizations.
+class Worker {
+public:
+  Worker(const LinearProgram &Problem, const SimplexOptions &Options)
+      : Prob(Problem), Opt(Options) {}
+
+  LpSolution run();
+
+private:
+  const LinearProgram &Prob;
+  SimplexOptions Opt;
+
+  // Shapes: M kept rows, NS structural variables, NT = NS + M total.
+  int M = 0, NS = 0, NT = 0;
+  std::vector<int> KeptRows;     // worker row -> original row index
+  std::vector<double> ColA;      // column-major scaled A, entry (i,j) at
+                                 // j*M + i
+  std::vector<double> RowScale;  // per kept row
+  std::vector<double> Lo, Hi, Cost; // per total variable
+  std::vector<int> Basis;           // var basic in each row
+  std::vector<VarStatus> Stat;      // per total variable
+  std::vector<double> X;            // per total variable
+  std::vector<double> Binv;         // dense M*M, row-major
+  std::vector<double> W, Y, Cb, Rhs;
+
+  int Iterations = 0;
+  int Phase1Iterations = 0;
+  int PivotsSinceRefactor = 0;
+  bool Bland = false;
+  int Stall = 0;
+  double PrevObj = 0.0;
+  bool HavePrevObj = false;
+
+  bool buildProblem(LpSolution &Out); // false => Out holds final status
+  void initialBasis();
+  bool refactor();
+  void recomputeBasicValues();
+  double infeasibility() const;
+  double currentObjective() const;
+  double columnDot(const std::vector<double> &Vec, int J) const;
+  void computeColumn(int J);
+  void computeDuals();
+  bool isFixed(int J) const { return Hi[J] - Lo[J] <= 1e-30; }
+
+  int chooseEntering(bool Phase1, int &SigmaOut);
+
+  struct RatioResult {
+    double T = 0.0;
+    int Row = -1;
+    bool LeaveAtUpper = false;
+    bool BoundFlip = false;
+    bool Unbounded = false;
+  };
+  RatioResult ratioTest(int J, int Sigma, bool Phase1);
+  void applyStep(int J, int Sigma, const RatioResult &R);
+  void updateBinv(int PivotRow);
+
+  SolveStatus iterate(bool Phase1);
+  LpSolution finish(SolveStatus Status);
+};
+
+bool Worker::buildProblem(LpSolution &Out) {
+  NS = Prob.numVariables();
+
+  // Light presolve: drop rows with no nonzero coefficients. Such a row
+  // is vacuous when 0 lies within its bounds and makes the whole LP
+  // infeasible otherwise.
+  for (int I = 0; I < Prob.numRows(); ++I) {
+    const LpRow &Row = Prob.row(I);
+    bool HasNonzero = false;
+    for (double V : Row.Value)
+      if (V != 0.0)
+        HasNonzero = true;
+    if (HasNonzero) {
+      KeptRows.push_back(I);
+      continue;
+    }
+    if (Row.Lo > Opt.FeasTol || Row.Hi < -Opt.FeasTol) {
+      Out = LpSolution();
+      Out.Status = SolveStatus::Infeasible;
+      return false;
+    }
+  }
+  M = static_cast<int>(KeptRows.size());
+  NT = NS + M;
+
+  // Row equilibration: divide each row (and its bounds) by its largest
+  // coefficient magnitude so feasibility tolerances are meaningful.
+  RowScale.assign(static_cast<size_t>(M), 1.0);
+  if (Opt.ScaleRows) {
+    for (int R = 0; R < M; ++R) {
+      const LpRow &Row = Prob.row(KeptRows[R]);
+      double MaxAbs = 0.0;
+      for (double V : Row.Value)
+        MaxAbs = std::max(MaxAbs, std::fabs(V));
+      if (MaxAbs > 0.0)
+        RowScale[R] = MaxAbs;
+    }
+  }
+
+  ColA.assign(static_cast<size_t>(M) * static_cast<size_t>(NS), 0.0);
+  for (int R = 0; R < M; ++R) {
+    const LpRow &Row = Prob.row(KeptRows[R]);
+    for (size_t K = 0; K < Row.Index.size(); ++K) {
+      int J = Row.Index[K];
+      ColA[static_cast<size_t>(J) * M + R] += Row.Value[K] / RowScale[R];
+    }
+  }
+
+  Lo.resize(NT);
+  Hi.resize(NT);
+  Cost.assign(static_cast<size_t>(NT), 0.0);
+  for (int J = 0; J < NS; ++J) {
+    Lo[J] = Prob.variableLo(J);
+    Hi[J] = Prob.variableHi(J);
+    Cost[J] = Prob.objectiveCoef(J);
+  }
+  for (int R = 0; R < M; ++R) {
+    const LpRow &Row = Prob.row(KeptRows[R]);
+    Lo[NS + R] = Row.Lo / RowScale[R];
+    Hi[NS + R] = Row.Hi / RowScale[R];
+  }
+  return true;
+}
+
+void Worker::initialBasis() {
+  Basis.resize(M);
+  Stat.assign(static_cast<size_t>(NT), VarStatus::AtLower);
+  X.assign(static_cast<size_t>(NT), 0.0);
+  Binv.assign(static_cast<size_t>(M) * M, 0.0);
+  W.resize(M);
+  Y.resize(M);
+  Cb.resize(M);
+  Rhs.resize(M);
+
+  for (int J = 0; J < NS; ++J) {
+    bool LoFinite = std::isfinite(Lo[J]);
+    bool HiFinite = std::isfinite(Hi[J]);
+    if (!LoFinite && !HiFinite) {
+      Stat[J] = VarStatus::FreeNb;
+      X[J] = 0.0;
+    } else if (LoFinite && (!HiFinite || std::fabs(Lo[J]) <= std::fabs(Hi[J]))) {
+      Stat[J] = VarStatus::AtLower;
+      X[J] = Lo[J];
+    } else {
+      Stat[J] = VarStatus::AtUpper;
+      X[J] = Hi[J];
+    }
+  }
+  for (int R = 0; R < M; ++R) {
+    Basis[R] = NS + R;
+    Stat[NS + R] = VarStatus::Basic;
+    Binv[static_cast<size_t>(R) * M + R] = -1.0;
+  }
+  recomputeBasicValues();
+}
+
+bool Worker::refactor() {
+  // Rebuild Binv from the current basis by Gauss-Jordan elimination with
+  // partial pivoting.
+  std::vector<double> B(static_cast<size_t>(M) * M, 0.0);
+  for (int R = 0; R < M; ++R) {
+    int J = Basis[R];
+    if (J < NS) {
+      const double *Col = ColA.data() + static_cast<size_t>(J) * M;
+      for (int I = 0; I < M; ++I)
+        B[static_cast<size_t>(I) * M + R] = Col[I];
+    } else {
+      B[static_cast<size_t>(J - NS) * M + R] = -1.0;
+    }
+  }
+  std::vector<double> Inv(static_cast<size_t>(M) * M, 0.0);
+  for (int I = 0; I < M; ++I)
+    Inv[static_cast<size_t>(I) * M + I] = 1.0;
+
+  for (int K = 0; K < M; ++K) {
+    int Pivot = K;
+    double Best = std::fabs(B[static_cast<size_t>(K) * M + K]);
+    for (int I = K + 1; I < M; ++I) {
+      double Mag = std::fabs(B[static_cast<size_t>(I) * M + K]);
+      if (Mag > Best) {
+        Best = Mag;
+        Pivot = I;
+      }
+    }
+    if (Best < 1e-12)
+      return false;
+    if (Pivot != K)
+      for (int C = 0; C < M; ++C) {
+        std::swap(B[static_cast<size_t>(K) * M + C],
+                  B[static_cast<size_t>(Pivot) * M + C]);
+        std::swap(Inv[static_cast<size_t>(K) * M + C],
+                  Inv[static_cast<size_t>(Pivot) * M + C]);
+      }
+    double Scale = 1.0 / B[static_cast<size_t>(K) * M + K];
+    for (int C = 0; C < M; ++C) {
+      B[static_cast<size_t>(K) * M + C] *= Scale;
+      Inv[static_cast<size_t>(K) * M + C] *= Scale;
+    }
+    for (int I = 0; I < M; ++I) {
+      if (I == K)
+        continue;
+      double Factor = B[static_cast<size_t>(I) * M + K];
+      if (Factor == 0.0)
+        continue;
+      for (int C = 0; C < M; ++C) {
+        B[static_cast<size_t>(I) * M + C] -=
+            Factor * B[static_cast<size_t>(K) * M + C];
+        Inv[static_cast<size_t>(I) * M + C] -=
+            Factor * Inv[static_cast<size_t>(K) * M + C];
+      }
+    }
+  }
+  Binv = std::move(Inv);
+  PivotsSinceRefactor = 0;
+  return true;
+}
+
+void Worker::recomputeBasicValues() {
+  // Basic values solve B xB = -N xN (the equality rhs is zero).
+  std::fill(Rhs.begin(), Rhs.end(), 0.0);
+  for (int J = 0; J < NT; ++J) {
+    if (Stat[J] == VarStatus::Basic || X[J] == 0.0)
+      continue;
+    if (J < NS) {
+      const double *Col = ColA.data() + static_cast<size_t>(J) * M;
+      for (int I = 0; I < M; ++I)
+        Rhs[I] -= Col[I] * X[J];
+    } else {
+      Rhs[J - NS] += X[J];
+    }
+  }
+  for (int R = 0; R < M; ++R) {
+    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
+    double Sum = 0.0;
+    for (int I = 0; I < M; ++I)
+      Sum += Row[I] * Rhs[I];
+    X[Basis[R]] = Sum;
+  }
+}
+
+double Worker::infeasibility() const {
+  // Sums violations that exceed the per-variable feasibility tolerance.
+  // Using the same threshold as the phase-1 cost classification keeps
+  // the two consistent: a state with only sub-tolerance violations is
+  // feasible and has a zero phase-1 gradient.
+  double Total = 0.0;
+  for (int R = 0; R < M; ++R) {
+    int K = Basis[R];
+    double V = X[K];
+    if (V < Lo[K] - Opt.FeasTol)
+      Total += Lo[K] - V;
+    else if (V > Hi[K] + Opt.FeasTol)
+      Total += V - Hi[K];
+  }
+  return Total;
+}
+
+double Worker::currentObjective() const {
+  double Sum = 0.0;
+  for (int J = 0; J < NT; ++J)
+    if (Cost[J] != 0.0)
+      Sum += Cost[J] * X[J];
+  return Sum;
+}
+
+double Worker::columnDot(const std::vector<double> &Vec, int J) const {
+  if (J >= NS)
+    return -Vec[J - NS];
+  const double *Col = ColA.data() + static_cast<size_t>(J) * M;
+  double Sum = 0.0;
+  for (int I = 0; I < M; ++I)
+    Sum += Vec[I] * Col[I];
+  return Sum;
+}
+
+void Worker::computeColumn(int J) {
+  // W = Binv * Atilde_J.
+  if (J >= NS) {
+    int K = J - NS;
+    for (int R = 0; R < M; ++R)
+      W[R] = -Binv[static_cast<size_t>(R) * M + K];
+    return;
+  }
+  const double *Col = ColA.data() + static_cast<size_t>(J) * M;
+  for (int R = 0; R < M; ++R) {
+    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
+    double Sum = 0.0;
+    for (int I = 0; I < M; ++I)
+      Sum += Row[I] * Col[I];
+    W[R] = Sum;
+  }
+}
+
+void Worker::computeDuals() {
+  // Y^T = Cb^T Binv.
+  std::fill(Y.begin(), Y.end(), 0.0);
+  for (int R = 0; R < M; ++R) {
+    double C = Cb[R];
+    if (C == 0.0)
+      continue;
+    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
+    for (int I = 0; I < M; ++I)
+      Y[I] += C * Row[I];
+  }
+}
+
+int Worker::chooseEntering(bool Phase1, int &SigmaOut) {
+  // Full Dantzig pricing (best |rc|); Bland's rule takes the first
+  // improving index instead. Partial pricing was tried and reverted: on
+  // the repair LPs' split-variable columns it zigzags into iteration
+  // blow-ups that dwarf the per-iteration savings.
+  int BestJ = -1;
+  int BestSigma = 0;
+  double BestScore = Opt.OptTol;
+  for (int J = 0; J < NT; ++J) {
+    VarStatus S = Stat[J];
+    if (S == VarStatus::Basic || isFixed(J))
+      continue;
+    double Rc = (Phase1 ? 0.0 : Cost[J]) - columnDot(Y, J);
+    int Sigma = 0;
+    if ((S == VarStatus::AtLower || S == VarStatus::FreeNb) &&
+        Rc < -Opt.OptTol)
+      Sigma = 1;
+    else if ((S == VarStatus::AtUpper || S == VarStatus::FreeNb) &&
+             Rc > Opt.OptTol)
+      Sigma = -1;
+    if (Sigma == 0)
+      continue;
+    if (Bland) {
+      // Bland's rule: first improving index.
+      SigmaOut = Sigma;
+      return J;
+    }
+    double Score = std::fabs(Rc);
+    if (Score > BestScore) {
+      BestScore = Score;
+      BestJ = J;
+      BestSigma = Sigma;
+    }
+  }
+  SigmaOut = BestSigma;
+  return BestJ;
+}
+
+Worker::RatioResult Worker::ratioTest(int J, int Sigma, bool Phase1) {
+  RatioResult Result;
+  double BestT = kInfinity;
+  bool BestIsFlip = false;
+  int BestRow = -1;
+  bool BestAtUpper = false;
+  double BestPivotMag = 0.0;
+
+  // The entering variable's own travel between its bounds.
+  if (std::isfinite(Lo[J]) && std::isfinite(Hi[J])) {
+    BestT = Hi[J] - Lo[J];
+    BestIsFlip = true;
+  }
+
+  double FeasEps = Opt.FeasTol;
+  for (int R = 0; R < M; ++R) {
+    double Wr = W[R];
+    if (std::fabs(Wr) <= Opt.PivotTol)
+      continue;
+    double Delta = -Sigma * Wr; // d X[Basis[R]] / d t
+    int K = Basis[R];
+    double V = X[K];
+
+    double Limit = kInfinity;
+    bool AtUpper = false;
+    if (Phase1 && V < Lo[K] - FeasEps) {
+      // Infeasible below its lower bound: blocks only when rising back
+      // to that bound.
+      if (Delta > 0.0) {
+        Limit = (Lo[K] - V) / Delta;
+        AtUpper = false;
+      }
+    } else if (Phase1 && V > Hi[K] + FeasEps) {
+      if (Delta < 0.0) {
+        Limit = (Hi[K] - V) / Delta;
+        AtUpper = true;
+      }
+    } else if (Delta > 0.0) {
+      if (std::isfinite(Hi[K])) {
+        Limit = (Hi[K] - V) / Delta;
+        AtUpper = true;
+      }
+    } else { // Delta < 0
+      if (std::isfinite(Lo[K])) {
+        Limit = (Lo[K] - V) / Delta;
+        AtUpper = false;
+      }
+    }
+    if (!std::isfinite(Limit))
+      continue;
+    if (Limit < 0.0)
+      Limit = 0.0; // degenerate: basic already (numerically) at bound
+
+    // Prefer strictly smaller ratios; within a small tie window prefer
+    // the larger pivot magnitude for numerical stability (or the lowest
+    // basis index under Bland's rule). Ties against a bound flip keep
+    // the flip, which is the cheapest step.
+    bool Better = false;
+    if (!std::isfinite(BestT) || Limit < BestT - 1e-9 * (1.0 + BestT)) {
+      Better = true;
+    } else if (Limit <= BestT + 1e-9 * (1.0 + BestT) && BestRow >= 0) {
+      if (Bland)
+        Better = Basis[R] < Basis[BestRow];
+      else
+        Better = std::fabs(Wr) > BestPivotMag;
+    }
+    if (Better) {
+      BestT = Limit;
+      BestRow = R;
+      BestAtUpper = AtUpper;
+      BestPivotMag = std::fabs(Wr);
+      BestIsFlip = false;
+    }
+  }
+
+  if (!std::isfinite(BestT)) {
+    Result.Unbounded = true;
+    return Result;
+  }
+  Result.T = BestT;
+  Result.Row = BestRow;
+  Result.LeaveAtUpper = BestAtUpper;
+  Result.BoundFlip = BestIsFlip;
+  return Result;
+}
+
+void Worker::applyStep(int J, int Sigma, const RatioResult &R) {
+  double T = R.T;
+  // Move all basic variables along the step direction.
+  if (T != 0.0)
+    for (int Row = 0; Row < M; ++Row)
+      X[Basis[Row]] -= Sigma * T * W[Row];
+
+  if (R.BoundFlip) {
+    X[J] = Sigma > 0 ? Hi[J] : Lo[J];
+    Stat[J] = Sigma > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+    return;
+  }
+
+  assert(R.Row >= 0 && "pivot without a blocking row");
+  int Leaving = Basis[R.Row];
+  X[Leaving] = R.LeaveAtUpper ? Hi[Leaving] : Lo[Leaving];
+  Stat[Leaving] = R.LeaveAtUpper ? VarStatus::AtUpper : VarStatus::AtLower;
+
+  X[J] += Sigma * T;
+  Basis[R.Row] = J;
+  Stat[J] = VarStatus::Basic;
+  updateBinv(R.Row);
+  ++PivotsSinceRefactor;
+}
+
+void Worker::updateBinv(int PivotRow) {
+  // Product-form update: with W = Binv * Atilde_entering, the new inverse
+  // is E * Binv where E differs from the identity only in column
+  // PivotRow.
+  double Pivot = W[PivotRow];
+  assert(std::fabs(Pivot) > 0.0 && "zero pivot in eta update");
+  double *PivRow = Binv.data() + static_cast<size_t>(PivotRow) * M;
+  double Inv = 1.0 / Pivot;
+  for (int C = 0; C < M; ++C)
+    PivRow[C] *= Inv;
+  for (int R = 0; R < M; ++R) {
+    if (R == PivotRow)
+      continue;
+    double Factor = W[R];
+    if (Factor == 0.0)
+      continue;
+    double *Row = Binv.data() + static_cast<size_t>(R) * M;
+    for (int C = 0; C < M; ++C)
+      Row[C] -= Factor * PivRow[C];
+  }
+}
+
+SolveStatus Worker::iterate(bool Phase1) {
+  Bland = false;
+  Stall = 0;
+  HavePrevObj = false;
+  while (true) {
+    if (Iterations >= Opt.MaxIterations)
+      return SolveStatus::IterationLimit;
+    if (PivotsSinceRefactor >= Opt.RefactorInterval) {
+      if (!refactor())
+        return SolveStatus::NumericalError;
+      recomputeBasicValues();
+    }
+
+    double Obj;
+    if (Phase1) {
+      double Infeas = infeasibility();
+      if (Infeas == 0.0)
+        return SolveStatus::Optimal; // feasible; caller verifies
+      for (int R = 0; R < M; ++R) {
+        int K = Basis[R];
+        double V = X[K];
+        Cb[R] = V < Lo[K] - Opt.FeasTol   ? -1.0
+                : V > Hi[K] + Opt.FeasTol ? 1.0
+                                          : 0.0;
+      }
+      Obj = Infeas;
+    } else {
+      for (int R = 0; R < M; ++R)
+        Cb[R] = Cost[Basis[R]];
+      Obj = currentObjective();
+    }
+    computeDuals();
+
+    // Cycling guard: no measurable progress for StallLimit iterations
+    // switches pricing to Bland's rule until progress resumes.
+    if (HavePrevObj && Obj >= PrevObj - 1e-12) {
+      if (++Stall >= Opt.StallLimit)
+        Bland = true;
+    } else {
+      Stall = 0;
+      Bland = false;
+    }
+    PrevObj = Obj;
+    HavePrevObj = true;
+
+    int Sigma = 0;
+    int Entering = chooseEntering(Phase1, Sigma);
+    if (Entering < 0)
+      return Phase1 ? SolveStatus::Infeasible : SolveStatus::Optimal;
+
+    computeColumn(Entering);
+    RatioResult R = ratioTest(Entering, Sigma, Phase1);
+    if (R.Unbounded) {
+      // A cost-improving ray. In phase 1 the objective is bounded below
+      // by zero, so an unbounded ray indicates numerical trouble.
+      return Phase1 ? SolveStatus::NumericalError : SolveStatus::Unbounded;
+    }
+    applyStep(Entering, Sigma, R);
+    ++Iterations;
+    if (Phase1)
+      ++Phase1Iterations;
+  }
+}
+
+LpSolution Worker::finish(SolveStatus Status) {
+  LpSolution Out;
+  Out.Status = Status;
+  Out.Iterations = Iterations;
+  Out.Phase1Iterations = Phase1Iterations;
+  if (Status != SolveStatus::Optimal)
+    return Out;
+
+  Out.X.assign(X.begin(), X.begin() + NS);
+  Out.Objective = Prob.objectiveValue(Out.X);
+
+  // Duals: Y was last computed with phase-2 basic costs; unscale rows
+  // and scatter over dropped (vacuous) rows.
+  for (int R = 0; R < M; ++R)
+    Cb[R] = Cost[Basis[R]];
+  computeDuals();
+  Out.RowDuals.assign(static_cast<size_t>(Prob.numRows()), 0.0);
+  for (int R = 0; R < M; ++R)
+    Out.RowDuals[KeptRows[R]] = Y[R] / RowScale[R];
+  return Out;
+}
+
+LpSolution Worker::run() {
+  LpSolution Early;
+  if (!buildProblem(Early))
+    return Early;
+
+  // Trivial cases first.
+  if (NS == 0) {
+    LpSolution Out;
+    Out.Status = SolveStatus::Optimal;
+    Out.RowDuals.assign(static_cast<size_t>(Prob.numRows()), 0.0);
+    return Out;
+  }
+  if (M == 0) {
+    LpSolution Out;
+    Out.X.resize(NS);
+    for (int J = 0; J < NS; ++J) {
+      double C = Prob.objectiveCoef(J);
+      double L = Prob.variableLo(J), H = Prob.variableHi(J);
+      if (C > 0.0) {
+        if (!std::isfinite(L)) {
+          Out.Status = SolveStatus::Unbounded;
+          Out.X.clear();
+          return Out;
+        }
+        Out.X[J] = L;
+      } else if (C < 0.0) {
+        if (!std::isfinite(H)) {
+          Out.Status = SolveStatus::Unbounded;
+          Out.X.clear();
+          return Out;
+        }
+        Out.X[J] = H;
+      } else {
+        Out.X[J] = std::isfinite(L) ? L : (std::isfinite(H) ? H : 0.0);
+      }
+    }
+    Out.Status = SolveStatus::Optimal;
+    Out.Objective = Prob.objectiveValue(Out.X);
+    Out.RowDuals.assign(static_cast<size_t>(Prob.numRows()), 0.0);
+    return Out;
+  }
+
+  initialBasis();
+
+  // Phase 1 with refactorized verification: a "feasible" or
+  // "infeasible" verdict from drifted arithmetic is re-checked against
+  // a clean factorization before being believed.
+  bool Feasible = false;
+  bool InfeasibleConfirmed = false;
+  for (int Attempt = 0; Attempt < 6 && !Feasible; ++Attempt) {
+    SolveStatus Status = iterate(/*Phase1=*/true);
+    if (Status == SolveStatus::IterationLimit ||
+        Status == SolveStatus::NumericalError ||
+        Status == SolveStatus::Unbounded)
+      return finish(Status == SolveStatus::Unbounded
+                        ? SolveStatus::NumericalError
+                        : Status);
+    if (!refactor())
+      return finish(SolveStatus::NumericalError);
+    recomputeBasicValues();
+    if (infeasibility() == 0.0) {
+      Feasible = true;
+      break;
+    }
+    if (Status == SolveStatus::Infeasible) {
+      // Only believe an infeasibility verdict that is reproduced from a
+      // freshly refactorized basis.
+      if (InfeasibleConfirmed)
+        return finish(SolveStatus::Infeasible);
+      InfeasibleConfirmed = true;
+      continue;
+    }
+    InfeasibleConfirmed = false;
+    // Status was Optimal but the clean recompute disagrees: resume.
+  }
+  if (!Feasible)
+    return finish(SolveStatus::NumericalError);
+
+  // Phase 2, same verification discipline.
+  for (int Attempt = 0; Attempt < 6; ++Attempt) {
+    SolveStatus Status = iterate(/*Phase1=*/false);
+    if (Status != SolveStatus::Optimal)
+      return finish(Status);
+    if (!refactor())
+      return finish(SolveStatus::NumericalError);
+    recomputeBasicValues();
+    if (infeasibility() > 0.0) {
+      // Drifted into infeasibility; clean it up via phase 1 again.
+      SolveStatus P1 = iterate(/*Phase1=*/true);
+      if (P1 != SolveStatus::Optimal)
+        return finish(P1 == SolveStatus::Infeasible
+                          ? SolveStatus::NumericalError
+                          : P1);
+      continue;
+    }
+    // Verify dual feasibility on the clean factorization.
+    for (int R = 0; R < M; ++R)
+      Cb[R] = Cost[Basis[R]];
+    computeDuals();
+    bool DualOk = true;
+    for (int J = 0; J < NT && DualOk; ++J) {
+      if (Stat[J] == VarStatus::Basic || isFixed(J))
+        continue;
+      double Rc = Cost[J] - columnDot(Y, J);
+      if ((Stat[J] == VarStatus::AtLower || Stat[J] == VarStatus::FreeNb) &&
+          Rc < -50 * Opt.OptTol)
+        DualOk = false;
+      if ((Stat[J] == VarStatus::AtUpper || Stat[J] == VarStatus::FreeNb) &&
+          Rc > 50 * Opt.OptTol)
+        DualOk = false;
+    }
+    if (DualOk)
+      return finish(SolveStatus::Optimal);
+  }
+  return finish(SolveStatus::NumericalError);
+}
+
+} // namespace
+
+LpSolution prdnn::lp::solveLp(const LinearProgram &Problem,
+                              const SimplexOptions &Options) {
+  Worker W(Problem, Options);
+  return W.run();
+}

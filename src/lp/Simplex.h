@@ -1,0 +1,79 @@
+//===- lp/Simplex.h - bounded-variable revised simplex ---------*- C++ -*-===//
+///
+/// \file
+/// Revised primal simplex for bounded-variable LPs, replacing the Gurobi
+/// solver used in the paper's evaluation. Internally the general form of
+/// lp/LinearProgram.h is rewritten as
+///
+///   A x - s = 0,   VarLo <= x <= VarHi,   RowLo <= s <= RowHi,
+///
+/// and solved with a dense basis inverse maintained by product-form
+/// (eta) updates. Features: composite phase-1 (infeasibility
+/// minimization), Dantzig pricing with Bland's rule anti-cycling
+/// fallback, row equilibration, periodic refactorization with
+/// a final clean-solve verification before an Optimal status is
+/// reported, and dual values for optimality certificates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_LP_SIMPLEX_H
+#define PRDNN_LP_SIMPLEX_H
+
+#include "lp/LinearProgram.h"
+
+#include <vector>
+
+namespace prdnn {
+namespace lp {
+
+enum class SolveStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  NumericalError,
+};
+
+const char *toString(SolveStatus Status);
+
+struct SimplexOptions {
+  /// Primal feasibility tolerance (applied to row-scaled data).
+  double FeasTol = 1e-7;
+  /// Reduced-cost (dual feasibility) tolerance.
+  double OptTol = 1e-7;
+  /// Smallest pivot magnitude accepted during ratio tests.
+  double PivotTol = 1e-9;
+  /// Hard cap on total simplex iterations across both phases.
+  int MaxIterations = 200000;
+  /// Equilibrate rows by their largest coefficient magnitude.
+  bool ScaleRows = true;
+  /// Iterations without objective progress before switching to Bland's
+  /// rule (guards against cycling under degeneracy).
+  int StallLimit = 300;
+  /// Recompute the basis inverse from scratch every this many pivots.
+  int RefactorInterval = 2000;
+};
+
+struct LpSolution {
+  SolveStatus Status = SolveStatus::NumericalError;
+  /// Values of the structural variables (empty unless Optimal).
+  std::vector<double> X;
+  /// Objective value c . X.
+  double Objective = 0.0;
+  /// Dual value per row (unscaled); Lagrange multipliers of the row
+  /// constraints at optimality.
+  std::vector<double> RowDuals;
+  int Iterations = 0;
+  int Phase1Iterations = 0;
+};
+
+/// Solves \p Problem; never throws. Statuses other than Optimal leave
+/// LpSolution::X empty (Infeasible/Unbounded are definitive answers;
+/// IterationLimit/NumericalError are solver failures).
+LpSolution solveLp(const LinearProgram &Problem,
+                   const SimplexOptions &Options = SimplexOptions());
+
+} // namespace lp
+} // namespace prdnn
+
+#endif // PRDNN_LP_SIMPLEX_H

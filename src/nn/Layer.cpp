@@ -1,0 +1,94 @@
+//===- nn/Layer.cpp --------------------------------------------------------===//
+
+#include "nn/Layer.h"
+
+#include "support/Error.h"
+
+using namespace prdnn;
+
+const char *prdnn::toString(LayerKind Kind) {
+  switch (Kind) {
+  case LayerKind::FullyConnected:
+    return "fc";
+  case LayerKind::Conv2D:
+    return "conv";
+  case LayerKind::AvgPool2D:
+    return "avgpool";
+  case LayerKind::Flatten:
+    return "flatten";
+  case LayerKind::ReLU:
+    return "relu";
+  case LayerKind::LeakyReLU:
+    return "leakyrelu";
+  case LayerKind::HardTanh:
+    return "hardtanh";
+  case LayerKind::MaxPool2D:
+    return "maxpool";
+  case LayerKind::Tanh:
+    return "tanh";
+  case LayerKind::Sigmoid:
+    return "sigmoid";
+  }
+  PRDNN_UNREACHABLE("bad LayerKind");
+}
+
+Layer::~Layer() = default;
+
+void LinearLayer::getParams(std::vector<double> &Out) const {
+  Out.clear();
+  assert(numParams() == 0 && "parameterized layer must override getParams");
+}
+
+void LinearLayer::setParams(const std::vector<double> &In) {
+  (void)In;
+  assert(numParams() == 0 && "parameterized layer must override setParams");
+}
+
+void LinearLayer::addToParams(const std::vector<double> &Delta) {
+  (void)Delta;
+  assert(numParams() == 0 && "parameterized layer must override addToParams");
+}
+
+void LinearLayer::accumulateParamGrad(const Vector &In, const Vector &GradOut,
+                                      std::vector<double> &Accum) const {
+  (void)In;
+  (void)GradOut;
+  (void)Accum;
+  assert(numParams() == 0 &&
+         "parameterized layer must override accumulateParamGrad");
+}
+
+void LinearLayer::paramJacobian(const Matrix &M, const Vector &In,
+                                Matrix &J) const {
+  (void)M;
+  (void)In;
+  (void)J;
+  PRDNN_UNREACHABLE("paramJacobian requested on a parameter-free layer");
+}
+
+std::vector<int> ActivationLayer::pattern(const Vector &In) const {
+  (void)In;
+  PRDNN_UNREACHABLE("activation patterns require a piecewise-linear layer");
+}
+
+Vector ActivationLayer::applyWithPattern(const Vector &In,
+                                         const std::vector<int> &Pat) const {
+  (void)In;
+  (void)Pat;
+  PRDNN_UNREACHABLE("pinned-pattern evaluation requires a PWL layer");
+}
+
+Vector ActivationLayer::vjpWithPattern(const std::vector<int> &Pat,
+                                       const Vector &GradOut) const {
+  (void)Pat;
+  (void)GradOut;
+  PRDNN_UNREACHABLE("pinned-pattern VJP requires a PWL layer");
+}
+
+void ActivationLayer::appendCrossings(const Vector &Left, const Vector &Right,
+                                      std::vector<double> &Fractions) const {
+  (void)Left;
+  (void)Right;
+  (void)Fractions;
+  PRDNN_UNREACHABLE("pattern crossings require a PWL layer");
+}

@@ -1,0 +1,260 @@
+//===- nn/LinearLayers.cpp -------------------------------------------------===//
+
+#include "nn/LinearLayers.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace prdnn;
+
+// --- FullyConnectedLayer -----------------------------------------------------
+
+FullyConnectedLayer::FullyConnectedLayer(Matrix Weights, Vector Bias)
+    : LinearLayer(LayerKind::FullyConnected), Weights(std::move(Weights)),
+      Bias(std::move(Bias)) {
+  assert(this->Weights.rows() == this->Bias.size() &&
+         "bias dimension must match output dimension");
+}
+
+Vector FullyConnectedLayer::apply(const Vector &In) const {
+  Vector Out = Weights.apply(In);
+  Out += Bias;
+  return Out;
+}
+
+std::unique_ptr<Layer> FullyConnectedLayer::clone() const {
+  return std::make_unique<FullyConnectedLayer>(Weights, Bias);
+}
+
+std::string FullyConnectedLayer::describe() const {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "fc %dx%d", Weights.rows(),
+                Weights.cols());
+  return Buffer;
+}
+
+Vector FullyConnectedLayer::vjpLinear(const Vector &GradOut) const {
+  return Weights.applyTransposed(GradOut);
+}
+
+void FullyConnectedLayer::getParams(std::vector<double> &Out) const {
+  Out.resize(static_cast<size_t>(numParams()));
+  size_t P = 0;
+  for (int R = 0; R < Weights.rows(); ++R)
+    for (int C = 0; C < Weights.cols(); ++C)
+      Out[P++] = Weights(R, C);
+  for (int R = 0; R < Bias.size(); ++R)
+    Out[P++] = Bias[R];
+}
+
+void FullyConnectedLayer::setParams(const std::vector<double> &In) {
+  assert(static_cast<int>(In.size()) == numParams() && "bad parameter count");
+  size_t P = 0;
+  for (int R = 0; R < Weights.rows(); ++R)
+    for (int C = 0; C < Weights.cols(); ++C)
+      Weights(R, C) = In[P++];
+  for (int R = 0; R < Bias.size(); ++R)
+    Bias[R] = In[P++];
+}
+
+void FullyConnectedLayer::addToParams(const std::vector<double> &Delta) {
+  assert(static_cast<int>(Delta.size()) == numParams() &&
+         "bad parameter count");
+  size_t P = 0;
+  for (int R = 0; R < Weights.rows(); ++R)
+    for (int C = 0; C < Weights.cols(); ++C)
+      Weights(R, C) += Delta[P++];
+  for (int R = 0; R < Bias.size(); ++R)
+    Bias[R] += Delta[P++];
+}
+
+void FullyConnectedLayer::accumulateParamGrad(
+    const Vector &In, const Vector &GradOut,
+    std::vector<double> &Accum) const {
+  assert(static_cast<int>(Accum.size()) == numParams() &&
+         "gradient accumulator size mismatch");
+  int Rows = Weights.rows(), Cols = Weights.cols();
+  size_t P = 0;
+  for (int R = 0; R < Rows; ++R) {
+    double G = GradOut[R];
+    if (G == 0.0) {
+      P += static_cast<size_t>(Cols);
+      continue;
+    }
+    for (int C = 0; C < Cols; ++C)
+      Accum[P++] += G * In[C];
+  }
+  for (int R = 0; R < Rows; ++R)
+    Accum[P++] += GradOut[R];
+}
+
+void FullyConnectedLayer::paramJacobian(const Matrix &M, const Vector &In,
+                                        Matrix &J) const {
+  // Layer output z = W In + b, so dz_p/dW_pq = In_q and dz_p/db_p = 1;
+  // J[r, (p,q)] = M[r,p] * In_q, J[r, bias_p] = M[r,p].
+  assert(M.cols() == outputSize() && "backward matrix shape mismatch");
+  assert(J.rows() == M.rows() && J.cols() == numParams() &&
+         "Jacobian shape mismatch");
+  int Rows = Weights.rows(), Cols = Weights.cols();
+  int BiasBase = Rows * Cols;
+  for (int R = 0; R < M.rows(); ++R) {
+    double *JRow = J.rowData(R);
+    const double *MRow = M.rowData(R);
+    for (int P = 0; P < Rows; ++P) {
+      double Scale = MRow[P];
+      if (Scale == 0.0)
+        continue;
+      double *Block = JRow + static_cast<size_t>(P) * Cols;
+      for (int Q = 0; Q < Cols; ++Q)
+        Block[Q] += Scale * In[Q];
+      JRow[BiasBase + P] += Scale;
+    }
+  }
+}
+
+// --- Conv2DLayer -------------------------------------------------------------
+
+Conv2DLayer::Conv2DLayer(int InChannels, int InHeight, int InWidth,
+                         int OutChannels, int KernelH, int KernelW,
+                         int Stride, int Pad, std::vector<double> Kernels,
+                         std::vector<double> Bias)
+    : LinearLayer(LayerKind::Conv2D), InC(InChannels), InH(InHeight),
+      InW(InWidth), OutC(OutChannels), KH(KernelH), KW(KernelW),
+      Stride(Stride), Pad(Pad), Kernels(std::move(Kernels)),
+      Bias(std::move(Bias)) {
+  assert(Stride >= 1 && "stride must be positive");
+  assert(Pad >= 0 && "negative padding");
+  OutH = (InH + 2 * Pad - KH) / Stride + 1;
+  OutW = (InW + 2 * Pad - KW) / Stride + 1;
+  assert(OutH > 0 && OutW > 0 && "kernel larger than padded input");
+  assert(static_cast<int>(this->Kernels.size()) == OutC * InC * KH * KW &&
+         "kernel parameter count mismatch");
+  assert(static_cast<int>(this->Bias.size()) == OutC &&
+         "bias parameter count mismatch");
+}
+
+template <typename FnT> void Conv2DLayer::forEachTap(FnT Fn) const {
+  for (int K = 0; K < OutC; ++K) {
+    for (int OY = 0; OY < OutH; ++OY) {
+      for (int OX = 0; OX < OutW; ++OX) {
+        int OutIndex = (K * OutH + OY) * OutW + OX;
+        for (int C = 0; C < InC; ++C) {
+          for (int Y = 0; Y < KH; ++Y) {
+            int IY = OY * Stride - Pad + Y;
+            if (IY < 0 || IY >= InH)
+              continue;
+            for (int X = 0; X < KW; ++X) {
+              int IX = OX * Stride - Pad + X;
+              if (IX < 0 || IX >= InW)
+                continue;
+              int InIndex = (C * InH + IY) * InW + IX;
+              int ParamIndex = ((K * InC + C) * KH + Y) * KW + X;
+              Fn(OutIndex, InIndex, ParamIndex);
+            }
+          }
+        }
+        Fn(OutIndex, -1, OutC * InC * KH * KW + K);
+      }
+    }
+  }
+}
+
+Vector Conv2DLayer::apply(const Vector &In) const {
+  assert(In.size() == inputSize() && "conv input size mismatch");
+  Vector Out(outputSize());
+  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
+    if (InIndex < 0)
+      Out[OutIndex] += Bias[ParamIndex - OutC * InC * KH * KW];
+    else
+      Out[OutIndex] += Kernels[static_cast<size_t>(ParamIndex)] * In[InIndex];
+  });
+  return Out;
+}
+
+std::unique_ptr<Layer> Conv2DLayer::clone() const {
+  return std::make_unique<Conv2DLayer>(InC, InH, InW, OutC, KH, KW, Stride,
+                                       Pad, Kernels, Bias);
+}
+
+std::string Conv2DLayer::describe() const {
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "conv %dx%dx%d -> %dx%dx%d (k=%dx%d s=%d p=%d)", InC, InH,
+                InW, OutC, OutH, OutW, KH, KW, Stride, Pad);
+  return Buffer;
+}
+
+Vector Conv2DLayer::vjpLinear(const Vector &GradOut) const {
+  assert(GradOut.size() == outputSize() && "conv gradient size mismatch");
+  Vector GradIn(inputSize());
+  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
+    if (InIndex < 0)
+      return;
+    GradIn[InIndex] +=
+        Kernels[static_cast<size_t>(ParamIndex)] * GradOut[OutIndex];
+  });
+  return GradIn;
+}
+
+void Conv2DLayer::getParams(std::vector<double> &Out) const {
+  Out = Kernels;
+  Out.insert(Out.end(), Bias.begin(), Bias.end());
+}
+
+void Conv2DLayer::setParams(const std::vector<double> &In) {
+  assert(static_cast<int>(In.size()) == numParams() && "bad parameter count");
+  size_t KernelCount = Kernels.size();
+  std::copy(In.begin(), In.begin() + KernelCount, Kernels.begin());
+  std::copy(In.begin() + KernelCount, In.end(), Bias.begin());
+}
+
+void Conv2DLayer::addToParams(const std::vector<double> &Delta) {
+  assert(static_cast<int>(Delta.size()) == numParams() &&
+         "bad parameter count");
+  size_t KernelCount = Kernels.size();
+  for (size_t I = 0; I < KernelCount; ++I)
+    Kernels[I] += Delta[I];
+  for (size_t I = 0; I < Bias.size(); ++I)
+    Bias[I] += Delta[KernelCount + I];
+}
+
+void Conv2DLayer::accumulateParamGrad(const Vector &In, const Vector &GradOut,
+                                      std::vector<double> &Accum) const {
+  assert(static_cast<int>(Accum.size()) == numParams() &&
+         "gradient accumulator size mismatch");
+  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
+    double G = GradOut[OutIndex];
+    if (G == 0.0)
+      return;
+    if (InIndex < 0)
+      Accum[static_cast<size_t>(ParamIndex)] += G;
+    else
+      Accum[static_cast<size_t>(ParamIndex)] += G * In[InIndex];
+  });
+}
+
+void Conv2DLayer::paramJacobian(const Matrix &M, const Vector &In,
+                                Matrix &J) const {
+  assert(M.cols() == outputSize() && "backward matrix shape mismatch");
+  assert(J.rows() == M.rows() && J.cols() == numParams() &&
+         "Jacobian shape mismatch");
+  int NumRows = M.rows();
+  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
+    double Factor = InIndex < 0 ? 1.0 : In[InIndex];
+    if (Factor == 0.0)
+      return;
+    for (int R = 0; R < NumRows; ++R) {
+      double Scale = M(R, OutIndex);
+      if (Scale != 0.0)
+        J(R, ParamIndex) += Scale * Factor;
+    }
+  });
+}
+
+// --- FlattenLayer ------------------------------------------------------------
+
+std::string FlattenLayer::describe() const {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "flatten %d", Size);
+  return Buffer;
+}

@@ -1,0 +1,110 @@
+//===- nn/PoolLayers.h - max / average pooling -----------------*- C++ -*-===//
+///
+/// \file
+/// 2-D pooling layers over (Channels, Height, Width) tensors flattened
+/// row-major. MaxPool2D is a piecewise-linear *activation* whose
+/// discrete pattern is the in-window argmax; AvgPool2D is a
+/// parameter-free *linear* layer (its linearization is itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_NN_POOLLAYERS_H
+#define PRDNN_NN_POOLLAYERS_H
+
+#include "nn/Layer.h"
+
+namespace prdnn {
+
+/// Geometry shared by the pooling layers. Windows must tile the input
+/// exactly (asserted), which the in-repo architectures guarantee.
+struct PoolGeometry {
+  int Channels, InH, InW;
+  int WindowH, WindowW, Stride;
+  int OutH, OutW;
+
+  PoolGeometry(int Channels, int InH, int InW, int WindowH, int WindowW,
+               int Stride);
+
+  int inputSize() const { return Channels * InH * InW; }
+  int outputSize() const { return Channels * OutH * OutW; }
+
+  /// Invokes Fn(OutIndex, InIndex, TapIndex) for every window tap;
+  /// TapIndex enumerates the window cells 0..WindowH*WindowW-1.
+  template <typename FnT> void forEachTap(FnT Fn) const {
+    for (int C = 0; C < Channels; ++C)
+      for (int OY = 0; OY < OutH; ++OY)
+        for (int OX = 0; OX < OutW; ++OX) {
+          int OutIndex = (C * OutH + OY) * OutW + OX;
+          for (int Y = 0; Y < WindowH; ++Y)
+            for (int X = 0; X < WindowW; ++X) {
+              int IY = OY * Stride + Y;
+              int IX = OX * Stride + X;
+              int InIndex = (C * InH + IY) * InW + IX;
+              Fn(OutIndex, InIndex, Y * WindowW + X);
+            }
+        }
+  }
+};
+
+/// Max pooling: a PWL activation. Pattern entry per output position:
+/// the argmax tap index within the window (first maximum wins, making
+/// the boundary choice consistent; cf. Appendix C).
+class MaxPool2DLayer : public ActivationLayer {
+public:
+  MaxPool2DLayer(int Channels, int InH, int InW, int WindowH, int WindowW,
+                 int Stride);
+
+  static bool classof(const Layer *L) {
+    return L->getKind() == LayerKind::MaxPool2D;
+  }
+
+  int inputSize() const override { return Geo.inputSize(); }
+  int outputSize() const override { return Geo.outputSize(); }
+  Vector apply(const Vector &In) const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string describe() const override;
+
+  std::vector<int> pattern(const Vector &In) const override;
+  Vector applyWithPattern(const Vector &In,
+                          const std::vector<int> &Pat) const override;
+  Vector applyLinearized(const Vector &Center,
+                         const Vector &In) const override;
+  Vector vjpLinearized(const Vector &Center,
+                       const Vector &GradOut) const override;
+  Vector vjpWithPattern(const std::vector<int> &Pat,
+                        const Vector &GradOut) const override;
+  void appendCrossings(const Vector &Left, const Vector &Right,
+                       std::vector<double> &Fractions) const override;
+
+  const PoolGeometry &geometry() const { return Geo; }
+
+private:
+  PoolGeometry Geo;
+};
+
+/// Average pooling: a parameter-free linear layer.
+class AvgPool2DLayer : public LinearLayer {
+public:
+  AvgPool2DLayer(int Channels, int InH, int InW, int WindowH, int WindowW,
+                 int Stride);
+
+  static bool classof(const Layer *L) {
+    return L->getKind() == LayerKind::AvgPool2D;
+  }
+
+  int inputSize() const override { return Geo.inputSize(); }
+  int outputSize() const override { return Geo.outputSize(); }
+  Vector apply(const Vector &In) const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string describe() const override;
+  Vector vjpLinear(const Vector &GradOut) const override;
+
+  const PoolGeometry &geometry() const { return Geo; }
+
+private:
+  PoolGeometry Geo;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_NN_POOLLAYERS_H

@@ -1,0 +1,202 @@
+//===- nn/Serialization.cpp ---------------------------------------------------===//
+
+#include "nn/Serialization.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "nn/PoolLayers.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+using namespace prdnn;
+
+void prdnn::writeNetwork(const Network &Net, std::ostream &Os) {
+  Os << "prdnn-network v1\n";
+  Os << "layers " << Net.numLayers() << "\n";
+  Os << std::setprecision(17);
+  for (int I = 0; I < Net.numLayers(); ++I) {
+    const Layer &L = Net.layer(I);
+    switch (L.getKind()) {
+    case LayerKind::FullyConnected: {
+      const auto &Fc = cast<FullyConnectedLayer>(L);
+      Os << "fc " << Fc.outputSize() << " " << Fc.inputSize() << "\n";
+      std::vector<double> Params;
+      Fc.getParams(Params);
+      for (size_t P = 0; P < Params.size(); ++P)
+        Os << Params[P] << (P + 1 == Params.size() ? "\n" : " ");
+      break;
+    }
+    case LayerKind::Conv2D: {
+      const auto &Conv = cast<Conv2DLayer>(L);
+      Os << "conv " << Conv.inChannels() << " " << Conv.inHeight() << " "
+         << Conv.inWidth() << " " << Conv.outChannels() << " "
+         << Conv.kernelHeight() << " " << Conv.kernelWidth() << " "
+         << Conv.stride() << " " << Conv.padding() << "\n";
+      std::vector<double> Params;
+      Conv.getParams(Params);
+      for (size_t P = 0; P < Params.size(); ++P)
+        Os << Params[P] << (P + 1 == Params.size() ? "\n" : " ");
+      break;
+    }
+    case LayerKind::AvgPool2D: {
+      const auto &Pool = cast<AvgPool2DLayer>(L);
+      const PoolGeometry &G = Pool.geometry();
+      Os << "avgpool " << G.Channels << " " << G.InH << " " << G.InW << " "
+         << G.WindowH << " " << G.WindowW << " " << G.Stride << "\n";
+      break;
+    }
+    case LayerKind::MaxPool2D: {
+      const auto &Pool = cast<MaxPool2DLayer>(L);
+      const PoolGeometry &G = Pool.geometry();
+      Os << "maxpool " << G.Channels << " " << G.InH << " " << G.InW << " "
+         << G.WindowH << " " << G.WindowW << " " << G.Stride << "\n";
+      break;
+    }
+    case LayerKind::Flatten:
+      Os << "flatten " << L.inputSize() << "\n";
+      break;
+    case LayerKind::ReLU:
+      Os << "relu " << L.inputSize() << "\n";
+      break;
+    case LayerKind::LeakyReLU:
+      Os << "leakyrelu " << L.inputSize() << " "
+         << cast<LeakyReLULayer>(L).alpha() << "\n";
+      break;
+    case LayerKind::HardTanh:
+      Os << "hardtanh " << L.inputSize() << "\n";
+      break;
+    case LayerKind::Tanh:
+      Os << "tanh " << L.inputSize() << "\n";
+      break;
+    case LayerKind::Sigmoid:
+      Os << "sigmoid " << L.inputSize() << "\n";
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Pulls N doubles; false on malformed input.
+bool readDoubles(std::istream &Is, size_t N, std::vector<double> &Out) {
+  Out.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    if (!(Is >> Out[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::optional<Network> prdnn::readNetwork(std::istream &Is) {
+  std::string Magic, Version;
+  if (!(Is >> Magic >> Version) || Magic != "prdnn-network" ||
+      Version != "v1")
+    return std::nullopt;
+  std::string Token;
+  int NumLayers = 0;
+  if (!(Is >> Token >> NumLayers) || Token != "layers" || NumLayers < 0)
+    return std::nullopt;
+
+  Network Net;
+  for (int I = 0; I < NumLayers; ++I) {
+    std::string Kind;
+    if (!(Is >> Kind))
+      return std::nullopt;
+    if (Kind == "fc") {
+      int Out = 0, In = 0;
+      if (!(Is >> Out >> In) || Out <= 0 || In <= 0)
+        return std::nullopt;
+      std::vector<double> Params;
+      if (!readDoubles(Is, static_cast<size_t>(Out) * In + Out, Params))
+        return std::nullopt;
+      Matrix W(Out, In);
+      size_t P = 0;
+      for (int R = 0; R < Out; ++R)
+        for (int C = 0; C < In; ++C)
+          W(R, C) = Params[P++];
+      Vector B(Out);
+      for (int R = 0; R < Out; ++R)
+        B[R] = Params[P++];
+      Net.addLayer(std::make_unique<FullyConnectedLayer>(std::move(W),
+                                                         std::move(B)));
+    } else if (Kind == "conv") {
+      int InC, InH, InW, OutC, KH, KW, Stride, Pad;
+      if (!(Is >> InC >> InH >> InW >> OutC >> KH >> KW >> Stride >> Pad))
+        return std::nullopt;
+      std::vector<double> Params;
+      size_t KernelCount =
+          static_cast<size_t>(OutC) * InC * KH * KW;
+      if (!readDoubles(Is, KernelCount + static_cast<size_t>(OutC), Params))
+        return std::nullopt;
+      std::vector<double> Kernels(Params.begin(),
+                                  Params.begin() + KernelCount);
+      std::vector<double> Bias(Params.begin() + KernelCount, Params.end());
+      Net.addLayer(std::make_unique<Conv2DLayer>(InC, InH, InW, OutC, KH, KW,
+                                                 Stride, Pad,
+                                                 std::move(Kernels),
+                                                 std::move(Bias)));
+    } else if (Kind == "avgpool" || Kind == "maxpool") {
+      int C, H, W, WH, WW, S;
+      if (!(Is >> C >> H >> W >> WH >> WW >> S))
+        return std::nullopt;
+      if (Kind == "avgpool")
+        Net.addLayer(std::make_unique<AvgPool2DLayer>(C, H, W, WH, WW, S));
+      else
+        Net.addLayer(std::make_unique<MaxPool2DLayer>(C, H, W, WH, WW, S));
+    } else if (Kind == "flatten") {
+      int N;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<FlattenLayer>(N));
+    } else if (Kind == "relu") {
+      int N;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<ReLULayer>(N));
+    } else if (Kind == "leakyrelu") {
+      int N;
+      double Alpha;
+      if (!(Is >> N >> Alpha))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<LeakyReLULayer>(N, Alpha));
+    } else if (Kind == "hardtanh") {
+      int N;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<HardTanhLayer>(N));
+    } else if (Kind == "tanh") {
+      int N;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<TanhLayer>(N));
+    } else if (Kind == "sigmoid") {
+      int N;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<SigmoidLayer>(N));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Net;
+}
+
+bool prdnn::saveNetwork(const Network &Net, const std::string &Path) {
+  std::ofstream Os(Path);
+  if (!Os)
+    return false;
+  writeNetwork(Net, Os);
+  return static_cast<bool>(Os);
+}
+
+std::optional<Network> prdnn::loadNetwork(const std::string &Path) {
+  std::ifstream Is(Path);
+  if (!Is)
+    return std::nullopt;
+  return readNetwork(Is);
+}

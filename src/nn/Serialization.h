@@ -1,0 +1,34 @@
+//===- nn/Serialization.h - network text (de)serialization -----*- C++ -*-===//
+///
+/// \file
+/// A small self-describing text format for networks (the repo-local
+/// stand-in for the ONNX plumbing the paper's artifact used). Full
+/// double precision round-trips; loading returns std::nullopt on any
+/// malformed input (no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_NN_SERIALIZATION_H
+#define PRDNN_NN_SERIALIZATION_H
+
+#include "nn/Network.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace prdnn {
+
+/// Writes \p Net to \p Os in the prdnn-network v1 text format.
+void writeNetwork(const Network &Net, std::ostream &Os);
+
+/// Parses a network; std::nullopt on malformed input.
+std::optional<Network> readNetwork(std::istream &Is);
+
+/// File-based convenience wrappers; return false / nullopt on I/O error.
+bool saveNetwork(const Network &Net, const std::string &Path);
+std::optional<Network> loadNetwork(const std::string &Path);
+
+} // namespace prdnn
+
+#endif // PRDNN_NN_SERIALIZATION_H

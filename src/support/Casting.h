@@ -1,0 +1,63 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled replacement for C++ RTTI in the style of LLVM's
+/// llvm/Support/Casting.h. A class hierarchy opts in by exposing a kind
+/// discriminator and `static bool classof(const Base *)` on each derived
+/// class; see nn/Layer.h for the canonical use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_CASTING_H
+#define PRDNN_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace prdnn {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast; returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_CASTING_H

@@ -1,0 +1,20 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace prdnn;
+
+void prdnn::fatalError(const char *Message) {
+  std::fprintf(stderr, "prdnn fatal error: %s\n", Message);
+  std::abort();
+}
+
+void prdnn::unreachableInternal(const char *Message, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

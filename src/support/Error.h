@@ -1,0 +1,30 @@
+//===- support/Error.h - fatal errors and unreachable markers --*- C++ -*-===//
+///
+/// \file
+/// Programmatic-error helpers in the spirit of llvm_unreachable and
+/// report_fatal_error. The library does not use exceptions; recoverable
+/// conditions are reported through status enums (e.g. lp::SolveStatus),
+/// while invariant violations abort through these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_ERROR_H
+#define PRDNN_SUPPORT_ERROR_H
+
+namespace prdnn {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in builds without assertions.
+[[noreturn]] void fatalError(const char *Message);
+
+/// Internal hook behind PRDNN_UNREACHABLE.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace prdnn
+
+/// Marks a point in control flow that must never execute.
+#define PRDNN_UNREACHABLE(MSG)                                                 \
+  ::prdnn::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // PRDNN_SUPPORT_ERROR_H

@@ -1,0 +1,59 @@
+//===- support/Rng.cpp -----------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+
+uint64_t Rng::next() {
+  // SplitMix64 (Steele, Lea, Flood 2014); passes BigCrush and is trivially
+  // forkable, which is all we need for reproducible experiments.
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+double Rng::normal() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  double U1 = uniform();
+  double U2 = uniform();
+  // Guard against log(0).
+  if (U1 < 1e-300)
+    U1 = 1e-300;
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  Spare = R * std::sin(Theta);
+  HasSpare = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  return Mean + Stddev * normal();
+}
+
+int Rng::uniformInt(int Lo, int Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  return Lo + static_cast<int>(next() % Span);
+}
+
+bool Rng::bernoulli(double P) { return uniform() < P; }
+
+Rng Rng::fork() { return Rng(next()); }

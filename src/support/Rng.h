@@ -1,0 +1,63 @@
+//===- support/Rng.h - deterministic random number generation --*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based RNG. All randomness in the library flows through this
+/// class so that every experiment in bench/ is exactly reproducible from
+/// its seed (cf. the paper's use of BenchExec for reproducibility).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_RNG_H
+#define PRDNN_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace prdnn {
+
+/// Deterministic, seedable pseudo-random generator (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Standard normal via Box-Muller (caches the spare deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double Mean, double Stddev);
+
+  /// Uniform integer in the inclusive range [Lo, Hi].
+  int uniformInt(int Lo, int Hi);
+
+  /// Bernoulli draw with success probability \p P.
+  bool bernoulli(double P);
+
+  /// Derives an independent child generator; advances this one.
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (int I = static_cast<int>(Values.size()) - 1; I > 0; --I) {
+      int J = uniformInt(0, I);
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+private:
+  uint64_t State;
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_RNG_H

@@ -1,0 +1,73 @@
+//===- support/Table.cpp ---------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace prdnn;
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Headers.size() && "row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print(std::ostream &Os) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Os << Row[C];
+      if (C + 1 == Row.size())
+        break;
+      for (size_t Pad = Row[C].size(); Pad < Widths[C] + 2; ++Pad)
+        Os << ' ';
+    }
+    Os << '\n';
+  };
+
+  PrintRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 == Widths.size() ? 0 : 2);
+  for (size_t I = 0; I < Total; ++I)
+    Os << '-';
+  Os << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string prdnn::formatDuration(double Seconds) {
+  char Buffer[64];
+  if (Seconds < 0)
+    Seconds = 0;
+  int Whole = static_cast<int>(Seconds);
+  int Hours = Whole / 3600;
+  int Minutes = (Whole % 3600) / 60;
+  double Rest = Seconds - Hours * 3600 - Minutes * 60;
+  if (Hours > 0)
+    std::snprintf(Buffer, sizeof(Buffer), "%dh%dm%.1fs", Hours, Minutes, Rest);
+  else if (Minutes > 0)
+    std::snprintf(Buffer, sizeof(Buffer), "%dm%.1fs", Minutes, Rest);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1fs", Rest);
+  return Buffer;
+}
+
+std::string prdnn::formatPercent(double Fraction, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Fraction * 100.0);
+  return Buffer;
+}
+
+std::string prdnn::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}

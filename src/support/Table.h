@@ -1,0 +1,47 @@
+//===- support/Table.h - aligned text tables for bench output --*- C++ -*-===//
+///
+/// \file
+/// Formats the paper-style result tables printed by the bench binaries
+/// (Tables 1-4) plus small formatting helpers that mimic the paper's
+/// rendering of durations ("1m39.0s") and percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_TABLE_H
+#define PRDNN_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prdnn {
+
+/// Collects rows of strings and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row);
+
+  /// Prints the table, a header separator, and all rows to \p Os.
+  void print(std::ostream &Os) const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders a duration the way the paper does: "13.4s", "2m50.8s",
+/// "1h22m18.7s".
+std::string formatDuration(double Seconds);
+
+/// Renders a ratio as a percentage with \p Digits fractional digits.
+std::string formatPercent(double Fraction, int Digits = 1);
+
+/// Fixed-precision double rendering.
+std::string formatDouble(double Value, int Digits = 2);
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_TABLE_H

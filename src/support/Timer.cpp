@@ -1,0 +1,4 @@
+//===- support/Timer.cpp ---------------------------------------------------===//
+// Header-only implementation; this TU anchors the library.
+
+#include "support/Timer.h"

@@ -1,0 +1,83 @@
+//===- support/Timer.h - wall timing and phase profiling -------*- C++ -*-===//
+///
+/// \file
+/// Timing utilities used to reproduce the paper's timing breakdowns
+/// (Figure 7(b) and the RQ4 discussions): each repair records how long it
+/// spent computing Jacobians, solving the LP, and doing everything else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_TIMER_H
+#define PRDNN_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace prdnn {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates named phase durations ("jacobian", "lp", ...).
+class PhaseProfiler {
+public:
+  void add(const std::string &Phase, double Seconds) {
+    Phases[Phase] += Seconds;
+  }
+
+  /// Total accumulated for \p Phase (0 if never recorded).
+  double get(const std::string &Phase) const {
+    auto It = Phases.find(Phase);
+    return It == Phases.end() ? 0.0 : It->second;
+  }
+
+  /// Sum over all phases.
+  double total() const {
+    double Sum = 0.0;
+    for (const auto &Entry : Phases)
+      Sum += Entry.second;
+    return Sum;
+  }
+
+  void clear() { Phases.clear(); }
+
+  const std::map<std::string, double> &phases() const { return Phases; }
+
+private:
+  std::map<std::string, double> Phases;
+};
+
+/// RAII helper: adds the scope's duration to a profiler phase.
+class ScopedPhase {
+public:
+  ScopedPhase(PhaseProfiler &Profiler, std::string Phase)
+      : Profiler(Profiler), Phase(std::move(Phase)) {}
+  ~ScopedPhase() { Profiler.add(Phase, Timer.seconds()); }
+
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+private:
+  PhaseProfiler &Profiler;
+  std::string Phase;
+  WallTimer Timer;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_TIMER_H

@@ -1,0 +1,89 @@
+//===- syrenn/LineTransform.cpp ----------------------------------------------===//
+
+#include "syrenn/LineTransform.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prdnn;
+
+Vector LinePartition::pointAt(double T) const {
+  Vector P = B;
+  P -= A;
+  P *= T;
+  P += A;
+  return P;
+}
+
+LinePartition prdnn::lineRegions(const Network &Net, const Vector &A,
+                                 const Vector &B) {
+  assert(Net.isPiecewiseLinear() &&
+         "LinRegions requires a piecewise-linear network");
+  assert(A.size() == Net.inputSize() && B.size() == Net.inputSize() &&
+         "segment endpoints must live in the input space");
+
+  LinePartition Result;
+  Result.A = A;
+  Result.B = B;
+
+  std::vector<double> Ts = {0.0, 1.0};
+  std::vector<Vector> Vals = {A, B};
+
+  std::vector<double> Fractions;
+  for (int LayerIdx = 0; LayerIdx < Net.numLayers(); ++LayerIdx) {
+    const Layer &L = Net.layer(LayerIdx);
+    const auto *Act = dyn_cast<ActivationLayer>(&L);
+    if (!Act) {
+      // Affine layer: endpoint values map through; breakpoints are
+      // unchanged (affine maps preserve affineness in t).
+      for (Vector &V : Vals)
+        V = L.apply(V);
+      continue;
+    }
+
+    // Subdivide every piece at this activation's pattern crossings.
+    std::vector<double> NewTs;
+    std::vector<Vector> NewVals;
+    NewTs.reserve(Ts.size());
+    NewVals.reserve(Vals.size());
+    for (size_t I = 0; I + 1 < Ts.size(); ++I) {
+      NewTs.push_back(Ts[I]);
+      NewVals.push_back(Vals[I]);
+
+      Fractions.clear();
+      Act->appendCrossings(Vals[I], Vals[I + 1], Fractions);
+      if (Fractions.empty())
+        continue;
+      std::sort(Fractions.begin(), Fractions.end());
+      double Span = Ts[I + 1] - Ts[I];
+      for (double S : Fractions) {
+        assert(S > 0.0 && S < 1.0 && "crossing fraction must be interior");
+        double T = Ts[I] + S * Span;
+        // Drop duplicates / numerically-coincident breakpoints.
+        if (T - NewTs.back() <= 1e-12 || Ts[I + 1] - T <= 1e-12)
+          continue;
+        Vector V = Vals[I + 1];
+        V -= Vals[I];
+        V *= S;
+        V += Vals[I];
+        NewTs.push_back(T);
+        NewVals.push_back(std::move(V));
+      }
+    }
+    NewTs.push_back(Ts.back());
+    NewVals.push_back(Vals.back());
+
+    // Apply the activation at every breakpoint (sigma is continuous, so
+    // breakpoint values remain exact).
+    for (Vector &V : NewVals)
+      V = Act->apply(V);
+
+    Ts = std::move(NewTs);
+    Vals = std::move(NewVals);
+  }
+
+  Result.Ts = std::move(Ts);
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- syrenn/LineTransform.h - exact 1-D symbolic transform ---*- C++ -*-===//
+///
+/// \file
+/// Computes LinRegions(N, [A, B]) for a piecewise-linear network N and a
+/// segment [A, B] in its input space: the exact, minimal-up-to-
+/// oversubdivision partition 0 = t_0 < ... < t_k = 1 such that N is
+/// affine on each piece. This is the 1-D ExactLine transform of
+/// Sotoudeh & Thakur [54, 55], which the paper's Algorithm 2 relies on.
+///
+/// Method: push the endpoint set through the network layer by layer.
+/// Within a piece every intermediate value is affine in t (inductively),
+/// so each activation layer's pattern changes only at computable
+/// crossing fractions (ActivationLayer::appendCrossings); inserting
+/// those as new breakpoints restores the invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SYRENN_LINETRANSFORM_H
+#define PRDNN_SYRENN_LINETRANSFORM_H
+
+#include "nn/Network.h"
+
+#include <vector>
+
+namespace prdnn {
+
+/// Partition of the segment A -> B into linear regions of a network.
+struct LinePartition {
+  Vector A, B;
+  /// Breakpoints 0 = Ts.front() < ... < Ts.back() = 1; N is affine on
+  /// [Ts[i], Ts[i+1]].
+  std::vector<double> Ts;
+
+  int numPieces() const { return static_cast<int>(Ts.size()) - 1; }
+
+  /// Input-space point A + T (B - A).
+  Vector pointAt(double T) const;
+
+  /// Parameter midpoint of piece \p Piece (an interior representative).
+  double midpoint(int Piece) const {
+    return 0.5 * (Ts[static_cast<size_t>(Piece)] +
+                  Ts[static_cast<size_t>(Piece) + 1]);
+  }
+};
+
+/// LinRegions(Net, [A, B]); Net must be piecewise-linear.
+LinePartition lineRegions(const Network &Net, const Vector &A,
+                          const Vector &B);
+
+} // namespace prdnn
+
+#endif // PRDNN_SYRENN_LINETRANSFORM_H

@@ -1,0 +1,225 @@
+//===- syrenn/PlaneTransform.cpp ----------------------------------------------===//
+
+#include "syrenn/PlaneTransform.h"
+
+#include "nn/ActivationLayers.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+
+Vector PlaneRegion::centroid() const {
+  assert(!InputVertices.empty() && "centroid of empty polygon");
+  Vector Sum(InputVertices.front().size());
+  for (const Vector &V : InputVertices)
+    Sum += V;
+  Sum *= 1.0 / static_cast<double>(InputVertices.size());
+  return Sum;
+}
+
+double PlaneRegion::area() const {
+  double Twice = 0.0;
+  int N = static_cast<int>(PlaneVertices.size());
+  for (int I = 0; I < N; ++I) {
+    const auto &[X1, Y1] = PlaneVertices[static_cast<size_t>(I)];
+    const auto &[X2, Y2] = PlaneVertices[static_cast<size_t>((I + 1) % N)];
+    Twice += X1 * Y2 - X2 * Y1;
+  }
+  return 0.5 * std::fabs(Twice);
+}
+
+namespace {
+
+/// Working polygon: input-space vertices, plane coordinates, and the
+/// current layer's value at each vertex.
+struct WorkPolygon {
+  std::vector<Vector> Input;
+  std::vector<std::pair<double, double>> Plane;
+  std::vector<Vector> Vals;
+
+  int size() const { return static_cast<int>(Input.size()); }
+};
+
+double planeArea(const std::vector<std::pair<double, double>> &Pts) {
+  double Twice = 0.0;
+  int N = static_cast<int>(Pts.size());
+  for (int I = 0; I < N; ++I) {
+    const auto &[X1, Y1] = Pts[static_cast<size_t>(I)];
+    const auto &[X2, Y2] = Pts[static_cast<size_t>((I + 1) % N)];
+    Twice += X1 * Y2 - X2 * Y1;
+  }
+  return 0.5 * Twice;
+}
+
+/// Removes consecutive (plane-coordinate) duplicates.
+void dedupe(WorkPolygon &Poly) {
+  WorkPolygon Out;
+  int N = Poly.size();
+  for (int I = 0; I < N; ++I) {
+    int Prev = (I + N - 1) % N;
+    double Dx = Poly.Plane[I].first - Poly.Plane[Prev].first;
+    double Dy = Poly.Plane[I].second - Poly.Plane[Prev].second;
+    if (N > 1 && Dx * Dx + Dy * Dy < 1e-22)
+      continue;
+    Out.Input.push_back(Poly.Input[I]);
+    Out.Plane.push_back(Poly.Plane[I]);
+    Out.Vals.push_back(Poly.Vals[I]);
+  }
+  Poly = std::move(Out);
+}
+
+bool isDegenerate(const WorkPolygon &Poly) {
+  return Poly.size() < 3 || std::fabs(planeArea(Poly.Plane)) < 1e-14;
+}
+
+/// Splits \p Poly by the level set {value[Unit] == Threshold}. Appends
+/// the (up to two) non-degenerate sides to \p Out.
+void splitPolygon(const WorkPolygon &Poly, int Unit, double Threshold,
+                  std::vector<WorkPolygon> &Out) {
+  int N = Poly.size();
+  std::vector<double> D(static_cast<size_t>(N));
+  double Scale = 0.0;
+  for (int I = 0; I < N; ++I) {
+    D[I] = Poly.Vals[I][Unit] - Threshold;
+    Scale = std::max(Scale, std::fabs(D[I]));
+  }
+  double Eps = 1e-10 * std::max(1.0, Scale);
+
+  bool AnyPos = false, AnyNeg = false;
+  for (double V : D) {
+    AnyPos |= V > Eps;
+    AnyNeg |= V < -Eps;
+  }
+  if (!AnyPos || !AnyNeg) {
+    Out.push_back(Poly);
+    return;
+  }
+
+  WorkPolygon Pos, Neg;
+  for (int I = 0; I < N; ++I) {
+    int Next = (I + 1) % N;
+    if (D[I] >= -Eps) {
+      Pos.Input.push_back(Poly.Input[I]);
+      Pos.Plane.push_back(Poly.Plane[I]);
+      Pos.Vals.push_back(Poly.Vals[I]);
+    }
+    if (D[I] <= Eps) {
+      Neg.Input.push_back(Poly.Input[I]);
+      Neg.Plane.push_back(Poly.Plane[I]);
+      Neg.Vals.push_back(Poly.Vals[I]);
+    }
+    bool Crosses = (D[I] > Eps && D[Next] < -Eps) ||
+                   (D[I] < -Eps && D[Next] > Eps);
+    if (!Crosses)
+      continue;
+    double S = D[I] / (D[I] - D[Next]);
+    Vector In = Poly.Input[Next];
+    In -= Poly.Input[I];
+    In *= S;
+    In += Poly.Input[I];
+    Vector Val = Poly.Vals[Next];
+    Val -= Poly.Vals[I];
+    Val *= S;
+    Val += Poly.Vals[I];
+    std::pair<double, double> Pl{
+        Poly.Plane[I].first + S * (Poly.Plane[Next].first -
+                                   Poly.Plane[I].first),
+        Poly.Plane[I].second + S * (Poly.Plane[Next].second -
+                                    Poly.Plane[I].second)};
+    Pos.Input.push_back(In);
+    Pos.Plane.push_back(Pl);
+    Pos.Vals.push_back(Val);
+    Neg.Input.push_back(std::move(In));
+    Neg.Plane.push_back(Pl);
+    Neg.Vals.push_back(std::move(Val));
+  }
+  dedupe(Pos);
+  dedupe(Neg);
+  if (!isDegenerate(Pos))
+    Out.push_back(std::move(Pos));
+  if (!isDegenerate(Neg))
+    Out.push_back(std::move(Neg));
+}
+
+} // namespace
+
+std::vector<PlaneRegion>
+prdnn::planeRegions(const Network &Net, const std::vector<Vector> &Polygon) {
+  assert(Net.isPiecewiseLinear() &&
+         "LinRegions requires a piecewise-linear network");
+  assert(Polygon.size() >= 3 && "plane transform needs a polygon");
+
+  // Build an orthonormal frame (U1, U2) of the polygon's plane.
+  const Vector &Origin = Polygon.front();
+  Vector U1 = Polygon[1];
+  U1 -= Origin;
+  double N1 = U1.norm2();
+  assert(N1 > 1e-12 && "degenerate polygon edge");
+  U1 *= 1.0 / N1;
+  Vector U2;
+  bool HaveU2 = false;
+  for (size_t I = 2; I < Polygon.size() && !HaveU2; ++I) {
+    Vector W = Polygon[I];
+    W -= Origin;
+    Vector Proj = U1 * W.dot(U1);
+    W -= Proj;
+    double N2 = W.norm2();
+    if (N2 > 1e-9) {
+      W *= 1.0 / N2;
+      U2 = std::move(W);
+      HaveU2 = true;
+    }
+  }
+  assert(HaveU2 && "polygon vertices are collinear");
+
+  WorkPolygon Initial;
+  for (const Vector &V : Polygon) {
+    Vector Rel = V;
+    Rel -= Origin;
+    Initial.Input.push_back(V);
+    Initial.Plane.push_back({Rel.dot(U1), Rel.dot(U2)});
+    Initial.Vals.push_back(V);
+  }
+  dedupe(Initial);
+  assert(!isDegenerate(Initial) && "input polygon is degenerate");
+
+  std::vector<WorkPolygon> Polys = {std::move(Initial)};
+  std::vector<WorkPolygon> Next;
+
+  for (int LayerIdx = 0; LayerIdx < Net.numLayers(); ++LayerIdx) {
+    const Layer &L = Net.layer(LayerIdx);
+    if (const auto *Linear = dyn_cast<LinearLayer>(&L)) {
+      for (WorkPolygon &Poly : Polys)
+        for (Vector &V : Poly.Vals)
+          V = Linear->apply(V);
+      continue;
+    }
+    const auto *Act = dyn_cast<ElementwiseActivation>(&L);
+    assert(Act && "plane transform supports elementwise PWL activations "
+                  "(no max-pool)");
+    std::vector<double> Thresholds = Act->thresholds();
+    for (int Unit = 0; Unit < Act->inputSize(); ++Unit) {
+      for (double Th : Thresholds) {
+        Next.clear();
+        for (const WorkPolygon &Poly : Polys)
+          splitPolygon(Poly, Unit, Th, Next);
+        std::swap(Polys, Next);
+      }
+    }
+    for (WorkPolygon &Poly : Polys)
+      for (Vector &V : Poly.Vals)
+        V = Act->apply(V);
+  }
+
+  std::vector<PlaneRegion> Result;
+  Result.reserve(Polys.size());
+  for (WorkPolygon &Poly : Polys) {
+    PlaneRegion Region;
+    Region.InputVertices = std::move(Poly.Input);
+    Region.PlaneVertices = std::move(Poly.Plane);
+    Result.push_back(std::move(Region));
+  }
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- syrenn/PlaneTransform.h - exact 2-D symbolic transform --*- C++ -*-===//
+///
+/// \file
+/// Computes LinRegions(N, P) for a convex polygon P lying in a 2-D
+/// affine subspace of the input space: the partition of P into convex
+/// polygons on which N is affine. This is the 2-D transform of
+/// Sotoudeh & Thakur [55], used by Task 3 (ACAS-style repair) where the
+/// paper repairs 2-D slices of the 5-D input region.
+///
+/// Supported networks: any linear layers interleaved with *elementwise*
+/// PWL activations (ReLU / LeakyReLU / HardTanh) - exactly the ACAS
+/// family. Each activation unit's threshold induces a line in the
+/// plane; polygons are split by Sutherland-Hodgman-style clipping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SYRENN_PLANETRANSFORM_H
+#define PRDNN_SYRENN_PLANETRANSFORM_H
+
+#include "nn/Network.h"
+
+#include <vector>
+
+namespace prdnn {
+
+/// One linear region of the network restricted to the input polygon.
+struct PlaneRegion {
+  /// Polygon vertices in input space, in boundary order.
+  std::vector<Vector> InputVertices;
+  /// Matching 2-D coordinates in the plane's orthonormal frame.
+  std::vector<std::pair<double, double>> PlaneVertices;
+
+  /// Average of the vertices: strictly interior for a convex polygon,
+  /// hence a representative of the region's activation pattern.
+  Vector centroid() const;
+
+  /// Polygon area in the plane frame (shoelace).
+  double area() const;
+};
+
+/// LinRegions(Net, conv(PolygonVertices)). The vertices must be in
+/// convex position, ordered along the boundary, and coplanar (within a
+/// 2-D affine subspace). Net must be PWL with elementwise activations.
+std::vector<PlaneRegion> planeRegions(const Network &Net,
+                                      const std::vector<Vector> &Polygon);
+
+} // namespace prdnn
+
+#endif // PRDNN_SYRENN_PLANETRANSFORM_H

@@ -1,0 +1,101 @@
+//===- train/FineTune.cpp ------------------------------------------------------===//
+
+#include "train/FineTune.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace prdnn;
+
+FineTuneResult prdnn::fineTune(const Network &Net, const Dataset &RepairSet,
+                               const FineTuneOptions &Options, Rng &R) {
+  assert(RepairSet.size() > 0 && "empty repair set");
+  WallTimer Timer;
+  FineTuneResult Result;
+  Result.Tuned = Net;
+
+  SgdOptions Sgd;
+  Sgd.LearningRate = Options.LearningRate;
+  Sgd.Momentum = Options.Momentum;
+  Sgd.BatchSize = Options.BatchSize;
+  Sgd.Epochs = 1;
+
+  for (int Epoch = 0; Epoch < Options.MaxEpochs; ++Epoch) {
+    if (accuracy(Result.Tuned, RepairSet.Inputs, RepairSet.Labels) >=
+        1.0 - 1e-12) {
+      Result.ReachedFullAccuracy = true;
+      break;
+    }
+    if (Timer.seconds() > Options.TimeoutSeconds) {
+      Result.TimedOut = true;
+      break;
+    }
+    trainSgd(Result.Tuned, RepairSet, Sgd, R);
+    ++Result.Epochs;
+  }
+  Result.RepairAccuracy =
+      accuracy(Result.Tuned, RepairSet.Inputs, RepairSet.Labels);
+  Result.ReachedFullAccuracy = Result.RepairAccuracy >= 1.0 - 1e-12;
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+ModifiedFineTuneResult
+prdnn::modifiedFineTune(const Network &Net, const Dataset &RepairSet,
+                        const ModifiedFineTuneOptions &Options, Rng &R) {
+  assert(RepairSet.size() > 0 && "empty repair set");
+  WallTimer Timer;
+
+  // Reserve the holdout (25% by default), deterministically.
+  std::vector<int> Order(static_cast<size_t>(RepairSet.size()));
+  for (int I = 0; I < RepairSet.size(); ++I)
+    Order[static_cast<size_t>(I)] = I;
+  R.shuffle(Order);
+  int HoldoutCount = std::max(
+      1, static_cast<int>(Options.HoldoutFraction * RepairSet.size()));
+  if (HoldoutCount >= RepairSet.size())
+    HoldoutCount = RepairSet.size() - 1;
+  Dataset Holdout, TrainSet;
+  for (int I = 0; I < RepairSet.size(); ++I) {
+    int Sample = Order[static_cast<size_t>(I)];
+    if (I < HoldoutCount)
+      Holdout.push(RepairSet.Inputs[Sample], RepairSet.Labels[Sample]);
+    else
+      TrainSet.push(RepairSet.Inputs[Sample], RepairSet.Labels[Sample]);
+  }
+
+  SgdOptions Sgd;
+  Sgd.LearningRate = Options.LearningRate;
+  Sgd.Momentum = Options.Momentum;
+  Sgd.BatchSize = Options.BatchSize;
+  Sgd.Epochs = 1;
+  Sgd.OnlyLayer = Options.LayerIndex;
+  Sgd.DriftPenaltyL1 = Options.PenaltyL1;
+  Sgd.DriftPenaltyLInf = Options.PenaltyLInf;
+
+  ModifiedFineTuneResult Result;
+  Result.Tuned = Net;
+  Network Best = Net;
+  double BestHoldout = accuracy(Net, Holdout.Inputs, Holdout.Labels);
+
+  for (int Epoch = 0; Epoch < Options.MaxEpochs; ++Epoch) {
+    trainSgd(Result.Tuned, TrainSet, Sgd, R);
+    ++Result.Epochs;
+    double HoldoutAcc =
+        accuracy(Result.Tuned, Holdout.Inputs, Holdout.Labels);
+    if (HoldoutAcc > BestHoldout) {
+      BestHoldout = HoldoutAcc;
+      Best = Result.Tuned;
+    } else if (HoldoutAcc < BestHoldout) {
+      // "Stops once the accuracy on the holdout set begins to drop."
+      break;
+    }
+  }
+  Result.Tuned = std::move(Best);
+  Result.HoldoutAccuracy = BestHoldout;
+  Result.RepairAccuracy =
+      accuracy(Result.Tuned, RepairSet.Inputs, RepairSet.Labels);
+  Result.Seconds = Timer.seconds();
+  return Result;
+}

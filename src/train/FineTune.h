@@ -1,0 +1,81 @@
+//===- train/FineTune.h - FT and MFT baselines (§7) ------------*- C++ -*-===//
+///
+/// \file
+/// The two fine-tuning baselines the paper compares Provable Repair
+/// against (§7, "Fine-Tuning Baselines"):
+///
+///  - FT [Sinitsin et al. 53]: gradient descent on *all* parameters,
+///    run until every repair-set point is correctly classified (or an
+///    epoch/time cap is hit - the paper's runs also time out).
+///  - MFT (modified fine-tuning): (a) a single layer, (b) an added
+///    penalty on the repair's size (the paper penalizes l0 and l-inf;
+///    we use the standard l1 surrogate for l0), (c) a 25% holdout from
+///    the repair set, (d) early-stops when holdout accuracy drops.
+///    MFT does not reach full efficacy; it is a low-drawdown baseline,
+///    not a repair algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_TRAIN_FINETUNE_H
+#define PRDNN_TRAIN_FINETUNE_H
+
+#include "train/Sgd.h"
+
+namespace prdnn {
+
+struct FineTuneOptions {
+  double LearningRate = 0.01;
+  double Momentum = 0.0;
+  int BatchSize = 16;
+  /// FT's "until repaired" loop cap (the paper used 1000 epochs).
+  int MaxEpochs = 1000;
+  /// Wall-clock cap; FT runs that diverge are cut off here.
+  double TimeoutSeconds = 1e9;
+};
+
+struct FineTuneResult {
+  Network Tuned;
+  /// Repair-set accuracy of Tuned.
+  double RepairAccuracy = 0.0;
+  bool ReachedFullAccuracy = false;
+  bool TimedOut = false;
+  int Epochs = 0;
+  double Seconds = 0.0;
+};
+
+/// FT baseline; see file comment.
+FineTuneResult fineTune(const Network &Net, const Dataset &RepairSet,
+                        const FineTuneOptions &Options, Rng &R);
+
+struct ModifiedFineTuneOptions {
+  double LearningRate = 0.01;
+  double Momentum = 0.0;
+  int BatchSize = 16;
+  int MaxEpochs = 200;
+  /// The single layer MFT trains.
+  int LayerIndex = 0;
+  /// Penalties on the drift from the original parameters.
+  double PenaltyL1 = 1e-3;
+  double PenaltyLInf = 1e-3;
+  /// Fraction of the repair set reserved as holdout (paper: 25%).
+  double HoldoutFraction = 0.25;
+};
+
+struct ModifiedFineTuneResult {
+  Network Tuned;
+  /// Accuracy on the full repair set ("E" in Tables 1 and 3).
+  double RepairAccuracy = 0.0;
+  double HoldoutAccuracy = 0.0;
+  int Epochs = 0;
+  double Seconds = 0.0;
+};
+
+/// MFT baseline; see file comment.
+ModifiedFineTuneResult modifiedFineTune(const Network &Net,
+                                        const Dataset &RepairSet,
+                                        const ModifiedFineTuneOptions &Options,
+                                        Rng &R);
+
+} // namespace prdnn
+
+#endif // PRDNN_TRAIN_FINETUNE_H

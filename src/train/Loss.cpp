@@ -1,0 +1,31 @@
+//===- train/Loss.cpp --------------------------------------------------------===//
+
+#include "train/Loss.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prdnn;
+
+double prdnn::crossEntropyLoss(const Vector &Logits, int Label) {
+  assert(Label >= 0 && Label < Logits.size() && "label out of range");
+  double Max = Logits[Logits.argmax()];
+  double SumExp = 0.0;
+  for (int I = 0; I < Logits.size(); ++I)
+    SumExp += std::exp(Logits[I] - Max);
+  return std::log(SumExp) - (Logits[Label] - Max);
+}
+
+double prdnn::crossEntropyLossGrad(const Vector &Logits, int Label,
+                                   Vector &Grad) {
+  assert(Label >= 0 && Label < Logits.size() && "label out of range");
+  double Max = Logits[Logits.argmax()];
+  double SumExp = 0.0;
+  for (int I = 0; I < Logits.size(); ++I)
+    SumExp += std::exp(Logits[I] - Max);
+  Grad = Vector(Logits.size());
+  for (int I = 0; I < Logits.size(); ++I)
+    Grad[I] = std::exp(Logits[I] - Max) / SumExp;
+  Grad[Label] -= 1.0;
+  return std::log(SumExp) - (Logits[Label] - Max);
+}

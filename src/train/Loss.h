@@ -1,0 +1,24 @@
+//===- train/Loss.h - classification losses --------------------*- C++ -*-===//
+///
+/// \file
+/// Numerically-stable softmax cross-entropy, the loss used by the SGD
+/// trainer and by the FT/MFT fine-tuning baselines of §7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_TRAIN_LOSS_H
+#define PRDNN_TRAIN_LOSS_H
+
+#include "linalg/Vector.h"
+
+namespace prdnn {
+
+/// -log softmax(Logits)[Label], computed stably.
+double crossEntropyLoss(const Vector &Logits, int Label);
+
+/// As crossEntropyLoss, also writing dLoss/dLogits into \p Grad.
+double crossEntropyLossGrad(const Vector &Logits, int Label, Vector &Grad);
+
+} // namespace prdnn
+
+#endif // PRDNN_TRAIN_LOSS_H

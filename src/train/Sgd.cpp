@@ -1,0 +1,136 @@
+//===- train/Sgd.cpp ----------------------------------------------------------===//
+
+#include "train/Sgd.h"
+
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "train/Loss.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace prdnn;
+
+void Dataset::append(const Dataset &Other) {
+  Inputs.insert(Inputs.end(), Other.Inputs.begin(), Other.Inputs.end());
+  Labels.insert(Labels.end(), Other.Labels.begin(), Other.Labels.end());
+}
+
+double prdnn::backprop(const Network &Net, const Vector &X, int Label,
+                       std::vector<std::vector<double>> &Grads) {
+  assert(static_cast<int>(Grads.size()) == Net.numLayers() &&
+         "gradient container must have one slot per layer");
+  std::vector<Vector> Values = Net.intermediates(X);
+  Vector Grad;
+  double Loss = crossEntropyLossGrad(Values.back(), Label, Grad);
+  for (int I = Net.numLayers() - 1; I >= 0; --I) {
+    const Layer &L = Net.layer(I);
+    const Vector &In = Values[static_cast<size_t>(I)];
+    if (const auto *Linear = dyn_cast<LinearLayer>(&L)) {
+      if (Linear->numParams() > 0 && !Grads[static_cast<size_t>(I)].empty())
+        Linear->accumulateParamGrad(In, Grad, Grads[static_cast<size_t>(I)]);
+      if (I > 0)
+        Grad = Linear->vjpLinear(Grad);
+    } else {
+      // The activation's exact Jacobian at its input is the
+      // linearization around that input.
+      Grad = cast<ActivationLayer>(L).vjpLinearized(In, Grad);
+    }
+  }
+  return Loss;
+}
+
+TrainTrace prdnn::trainSgd(Network &Net, const Dataset &Data,
+                           const SgdOptions &Options, Rng &R) {
+  assert(Data.size() > 0 && "cannot train on an empty dataset");
+  TrainTrace Trace;
+
+  std::vector<int> ParamLayers;
+  if (Options.OnlyLayer >= 0)
+    ParamLayers.push_back(Options.OnlyLayer);
+  else
+    ParamLayers = Net.parameterizedLayerIndices();
+
+  // Gradient / momentum buffers, plus the initial parameters of the
+  // drift-penalized layer.
+  std::vector<std::vector<double>> Grads(
+      static_cast<size_t>(Net.numLayers()));
+  std::vector<std::vector<double>> Velocity(
+      static_cast<size_t>(Net.numLayers()));
+  std::vector<double> InitialParams;
+  for (int LayerIdx : ParamLayers) {
+    auto &L = cast<LinearLayer>(Net.layer(LayerIdx));
+    Grads[static_cast<size_t>(LayerIdx)].assign(
+        static_cast<size_t>(L.numParams()), 0.0);
+    Velocity[static_cast<size_t>(LayerIdx)].assign(
+        static_cast<size_t>(L.numParams()), 0.0);
+  }
+  bool Penalized = Options.OnlyLayer >= 0 &&
+                   (Options.DriftPenaltyL1 > 0.0 ||
+                    Options.DriftPenaltyLInf > 0.0);
+  if (Penalized)
+    cast<LinearLayer>(Net.layer(Options.OnlyLayer)).getParams(InitialParams);
+
+  std::vector<int> Order(static_cast<size_t>(Data.size()));
+  std::iota(Order.begin(), Order.end(), 0);
+  std::vector<double> Params;
+
+  for (int Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    R.shuffle(Order);
+    double EpochLoss = 0.0;
+    for (int Start = 0; Start < Data.size(); Start += Options.BatchSize) {
+      int End = std::min(Data.size(), Start + Options.BatchSize);
+      for (int LayerIdx : ParamLayers)
+        std::fill(Grads[static_cast<size_t>(LayerIdx)].begin(),
+                  Grads[static_cast<size_t>(LayerIdx)].end(), 0.0);
+      for (int I = Start; I < End; ++I) {
+        int Sample = Order[static_cast<size_t>(I)];
+        EpochLoss += backprop(Net, Data.Inputs[Sample], Data.Labels[Sample],
+                              Grads);
+      }
+      double Scale = 1.0 / static_cast<double>(End - Start);
+
+      for (int LayerIdx : ParamLayers) {
+        auto &L = cast<LinearLayer>(Net.layer(LayerIdx));
+        auto &G = Grads[static_cast<size_t>(LayerIdx)];
+        auto &V = Velocity[static_cast<size_t>(LayerIdx)];
+        if (Penalized && LayerIdx == Options.OnlyLayer) {
+          // Subgradients of lambda1 |theta - theta0|_1 and
+          // lambdaInf |theta - theta0|_inf.
+          L.getParams(Params);
+          int ArgMax = -1;
+          double MaxAbs = 0.0;
+          for (size_t P = 0; P < Params.size(); ++P) {
+            double Drift = Params[P] - InitialParams[P];
+            if (Options.DriftPenaltyL1 > 0.0)
+              G[P] += Options.DriftPenaltyL1 *
+                      (Drift > 0.0 ? 1.0 : (Drift < 0.0 ? -1.0 : 0.0)) /
+                      Scale;
+            if (std::fabs(Drift) > MaxAbs) {
+              MaxAbs = std::fabs(Drift);
+              ArgMax = static_cast<int>(P);
+            }
+          }
+          if (Options.DriftPenaltyLInf > 0.0 && ArgMax >= 0 && MaxAbs > 0.0)
+            G[static_cast<size_t>(ArgMax)] +=
+                Options.DriftPenaltyLInf *
+                ((Params[static_cast<size_t>(ArgMax)] -
+                  InitialParams[static_cast<size_t>(ArgMax)]) > 0.0
+                     ? 1.0
+                     : -1.0) /
+                Scale;
+        }
+        L.getParams(Params);
+        for (size_t P = 0; P < Params.size(); ++P) {
+          V[P] = Options.Momentum * V[P] -
+                 Options.LearningRate * G[P] * Scale;
+          Params[P] += V[P];
+        }
+        L.setParams(Params);
+      }
+    }
+    Trace.EpochLoss.push_back(EpochLoss / Data.size());
+  }
+  return Trace;
+}

@@ -1,0 +1,66 @@
+//===- train/Sgd.h - minibatch SGD trainer ---------------------*- C++ -*-===//
+///
+/// \file
+/// Minibatch SGD with momentum over softmax cross-entropy. Replaces the
+/// PyTorch training loop the paper used to obtain its "buggy" networks
+/// and to run the fine-tuning baselines. Deterministic given the Rng.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_TRAIN_SGD_H
+#define PRDNN_TRAIN_SGD_H
+
+#include "nn/Network.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace prdnn {
+
+/// A labeled classification dataset.
+struct Dataset {
+  std::vector<Vector> Inputs;
+  std::vector<int> Labels;
+
+  int size() const { return static_cast<int>(Inputs.size()); }
+  void push(Vector Input, int Label) {
+    Inputs.push_back(std::move(Input));
+    Labels.push_back(Label);
+  }
+  /// Appends all of \p Other.
+  void append(const Dataset &Other);
+};
+
+struct SgdOptions {
+  double LearningRate = 0.01;
+  double Momentum = 0.9;
+  int BatchSize = 16;
+  int Epochs = 10;
+  /// Optional: restrict updates to this layer only (used by MFT);
+  /// -1 trains all parameterized layers.
+  int OnlyLayer = -1;
+  /// l1 penalty on the drift from the initial parameters of OnlyLayer
+  /// (MFT's surrogate for its l0 penalty; only with OnlyLayer >= 0).
+  double DriftPenaltyL1 = 0.0;
+  /// l-infinity penalty on the same drift (subgradient step).
+  double DriftPenaltyLInf = 0.0;
+};
+
+/// Per-epoch average loss trace returned by trainSgd.
+struct TrainTrace {
+  std::vector<double> EpochLoss;
+};
+
+/// Trains \p Net in place; returns the loss trace. Deterministic.
+TrainTrace trainSgd(Network &Net, const Dataset &Data,
+                    const SgdOptions &Options, Rng &R);
+
+/// One forward/backward pass: accumulates d(loss)/d(params) for every
+/// parameterized layer into \p Grads (indexed by layer index; sized by
+/// the caller) and returns the loss.
+double backprop(const Network &Net, const Vector &X, int Label,
+                std::vector<std::vector<double>> &Grads);
+
+} // namespace prdnn
+
+#endif // PRDNN_TRAIN_SGD_H

@@ -1,0 +1,220 @@
+//===- tests/data_test.cpp - synthetic dataset substrate tests -----------------===//
+
+#include "data/Acas.h"
+#include "data/Corruptions.h"
+#include "data/Digits.h"
+#include "data/ShapeWorld.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace prdnn;
+using namespace prdnn::data;
+
+// --- Digits --------------------------------------------------------------------
+
+TEST(Digits, ImagesAreWellFormed) {
+  Rng R(1);
+  for (int Digit = 0; Digit < kDigitClasses; ++Digit) {
+    Vector Image = makeDigitImage(Digit, R);
+    ASSERT_EQ(Image.size(), kDigitPixels);
+    double Mass = 0.0;
+    for (int I = 0; I < Image.size(); ++I) {
+      EXPECT_GE(Image[I], 0.0);
+      EXPECT_LE(Image[I], 1.0);
+      Mass += Image[I];
+    }
+    // Some ink must be present.
+    EXPECT_GT(Mass, 5.0);
+  }
+}
+
+TEST(Digits, DatasetIsBalanced) {
+  Rng R(2);
+  Dataset Data = makeDigits(200, R);
+  ASSERT_EQ(Data.size(), 200);
+  int Counts[kDigitClasses] = {};
+  for (int Label : Data.Labels)
+    ++Counts[Label];
+  for (int C : Counts)
+    EXPECT_EQ(C, 20);
+}
+
+TEST(Digits, ClassifierLearnsHeldOutDigits) {
+  Rng R(3);
+  Network Net = trainDigitClassifier(/*Hidden=*/24, /*TrainCount=*/1500,
+                                     /*Epochs=*/10, R);
+  Rng TestR(999);
+  Dataset Test = makeDigits(400, TestR);
+  EXPECT_GE(accuracy(Net, Test.Inputs, Test.Labels), 0.9);
+}
+
+// --- Corruptions -----------------------------------------------------------------
+
+TEST(Corruptions, FogZeroSeverityIsIdentity) {
+  Rng R(4);
+  Vector Image = makeDigitImage(3, R);
+  Vector Fogged = fogCorrupt(Image, kDigitImage, kDigitImage, 0.0, R);
+  EXPECT_LT(Fogged.maxAbsDiff(Image), 1e-12);
+}
+
+TEST(Corruptions, FogFullSeverityErasesTheSignal) {
+  Rng R(5);
+  Vector Image = makeDigitImage(3, R);
+  Vector Fogged = fogCorrupt(Image, kDigitImage, kDigitImage, 1.0, R);
+  // Fully fogged images are bright everywhere.
+  for (int I = 0; I < Fogged.size(); ++I)
+    EXPECT_GE(Fogged[I], 0.6);
+}
+
+TEST(Corruptions, FogDegradesClassifierAccuracy) {
+  Rng R(6);
+  Network Net = trainDigitClassifier(24, 1500, 10, R);
+  Rng TestR(1000);
+  Dataset Clean = makeDigits(300, TestR);
+  Dataset Fogged;
+  Rng FogR(7);
+  for (int I = 0; I < Clean.size(); ++I)
+    Fogged.push(fogCorrupt(Clean.Inputs[I], kDigitImage, kDigitImage,
+                           FogR.uniform(0.6, 0.85), FogR),
+                Clean.Labels[I]);
+  double CleanAcc = accuracy(Net, Clean.Inputs, Clean.Labels);
+  double FogAcc = accuracy(Net, Fogged.Inputs, Fogged.Labels);
+  EXPECT_GE(CleanAcc, 0.9);
+  EXPECT_LE(FogAcc, 0.55); // fog is a real distribution shift
+}
+
+TEST(Corruptions, ContrastAndNoiseStayInRange) {
+  Rng R(8);
+  Vector Image = makeDigitImage(5, R);
+  for (const Vector &Out :
+       {contrastCorrupt(Image, 0.3), contrastCorrupt(Image, 2.0),
+        noiseCorrupt(Image, 0.5, R)})
+    for (int I = 0; I < Out.size(); ++I) {
+      EXPECT_GE(Out[I], 0.0);
+      EXPECT_LE(Out[I], 1.0);
+    }
+}
+
+TEST(Corruptions, OccludeBarZeroesABar) {
+  Rng R(9);
+  Vector Image = Vector::constant(3 * 16 * 16, 1.0);
+  Vector Out = occludeBar(Image, 3, 16, 16, 3, R);
+  int Zeroed = 0;
+  for (int I = 0; I < Out.size(); ++I)
+    if (Out[I] == 0.0)
+      ++Zeroed;
+  EXPECT_EQ(Zeroed, 3 * 16 * 3); // three channels, 16 x 3 bar
+}
+
+// --- ShapeWorld -----------------------------------------------------------------
+
+TEST(ShapeWorld, ImagesAreWellFormed) {
+  Rng R(10);
+  for (int Shape = 0; Shape < kShapeClasses; ++Shape) {
+    Vector Image = makeShapeImage(Shape, R);
+    ASSERT_EQ(Image.size(), kShapePixels);
+    for (int I = 0; I < Image.size(); ++I) {
+      EXPECT_GE(Image[I], 0.0);
+      EXPECT_LE(Image[I], 1.0);
+    }
+  }
+}
+
+TEST(ShapeWorld, ClassifierLearnsHeldOutShapes) {
+  Rng R(11);
+  Network Net = trainShapeClassifier(/*TrainCount=*/900, /*Epochs=*/6, R);
+  Rng TestR(1001);
+  Dataset Test = makeShapeWorld(270, TestR);
+  EXPECT_GE(accuracy(Net, Test.Inputs, Test.Labels), 0.85);
+}
+
+TEST(ShapeWorld, AdversarialsAreMisclassifiedByConstruction) {
+  Rng R(12);
+  Network Net = trainShapeClassifier(600, 5, R);
+  Rng AdvR(13);
+  Dataset Adversarials = makeNaturalAdversarials(Net, 45, AdvR);
+  ASSERT_EQ(Adversarials.size(), 45);
+  // Every adversarial example is misclassified (accuracy 0), like NAE.
+  EXPECT_DOUBLE_EQ(
+      accuracy(Net, Adversarials.Inputs, Adversarials.Labels), 0.0);
+  // And the labels cycle through all nine classes.
+  int Counts[kShapeClasses] = {};
+  for (int Label : Adversarials.Labels)
+    ++Counts[Label];
+  for (int C : Counts)
+    EXPECT_EQ(C, 5);
+}
+
+// --- ACAS -----------------------------------------------------------------------
+
+TEST(Acas, PolicyBasics) {
+  // Far-away intruder: clear of conflict.
+  Vector Far{0.9, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(acasAdvisory(Far), AcasCoc);
+  // On top of us, dead ahead, fast: strong turn.
+  Vector Close{-0.95, 0.1, 0.0, 0.5, 0.9};
+  int Advisory = acasAdvisory(Close);
+  EXPECT_TRUE(Advisory == AcasStrongRight || Advisory == AcasStrongLeft);
+  // Intruder slightly to the left (theta > 0), close: turn right.
+  Vector Left{-0.5, 0.3, 0.0, 0.0, 0.5};
+  int A2 = acasAdvisory(Left);
+  EXPECT_TRUE(A2 == AcasWeakRight || A2 == AcasStrongRight);
+  // Mirrored: turn left.
+  Vector Right{-0.5, -0.3, 0.0, 0.0, 0.5};
+  int A3 = acasAdvisory(Right);
+  EXPECT_TRUE(A3 == AcasWeakLeft || A3 == AcasStrongLeft);
+}
+
+TEST(Acas, SafeRegionPolicyIsAlwaysCoc) {
+  // The phi_8 analogue is sound for the ground-truth policy: everywhere
+  // in the safe region, the policy commands COC.
+  Rng R(14);
+  for (int I = 0; I < 2000; ++I) {
+    Vector X(kAcasInputs);
+    X[0] = R.uniform(kAcasSafeRho, 1.0);
+    for (int J = 1; J < kAcasInputs; ++J)
+      X[J] = R.uniform(-1.0, 1.0);
+    EXPECT_EQ(acasAdvisory(X), AcasCoc);
+    EXPECT_LT(acasThreat(X), kAcasCocThreat);
+  }
+}
+
+TEST(Acas, TrainedNetworkApproximatesThePolicy) {
+  Rng R(15);
+  Network Net = trainAcasNetwork(/*Hidden=*/16, /*TrainCount=*/4000,
+                                 /*Epochs=*/12, R);
+  Rng TestR(1002);
+  Dataset Test = makeAcasDataset(1500, TestR);
+  EXPECT_GE(accuracy(Net, Test.Inputs, Test.Labels), 0.85);
+}
+
+TEST(Acas, SafeSlicesStayInSafeRegion) {
+  Rng R(16);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<Vector> Slice = randomSafeSlice(R);
+    ASSERT_EQ(Slice.size(), 4u);
+    for (const Vector &Corner : Slice) {
+      EXPECT_GE(Corner[0], kAcasSafeRho);
+      for (int J = 0; J < kAcasInputs; ++J) {
+        EXPECT_GE(Corner[J], -1.0);
+        EXPECT_LE(Corner[J], 1.0);
+      }
+    }
+    // The four corners span a genuine 2-D rectangle.
+    EXPECT_GT(Slice[0].maxAbsDiff(Slice[2]), 0.5);
+  }
+}
+
+TEST(Acas, SafeAdvisoryPredicate) {
+  EXPECT_TRUE(acasSafeAdvisory(AcasCoc));
+  EXPECT_TRUE(acasSafeAdvisory(AcasWeakLeft));
+  EXPECT_FALSE(acasSafeAdvisory(AcasWeakRight));
+  EXPECT_FALSE(acasSafeAdvisory(AcasStrongLeft));
+  EXPECT_FALSE(acasSafeAdvisory(AcasStrongRight));
+}
+
+} // namespace

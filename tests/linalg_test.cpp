@@ -1,0 +1,117 @@
+//===- tests/linalg_test.cpp - Vector/Matrix tests --------------------------===//
+
+#include "linalg/Matrix.h"
+#include "linalg/Vector.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace prdnn;
+
+TEST(Vector, BasicOps) {
+  Vector A{1.0, 2.0, 3.0};
+  Vector B{4.0, -1.0, 0.5};
+  Vector Sum = A + B;
+  EXPECT_DOUBLE_EQ(Sum[0], 5.0);
+  EXPECT_DOUBLE_EQ(Sum[1], 1.0);
+  EXPECT_DOUBLE_EQ(Sum[2], 3.5);
+  Vector Diff = A - B;
+  EXPECT_DOUBLE_EQ(Diff[0], -3.0);
+  Vector Scaled = A * 2.0;
+  EXPECT_DOUBLE_EQ(Scaled[2], 6.0);
+  EXPECT_DOUBLE_EQ(A.dot(B), 4.0 - 2.0 + 1.5);
+}
+
+TEST(Vector, Norms) {
+  Vector V{3.0, -4.0, 0.0};
+  EXPECT_DOUBLE_EQ(V.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(V.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(V.normInf(), 4.0);
+}
+
+TEST(Vector, ArgmaxFirstOfTies) {
+  Vector V{1.0, 5.0, 5.0, 2.0};
+  EXPECT_EQ(V.argmax(), 1);
+}
+
+TEST(Vector, ConstantAndMaxAbsDiff) {
+  Vector C = Vector::constant(4, 2.5);
+  EXPECT_EQ(C.size(), 4);
+  EXPECT_DOUBLE_EQ(C[3], 2.5);
+  Vector D = Vector::constant(4, 2.0);
+  EXPECT_DOUBLE_EQ(C.maxAbsDiff(D), 0.5);
+}
+
+TEST(Matrix, IdentityApply) {
+  Matrix I = Matrix::identity(3);
+  Vector X{1.0, -2.0, 3.0};
+  Vector Y = I.apply(X);
+  EXPECT_DOUBLE_EQ(Y.maxAbsDiff(X), 0.0);
+}
+
+TEST(Matrix, FromRowsAndApply) {
+  Matrix A = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(A.rows(), 3);
+  EXPECT_EQ(A.cols(), 2);
+  Vector X{1.0, 1.0};
+  Vector Y = A.apply(X);
+  EXPECT_DOUBLE_EQ(Y[0], 3.0);
+  EXPECT_DOUBLE_EQ(Y[1], 7.0);
+  EXPECT_DOUBLE_EQ(Y[2], 11.0);
+}
+
+TEST(Matrix, TransposedApplyMatchesTranspose) {
+  Rng R(3);
+  Matrix A(4, 6);
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 6; ++J)
+      A(I, J) = R.normal();
+  Vector X(4);
+  for (int I = 0; I < 4; ++I)
+    X[I] = R.normal();
+  Vector Via = A.applyTransposed(X);
+  Vector Direct = A.transposed().apply(X);
+  EXPECT_LT(Via.maxAbsDiff(Direct), 1e-12);
+}
+
+TEST(Matrix, MultiplyAgainstManual) {
+  Matrix A = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix B = Matrix::fromRows({{0.0, 1.0}, {1.0, 0.0}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(C(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(C(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(C(1, 1), 3.0);
+}
+
+TEST(Matrix, MultiplyAssociatesWithApply) {
+  Rng R(17);
+  Matrix A(3, 5), B(5, 4);
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 5; ++J)
+      A(I, J) = R.normal();
+  for (int I = 0; I < 5; ++I)
+    for (int J = 0; J < 4; ++J)
+      B(I, J) = R.normal();
+  Vector X(4);
+  for (int I = 0; I < 4; ++I)
+    X[I] = R.normal();
+  Vector Left = A.multiply(B).apply(X);
+  Vector Right = A.apply(B.apply(X));
+  EXPECT_LT(Left.maxAbsDiff(Right), 1e-12);
+}
+
+TEST(Matrix, NormInfAndAccumulate) {
+  Matrix A = Matrix::fromRows({{1.0, -7.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(A.normInf(), 7.0);
+  Matrix B = Matrix::fromRows({{1.0, 1.0}, {1.0, 1.0}});
+  A += B;
+  EXPECT_DOUBLE_EQ(A(0, 0), 2.0);
+  A *= 0.5;
+  EXPECT_DOUBLE_EQ(A(1, 1), 2.5);
+}
+
+} // namespace

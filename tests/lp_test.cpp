@@ -1,0 +1,458 @@
+//===- tests/lp_test.cpp - LP solver tests ----------------------------------===//
+//
+// Unit tests on hand-checkable LPs, stress tests (degeneracy,
+// Klee-Minty), and parameterized property tests: random feasible LPs
+// must come back Optimal with feasible solutions satisfying the KKT
+// sign conditions, and explicitly-constructed primal/dual pairs must
+// exhibit strong duality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/LinearProgram.h"
+#include "lp/NormObjective.h"
+#include "lp/Simplex.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace prdnn;
+using namespace prdnn::lp;
+
+TEST(Lp, BoxOnlyMinimization) {
+  LinearProgram P;
+  P.addVariable(-2.0, 5.0, 1.0);  // min x0 -> -2
+  P.addVariable(-2.0, 5.0, -1.0); // min -x1 -> x1 = 5
+  P.addVariable(-2.0, 5.0, 0.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.X[0], -2.0, 1e-9);
+  EXPECT_NEAR(S.X[1], 5.0, 1e-9);
+  EXPECT_NEAR(S.Objective, -7.0, 1e-9);
+}
+
+TEST(Lp, BoxOnlyUnbounded) {
+  LinearProgram P;
+  P.addVariable(0.0, kInfinity, -1.0);
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, SolveStatus::Unbounded);
+}
+
+TEST(Lp, SimpleTriangle) {
+  // min -x - y s.t. x + y <= 1, x, y >= 0. Optimum value -1.
+  LinearProgram P;
+  int X = P.addVariable(0.0, kInfinity, -1.0);
+  int Y = P.addVariable(0.0, kInfinity, -1.0);
+  P.addRowLe({X, Y}, {1.0, 1.0}, 1.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -1.0, 1e-8);
+  EXPECT_NEAR(S.X[0] + S.X[1], 1.0, 1e-8);
+}
+
+TEST(Lp, EqualityRows) {
+  // x + y = 1, x - y = 0 -> x = y = 0.5.
+  LinearProgram P;
+  int X = P.addFreeVariable(1.0);
+  int Y = P.addFreeVariable(0.0);
+  P.addRowEq({X, Y}, {1.0, 1.0}, 1.0);
+  P.addRowEq({X, Y}, {1.0, -1.0}, 0.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.X[0], 0.5, 1e-8);
+  EXPECT_NEAR(S.X[1], 0.5, 1e-8);
+}
+
+TEST(Lp, TwoSidedRow) {
+  // min x s.t. 2 <= x + y <= 4, 0 <= x,y <= 3 -> x = 0 (y covers).
+  LinearProgram P;
+  int X = P.addVariable(0.0, 3.0, 1.0);
+  int Y = P.addVariable(0.0, 3.0, 0.0);
+  P.addRow({X, Y}, {1.0, 1.0}, 2.0, 4.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 0.0, 1e-8);
+}
+
+TEST(Lp, InfeasibleBounds) {
+  // x >= 1 and x <= 0 through rows.
+  LinearProgram P;
+  int X = P.addFreeVariable(1.0);
+  P.addRowGe({X}, {1.0}, 1.0);
+  P.addRowLe({X}, {1.0}, 0.0);
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+}
+
+TEST(Lp, InfeasibleSystem) {
+  // x + y <= 1, x >= 1, y >= 1.
+  LinearProgram P;
+  int X = P.addVariable(1.0, kInfinity, 0.0);
+  int Y = P.addVariable(1.0, kInfinity, 0.0);
+  P.addRowLe({X, Y}, {1.0, 1.0}, 1.0);
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+}
+
+TEST(Lp, EmptyRowFeasibleAndInfeasible) {
+  {
+    LinearProgram P;
+    P.addVariable(0.0, 1.0, 1.0);
+    P.addRow({}, {}, -1.0, 1.0); // vacuous
+    LpSolution S = solveLp(P);
+    EXPECT_EQ(S.Status, SolveStatus::Optimal);
+  }
+  {
+    LinearProgram P;
+    P.addVariable(0.0, 1.0, 1.0);
+    P.addRow({}, {}, 0.5, 1.0); // 0 not in [0.5, 1]
+    LpSolution S = solveLp(P);
+    EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+  }
+}
+
+TEST(Lp, UnboundedRay) {
+  // min -x s.t. x - y <= 1, y >= 0: ray x = y + 1 -> -inf.
+  LinearProgram P;
+  int X = P.addFreeVariable(-1.0);
+  int Y = P.addVariable(0.0, kInfinity, 0.0);
+  P.addRowLe({X, Y}, {1.0, -1.0}, 1.0);
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, SolveStatus::Unbounded);
+}
+
+TEST(Lp, DegenerateVertex) {
+  // Three constraints meeting at (1,1); optimum there.
+  LinearProgram P;
+  int X = P.addVariable(0.0, kInfinity, -1.0);
+  int Y = P.addVariable(0.0, kInfinity, -1.0);
+  P.addRowLe({X, Y}, {1.0, 1.0}, 2.0);
+  P.addRowLe({X, Y}, {1.0, 0.0}, 1.0);
+  P.addRowLe({X, Y}, {0.0, 1.0}, 1.0);
+  P.addRowLe({X, Y}, {2.0, 1.0}, 3.0); // also passes through (1,1)
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.X[0], 1.0, 1e-8);
+  EXPECT_NEAR(S.X[1], 1.0, 1e-8);
+}
+
+TEST(Lp, KleeMintyCube3D) {
+  // Classic worst case for Dantzig pricing; checks anti-cycling and
+  // correctness, not speed. max 4x1 + 2x2 + x3 (paper form scaled).
+  LinearProgram P;
+  int X1 = P.addVariable(0.0, kInfinity, -4.0);
+  int X2 = P.addVariable(0.0, kInfinity, -2.0);
+  int X3 = P.addVariable(0.0, kInfinity, -1.0);
+  P.addRowLe({X1}, {1.0}, 5.0);
+  P.addRowLe({X1, X2}, {4.0, 1.0}, 25.0);
+  P.addRowLe({X1, X2, X3}, {8.0, 4.0, 1.0}, 125.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -125.0, 1e-7);
+}
+
+TEST(Lp, FixedVariable) {
+  LinearProgram P;
+  int X = P.addVariable(2.0, 2.0, 5.0); // fixed at 2
+  int Y = P.addVariable(0.0, 10.0, 1.0);
+  P.addRowGe({X, Y}, {1.0, 1.0}, 5.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.X[0], 2.0, 1e-9);
+  EXPECT_NEAR(S.X[1], 3.0, 1e-8);
+}
+
+TEST(Lp, DualSignsOnActiveRows) {
+  // min x + y s.t. x + y >= 2 (active at optimum), x, y >= 0.
+  LinearProgram P;
+  int X = P.addVariable(0.0, kInfinity, 1.0);
+  int Y = P.addVariable(0.0, kInfinity, 1.0);
+  P.addRowGe({X, Y}, {1.0, 1.0}, 2.0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.0, 1e-8);
+  ASSERT_EQ(S.RowDuals.size(), 1u);
+  // Row active at its lower bound: dual >= 0; stationarity gives 1.
+  EXPECT_NEAR(S.RowDuals[0], 1.0, 1e-6);
+}
+
+// --- Random feasible LPs (property sweep) ----------------------------------
+
+struct RandomLpParams {
+  uint64_t Seed;
+  int NumVars;
+  int NumRows;
+};
+
+class RandomLpTest : public ::testing::TestWithParam<RandomLpParams> {};
+
+TEST_P(RandomLpTest, OptimalFeasibleAndKktConsistent) {
+  RandomLpParams Params = GetParam();
+  Rng R(Params.Seed);
+
+  LinearProgram P;
+  std::vector<double> Witness(Params.NumVars);
+  for (int J = 0; J < Params.NumVars; ++J) {
+    P.addVariable(-10.0, 10.0, R.normal());
+    Witness[J] = R.uniform(-5.0, 5.0);
+  }
+  // Rows built around a feasible witness point.
+  for (int I = 0; I < Params.NumRows; ++I) {
+    std::vector<int> Index;
+    std::vector<double> Value;
+    double Activity = 0.0;
+    for (int J = 0; J < Params.NumVars; ++J) {
+      if (!R.bernoulli(0.7))
+        continue;
+      double C = R.normal();
+      Index.push_back(J);
+      Value.push_back(C);
+      Activity += C * Witness[J];
+    }
+    double Slack = R.uniform(0.0, 3.0);
+    if (R.bernoulli(0.5))
+      P.addRowLe(std::move(Index), std::move(Value), Activity + Slack);
+    else
+      P.addRowGe(std::move(Index), std::move(Value), Activity - Slack);
+  }
+
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  // Feasibility of the returned point.
+  EXPECT_LT(P.maxViolation(S.X), 1e-5);
+  // Cannot be worse than the witness.
+  EXPECT_LE(S.Objective, P.objectiveValue(Witness) + 1e-6);
+
+  // KKT sign conditions from the reported duals:
+  //   rc_j = c_j - sum_i y_i a_ij, with rc >= 0 at lower bounds,
+  //   rc <= 0 at upper bounds, rc ~ 0 for interior variables; duals obey
+  //   y_i >= 0 on rows active at Lo, y_i <= 0 on rows active at Hi,
+  //   y_i ~ 0 on inactive rows.
+  std::vector<double> Rc(Params.NumVars);
+  for (int J = 0; J < Params.NumVars; ++J)
+    Rc[J] = P.objectiveCoef(J);
+  for (int I = 0; I < P.numRows(); ++I) {
+    const LpRow &Row = P.row(I);
+    for (size_t K = 0; K < Row.Index.size(); ++K)
+      Rc[Row.Index[K]] -= S.RowDuals[I] * Row.Value[K];
+  }
+  const double Tol = 1e-5;
+  for (int J = 0; J < Params.NumVars; ++J) {
+    bool AtLo = S.X[J] <= P.variableLo(J) + 1e-6;
+    bool AtHi = S.X[J] >= P.variableHi(J) - 1e-6;
+    if (AtLo && !AtHi) {
+      EXPECT_GE(Rc[J], -Tol) << "var " << J;
+    } else if (AtHi && !AtLo) {
+      EXPECT_LE(Rc[J], Tol) << "var " << J;
+    } else if (!AtLo && !AtHi) {
+      EXPECT_NEAR(Rc[J], 0.0, Tol) << "var " << J;
+    }
+  }
+  for (int I = 0; I < P.numRows(); ++I) {
+    double Activity = P.rowActivity(I, S.X);
+    const LpRow &Row = P.row(I);
+    bool AtLo = std::isfinite(Row.Lo) && Activity <= Row.Lo + 1e-6;
+    bool AtHi = std::isfinite(Row.Hi) && Activity >= Row.Hi - 1e-6;
+    if (!AtLo && !AtHi) {
+      EXPECT_NEAR(S.RowDuals[I], 0.0, Tol) << "row " << I;
+    } else if (AtLo && !AtHi) {
+      EXPECT_GE(S.RowDuals[I], -Tol) << "row " << I;
+    } else if (AtHi && !AtLo) {
+      EXPECT_LE(S.RowDuals[I], Tol) << "row " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomLpTest,
+    ::testing::Values(RandomLpParams{1, 3, 2}, RandomLpParams{2, 5, 8},
+                      RandomLpParams{3, 10, 4}, RandomLpParams{4, 8, 20},
+                      RandomLpParams{5, 20, 20}, RandomLpParams{6, 30, 60},
+                      RandomLpParams{7, 50, 30}, RandomLpParams{8, 40, 80},
+                      RandomLpParams{9, 60, 120}, RandomLpParams{10, 2, 40}));
+
+// --- Strong duality on constructed primal/dual pairs ------------------------
+
+class DualityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DualityTest, PrimalDualObjectivesMatch) {
+  // Primal:  min c.x  s.t. A x >= b, x >= 0.
+  // Dual:    max b.y  s.t. A^T y <= c, y >= 0.
+  // Constructed so both are feasible (hence both optimal, equal values).
+  Rng R(GetParam());
+  int N = R.uniformInt(3, 10);
+  int M = R.uniformInt(3, 10);
+  std::vector<std::vector<double>> A(M, std::vector<double>(N));
+  for (int I = 0; I < M; ++I)
+    for (int J = 0; J < N; ++J)
+      A[I][J] = R.normal();
+
+  // Primal witness x0 >= 0, b chosen below A x0.
+  std::vector<double> X0(N), B(M);
+  for (int J = 0; J < N; ++J)
+    X0[J] = R.uniform(0.0, 2.0);
+  for (int I = 0; I < M; ++I) {
+    double Activity = 0.0;
+    for (int J = 0; J < N; ++J)
+      Activity += A[I][J] * X0[J];
+    B[I] = Activity - R.uniform(0.0, 1.0);
+  }
+  // Dual witness y0 >= 0, c chosen above A^T y0.
+  std::vector<double> Y0(M), C(N);
+  for (int I = 0; I < M; ++I)
+    Y0[I] = R.uniform(0.0, 2.0);
+  for (int J = 0; J < N; ++J) {
+    double Col = 0.0;
+    for (int I = 0; I < M; ++I)
+      Col += A[I][J] * Y0[I];
+    C[J] = Col + R.uniform(0.0, 1.0);
+  }
+
+  LinearProgram Primal;
+  for (int J = 0; J < N; ++J)
+    Primal.addVariable(0.0, kInfinity, C[J]);
+  for (int I = 0; I < M; ++I) {
+    std::vector<int> Index(N);
+    std::vector<double> Value(N);
+    for (int J = 0; J < N; ++J) {
+      Index[J] = J;
+      Value[J] = A[I][J];
+    }
+    Primal.addRowGe(std::move(Index), std::move(Value), B[I]);
+  }
+
+  LinearProgram Dual;
+  for (int I = 0; I < M; ++I)
+    Dual.addVariable(0.0, kInfinity, -B[I]); // max b.y == min -b.y
+  for (int J = 0; J < N; ++J) {
+    std::vector<int> Index(M);
+    std::vector<double> Value(M);
+    for (int I = 0; I < M; ++I) {
+      Index[I] = I;
+      Value[I] = A[I][J];
+    }
+    Dual.addRowLe(std::move(Index), std::move(Value), C[J]);
+  }
+
+  LpSolution PrimalSol = solveLp(Primal);
+  LpSolution DualSol = solveLp(Dual);
+  ASSERT_EQ(PrimalSol.Status, SolveStatus::Optimal);
+  ASSERT_EQ(DualSol.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(PrimalSol.Objective, -DualSol.Objective,
+              1e-5 * (1.0 + std::fabs(PrimalSol.Objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DualityTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20, 21, 22));
+
+// --- DeltaLp norm encodings --------------------------------------------------
+
+TEST(DeltaLp, L1MinimalSolution) {
+  // Delta_0 + Delta_1 >= 2: the l1-minimal solutions all have norm 2.
+  DeltaLp D(2, Norm::L1);
+  D.addConstraint({1.0, 1.0}, 2.0, kInfinity);
+  LpSolution S = solveLp(D.problem());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  std::vector<double> Delta = D.extractDelta(S.X);
+  EXPECT_NEAR(Delta[0] + Delta[1], 2.0, 1e-7);
+  EXPECT_NEAR(S.Objective, 2.0, 1e-7);
+  EXPECT_NEAR(std::fabs(Delta[0]) + std::fabs(Delta[1]), 2.0, 1e-7);
+}
+
+TEST(DeltaLp, L1PrefersSparseOverSpread) {
+  // Delta_0 + 2*Delta_1 >= 2: the l1-minimum puts everything on the
+  // higher-leverage coordinate: Delta = (0, 1).
+  DeltaLp D(2, Norm::L1);
+  D.addConstraint({1.0, 2.0}, 2.0, kInfinity);
+  LpSolution S = solveLp(D.problem());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  std::vector<double> Delta = D.extractDelta(S.X);
+  EXPECT_NEAR(Delta[0], 0.0, 1e-7);
+  EXPECT_NEAR(Delta[1], 1.0, 1e-7);
+}
+
+TEST(DeltaLp, LInfSpreadsEvenly) {
+  // Delta_0 + Delta_1 >= 2 under l-inf: optimum Delta = (1, 1).
+  DeltaLp D(2, Norm::LInf);
+  D.addConstraint({1.0, 1.0}, 2.0, kInfinity);
+  LpSolution S = solveLp(D.problem());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  std::vector<double> Delta = D.extractDelta(S.X);
+  EXPECT_NEAR(Delta[0], 1.0, 1e-7);
+  EXPECT_NEAR(Delta[1], 1.0, 1e-7);
+  EXPECT_NEAR(S.Objective, 1.0, 1e-7);
+}
+
+TEST(DeltaLp, NegativeDirectionConstraints) {
+  DeltaLp D(2, Norm::L1);
+  D.addConstraint({1.0, 0.0}, -kInfinity, -3.0); // Delta_0 <= -3
+  LpSolution S = solveLp(D.problem());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  std::vector<double> Delta = D.extractDelta(S.X);
+  EXPECT_NEAR(Delta[0], -3.0, 1e-7);
+  EXPECT_NEAR(Delta[1], 0.0, 1e-7);
+}
+
+TEST(DeltaLp, InfeasibleWithinBox) {
+  DeltaLp D(1, Norm::L1, /*Bound=*/1.0);
+  D.addConstraint({1.0}, 5.0, kInfinity); // needs Delta_0 = 5 > box
+  LpSolution S = solveLp(D.problem());
+  EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+}
+
+TEST(DeltaLp, L1PlusLInfCombines) {
+  DeltaLp D(2, Norm::L1PlusLInf, kInfinity, /*LInfWeight=*/1.0);
+  D.addConstraint({1.0, 1.0}, 2.0, kInfinity);
+  LpSolution S = solveLp(D.problem());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  std::vector<double> Delta = D.extractDelta(S.X);
+  // l1 part is 2 regardless; the l-inf tie-break prefers the even
+  // split with max 1 (objective 2 + 1 = 3).
+  EXPECT_NEAR(Delta[0] + Delta[1], 2.0, 1e-7);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-6);
+  EXPECT_NEAR(Delta[0], 1.0, 1e-6);
+  EXPECT_NEAR(Delta[1], 1.0, 1e-6);
+}
+
+class DeltaLpRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaLpRandomTest, SolutionsSatisfyConstraints) {
+  Rng R(GetParam());
+  int N = R.uniformInt(2, 12);
+  int Rows = R.uniformInt(1, 15);
+  for (Norm Obj : {Norm::L1, Norm::LInf, Norm::L1PlusLInf}) {
+    DeltaLp D(N, Obj, /*Bound=*/50.0);
+    Rng Local = R.fork();
+    std::vector<double> Witness(N);
+    for (int J = 0; J < N; ++J)
+      Witness[J] = Local.uniform(-2.0, 2.0);
+    for (int I = 0; I < Rows; ++I) {
+      std::vector<double> Coef(N);
+      double Activity = 0.0;
+      for (int J = 0; J < N; ++J) {
+        Coef[J] = Local.normal();
+        Activity += Coef[J] * Witness[J];
+      }
+      D.addConstraint(Coef, Activity - Local.uniform(0.0, 1.0),
+                      Activity + Local.uniform(0.0, 1.0));
+    }
+    LpSolution S = solveLp(D.problem());
+    ASSERT_EQ(S.Status, SolveStatus::Optimal) << toString(Obj);
+    std::vector<double> Delta = D.extractDelta(S.X);
+    // Feasible for the original Delta constraints.
+    EXPECT_LT(D.problem().maxViolation(S.X), 1e-5);
+    // No better than the witness (which is feasible by construction).
+    EXPECT_LE(D.objectiveValue(Delta),
+              D.objectiveValue(Witness) + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeltaLpRandomTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+} // namespace

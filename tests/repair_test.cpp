@@ -1,0 +1,361 @@
+//===- tests/repair_test.cpp - point/polytope repair tests --------------------===//
+//
+// Reproduces the paper's §3 worked examples exactly (including the
+// l1-minimal deltas), checks Theorem 5.4/6.4 level guarantees
+// (satisfaction, minimality vs. alternatives, infeasibility detection),
+// and sweeps randomized repair problems with and without constraint
+// generation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PointRepair.h"
+#include "core/PolytopeRepair.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace prdnn;
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+Network makeFigure3Network() {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0}, {1.0}, {1.0}}), Vector{0.0, 0.0, -1.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(3));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0, -1.0, 1.0}}), Vector{0.0}));
+  return Net;
+}
+
+/// Mask matching the paper's drawn network: the three x->h weights and
+/// h3's bias are repairable; h1/h2 biases do not exist in Figure 3 and
+/// are frozen.
+std::vector<bool> figure3Mask() {
+  // Param layout for fc 3x1: W(3) then bias(3).
+  return {true, true, true, false, false, true};
+}
+
+Network makeRandomReluClassifier(Rng &R, int InputSize, int Hidden,
+                                 int Classes) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Hidden, InputSize, 0.9),
+      randomVector(R, Hidden, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Hidden, Hidden, 0.9), randomVector(R, Hidden, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Classes, Hidden, 0.9),
+      randomVector(R, Classes, 0.3)));
+  return Net;
+}
+
+// --- Paper §3.1 worked example ----------------------------------------------
+
+TEST(PointRepair, PaperSection31ExactDeltas) {
+  // Spec (Equation 2): -1 <= N'(0.5) <= -0.8 and -0.2 <= N'(1.5) <= 0.
+  // Paper's l1-minimal repair of the first layer: Delta2 = 0.6,
+  // Delta3 = 1.1333..., all others 0 (total 26/15).
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5},
+                  boxConstraint(Vector{-1.0}, Vector{-0.8}),
+                  std::nullopt});
+  Spec.push_back({Vector{1.5},
+                  boxConstraint(Vector{-0.2}, Vector{0.0}),
+                  std::nullopt});
+
+  RepairOptions Options;
+  Options.Objective = lp::Norm::L1;
+  Options.ParamMask = figure3Mask();
+  Options.RowMargin = 0.0;
+  RepairResult Result = repairPoints(Net, 0, Spec, Options);
+
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  EXPECT_NEAR(Result.Delta[0], 0.0, 1e-6);        // x->h1
+  EXPECT_NEAR(Result.Delta[1], 0.6, 1e-6);        // x->h2
+  EXPECT_NEAR(Result.Delta[2], 17.0 / 15.0, 1e-6); // x->h3 = 1.1333
+  EXPECT_NEAR(Result.Delta[5], 0.0, 1e-6);        // h3 bias
+  EXPECT_NEAR(Result.DeltaL1, 0.6 + 17.0 / 15.0, 1e-6);
+
+  // Repaired values match Figure 5(c): N5(0.5) = -0.8, N5(1.5) = -0.2.
+  const DecoupledNetwork &N5 = *Result.Repaired;
+  EXPECT_NEAR(N5.evaluate(Vector{0.5})[0], -0.8, 1e-7);
+  EXPECT_NEAR(N5.evaluate(Vector{1.5})[0], -0.2, 1e-7);
+
+  // Locality: the linear regions are unchanged (Theorem 4.6), so the
+  // repaired DDNN still maps x = -0.5 like N1 does outside the repair.
+  EXPECT_NEAR(N5.evaluate(Vector{-0.5})[0], -0.5, 1e-7);
+}
+
+TEST(PolytopeRepair, PaperSection32SingleWeightChange) {
+  // Spec (Equation 3): for all x in [0.5, 1.5], -0.8 <= N'(x) <= -0.4.
+  // Paper: key points {0.5, 1, 1, 1.5}; l1-minimal repair is the single
+  // change Delta2 = -0.2.
+  Network Net = makeFigure3Network();
+  PolytopeSpec Spec;
+  Spec.push_back(SpecPolytope{
+      SegmentPolytope{Vector{0.5}, Vector{1.5}},
+      boxConstraint(Vector{-0.8}, Vector{-0.4})});
+
+  RepairOptions Options;
+  Options.Objective = lp::Norm::L1;
+  Options.ParamMask = figure3Mask();
+  Options.RowMargin = 0.0;
+  RepairResult Result = repairPolytopes(Net, 0, Spec, Options);
+
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  // Two linear regions overlap [0.5, 1.5] -> 4 key points (1 appears
+  // twice, once per region; Appendix B).
+  EXPECT_EQ(Result.Stats.KeyPoints, 4);
+  EXPECT_EQ(Result.Stats.LinearRegions, 2);
+  EXPECT_NEAR(Result.Delta[1], -0.2, 1e-6);
+  EXPECT_NEAR(Result.DeltaL1, 0.2, 1e-6);
+
+  // Figure 5(d): N6(0.5) = -0.4 ... N6(1.5) = -0.5; verify the spec on
+  // dense samples of the segment (the whole point of Theorem 6.4).
+  const DecoupledNetwork &N6 = *Result.Repaired;
+  for (int I = 0; I <= 100; ++I) {
+    double X = 0.5 + I / 100.0;
+    double Y = N6.evaluate(Vector{X})[0];
+    EXPECT_LE(Y, -0.4 + 1e-7) << "x = " << X;
+    EXPECT_GE(Y, -0.8 - 1e-7) << "x = " << X;
+  }
+}
+
+// --- Guarantees ---------------------------------------------------------------
+
+TEST(PointRepair, InfeasibleSpecDetected) {
+  // Contradictory constraints on the same point: no repair of any layer
+  // can satisfy them.
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{1.0}, Vector{2.0}),
+                  std::nullopt});
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{-2.0}, Vector{-1.0}),
+                  std::nullopt});
+  for (int LayerIdx : Net.parameterizedLayerIndices()) {
+    RepairResult Result = repairPoints(Net, LayerIdx, Spec);
+    EXPECT_EQ(Result.Status, RepairStatus::Infeasible);
+  }
+}
+
+TEST(PointRepair, AlreadySatisfiedSpecYieldsZeroDelta) {
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{-1.0}, Vector{0.0}),
+                  std::nullopt});
+  RepairResult Result = repairPoints(Net, 0, Spec);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  EXPECT_NEAR(Result.DeltaL1, 0.0, 1e-9);
+}
+
+TEST(PointRepair, MinimalityAgainstHandConstructedAlternative) {
+  // Force N(0.5) from -0.5 to exactly -1.0 by repairing the output
+  // layer. Output layer params: (w1, w2, w3, b); at x=0.5 only h2=0.5
+  // is active, so the constraint is -0.5 + 0.5 dw2 + db = -1. The
+  // l1-minimal solution is db = -0.5 (cost 0.5) rather than dw2 = -1.
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{-1.0}, Vector{-1.0}),
+                  std::nullopt});
+  RepairOptions Options;
+  Options.RowMargin = 0.0;
+  RepairResult Result = repairPoints(Net, 2, Spec, Options);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  EXPECT_NEAR(Result.DeltaL1, 0.5, 1e-6);
+  EXPECT_NEAR(Result.Delta[3], -0.5, 1e-6); // the bias
+}
+
+TEST(PointRepair, LInfObjectiveSpreadsTheChange) {
+  // Same constraint under l-infinity: spreading over w2 and b is now
+  // optimal with max-magnitude 1/3 (dw2 * 0.5 + db = -0.5 with
+  // |dw2|,|db| <= t minimized at t = 1/3).
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{-1.0}, Vector{-1.0}),
+                  std::nullopt});
+  RepairOptions Options;
+  Options.Objective = lp::Norm::LInf;
+  Options.RowMargin = 0.0;
+  RepairResult Result = repairPoints(Net, 2, Spec, Options);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  EXPECT_NEAR(Result.DeltaLInf, 1.0 / 3.0, 1e-6);
+}
+
+// --- Randomized sweeps ---------------------------------------------------------
+
+struct RepairSweepParams {
+  uint64_t Seed;
+  int Points;
+  bool UseCg;
+};
+
+class RepairSweep : public ::testing::TestWithParam<RepairSweepParams> {};
+
+TEST_P(RepairSweep, RepairedNetworkSatisfiesClassificationSpec) {
+  RepairSweepParams Params = GetParam();
+  Rng R(Params.Seed);
+  const int Classes = 4;
+  Network Net = makeRandomReluClassifier(R, 5, 12, Classes);
+
+  // Ask for a (random) target class on each point - the typical "buggy
+  // points" workload. Repairs the output layer, where a fix always
+  // exists for generic inputs.
+  PointSpec Spec;
+  std::vector<Vector> Xs;
+  for (int I = 0; I < Params.Points; ++I) {
+    Vector X = randomVector(R, 5, 1.5);
+    int Target = R.uniformInt(0, Classes - 1);
+    Spec.push_back({X, classificationConstraint(Classes, Target, 1e-3),
+                    std::nullopt});
+    Xs.push_back(std::move(X));
+  }
+
+  RepairOptions Options;
+  Options.UseConstraintGeneration = Params.UseCg;
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+  RepairResult Result = repairPoints(Net, OutputLayer, Spec, Options);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+
+  // Every repaired point is now classified as requested (P1 efficacy =
+  // 100%), measured on the network, not the LP.
+  for (size_t I = 0; I < Spec.size(); ++I) {
+    Vector Y = Result.Repaired->evaluate(Spec[I].X);
+    EXPECT_LE(Spec[I].Constraint.violation(Y), 1e-6) << "point " << I;
+  }
+  EXPECT_LE(Result.Stats.VerifiedViolation, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RepairSweep,
+    ::testing::Values(RepairSweepParams{41, 1, true},
+                      RepairSweepParams{42, 3, true},
+                      RepairSweepParams{43, 6, true},
+                      RepairSweepParams{44, 10, true},
+                      RepairSweepParams{45, 6, false},
+                      RepairSweepParams{46, 10, false},
+                      RepairSweepParams{47, 16, true},
+                      RepairSweepParams{48, 16, false}));
+
+TEST(PointRepair, ConstraintGenerationMatchesFullSolve) {
+  // CG is an exact method: the optimal objective must match the full LP.
+  Rng R(51);
+  Network Net = makeRandomReluClassifier(R, 4, 10, 3);
+  PointSpec Spec;
+  for (int I = 0; I < 8; ++I)
+    Spec.push_back({randomVector(R, 4, 1.5),
+                    classificationConstraint(3, R.uniformInt(0, 2), 1e-3),
+                    std::nullopt});
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+
+  RepairOptions WithCg;
+  WithCg.UseConstraintGeneration = true;
+  RepairOptions Without;
+  Without.UseConstraintGeneration = false;
+  RepairResult A = repairPoints(Net, OutputLayer, Spec, WithCg);
+  RepairResult B = repairPoints(Net, OutputLayer, Spec, Without);
+  ASSERT_EQ(A.Status, RepairStatus::Success);
+  ASSERT_EQ(B.Status, RepairStatus::Success);
+  EXPECT_NEAR(A.DeltaL1, B.DeltaL1, 1e-5 * (1.0 + B.DeltaL1));
+}
+
+TEST(PolytopeRepair, SegmentSpecHoldsOnDenseSamples) {
+  Rng R(61);
+  Network Net = makeRandomReluClassifier(R, 4, 10, 3);
+  // Pick a segment and demand its current majority class everywhere
+  // along it (with a positive margin) - a "repair the corridor" spec.
+  Vector A = randomVector(R, 4);
+  Vector B = randomVector(R, 4);
+  int Target = Net.classify(A);
+
+  PolytopeSpec Spec;
+  Spec.push_back(SpecPolytope{SegmentPolytope{A, B},
+                              classificationConstraint(3, Target, 1e-3)});
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+  RepairResult Result = repairPolytopes(Net, OutputLayer, Spec);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  EXPECT_GT(Result.Stats.KeyPoints, 0);
+
+  for (int I = 0; I <= 200; ++I) {
+    double T = I / 200.0;
+    Vector X = B;
+    X -= A;
+    X *= T;
+    X += A;
+    EXPECT_EQ(Result.Repaired->classify(X), Target) << "t = " << T;
+  }
+}
+
+TEST(PolytopeRepair, PlaneSpecHoldsOnDenseSamples) {
+  Rng R(62);
+  Network Net = makeRandomReluClassifier(R, 4, 8, 3);
+  Vector Origin = randomVector(R, 4);
+  Vector E1 = randomVector(R, 4, 0.8);
+  Vector E2 = randomVector(R, 4, 0.8);
+  auto At = [&](double S, double T) {
+    Vector V = Origin;
+    V += E1 * S;
+    V += E2 * T;
+    return V;
+  };
+  int Target = Net.classify(At(0.5, 0.5));
+
+  PolytopeSpec Spec;
+  Spec.push_back(SpecPolytope{
+      PlanePolytope{{At(0, 0), At(1, 0), At(1, 1), At(0, 1)}},
+      classificationConstraint(3, Target, 1e-3)});
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+  RepairResult Result = repairPolytopes(Net, OutputLayer, Spec);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+
+  Rng Sampler(63);
+  for (int I = 0; I < 300; ++I) {
+    Vector X = At(Sampler.uniform(), Sampler.uniform());
+    EXPECT_EQ(Result.Repaired->classify(X), Target);
+  }
+}
+
+TEST(PointRepair, FrozenParametersStayFrozen) {
+  Network Net = makeFigure3Network();
+  PointSpec Spec;
+  Spec.push_back({Vector{0.5}, boxConstraint(Vector{-1.0}, Vector{-0.9}),
+                  std::nullopt});
+  RepairOptions Options;
+  // Only the h2 bias (index 4) may move.
+  Options.ParamMask = std::vector<bool>{false, false, false, false, true,
+                                        false};
+  RepairResult Result = repairPoints(Net, 0, Spec, Options);
+  ASSERT_EQ(Result.Status, RepairStatus::Success);
+  for (int P = 0; P < 6; ++P) {
+    if (P != 4) {
+      EXPECT_EQ(Result.Delta[static_cast<size_t>(P)], 0.0) << "param " << P;
+    }
+  }
+  EXPECT_GT(std::fabs(Result.Delta[4]), 1e-9);
+}
+
+} // namespace

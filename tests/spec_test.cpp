@@ -1,0 +1,129 @@
+//===- tests/spec_test.cpp - specification builder tests -----------------------===//
+
+#include "core/Specification.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace prdnn;
+
+TEST(Spec, ClassificationConstraintSemantics) {
+  // "Class 2 of 4 wins with margin 0.1".
+  OutputConstraint C = classificationConstraint(4, 2, 0.1);
+  ASSERT_EQ(C.numRows(), 3);
+  EXPECT_TRUE(C.satisfiedBy(Vector{0.0, 0.0, 1.0, 0.5}));
+  // Margin counts: a 0.05 gap is not enough.
+  EXPECT_FALSE(C.satisfiedBy(Vector{0.0, 0.0, 1.0, 0.95}));
+  // Another class winning violates by the gap plus the margin.
+  Vector Y{2.0, 0.0, 1.0, 0.0};
+  EXPECT_NEAR(C.violation(Y), 1.0 + 0.1, 1e-12);
+}
+
+TEST(Spec, ClassificationConstraintAllLabels) {
+  for (int Label = 0; Label < 5; ++Label) {
+    OutputConstraint C = classificationConstraint(5, Label, 0.0);
+    Vector Y(5);
+    Y[Label] = 1.0;
+    EXPECT_TRUE(C.satisfiedBy(Y)) << "label " << Label;
+    Vector Bad(5);
+    Bad[(Label + 1) % 5] = 1.0;
+    EXPECT_FALSE(Bad.argmax() == Label);
+    EXPECT_FALSE(C.satisfiedBy(Bad, 1e-9)) << "label " << Label;
+  }
+}
+
+TEST(Spec, BoxConstraintSkipsInfiniteBounds) {
+  double Inf = std::numeric_limits<double>::infinity();
+  OutputConstraint C = boxConstraint(Vector{-1.0, -Inf}, Vector{Inf, 2.0});
+  // One finite bound per coordinate -> two rows total.
+  ASSERT_EQ(C.numRows(), 2);
+  EXPECT_TRUE(C.satisfiedBy(Vector{100.0, -100.0}));
+  EXPECT_FALSE(C.satisfiedBy(Vector{-2.0, 0.0}));
+  EXPECT_FALSE(C.satisfiedBy(Vector{0.0, 3.0}));
+}
+
+TEST(Spec, BoxConstraintViolationMagnitude) {
+  OutputConstraint C = boxConstraint(Vector{0.0}, Vector{1.0});
+  EXPECT_DOUBLE_EQ(C.violation(Vector{1.75}), 0.75);
+  EXPECT_DOUBLE_EQ(C.violation(Vector{-0.25}), 0.25);
+  EXPECT_DOUBLE_EQ(C.violation(Vector{0.5}), 0.0);
+}
+
+TEST(Spec, SatisfiesChecksPinnedPatterns) {
+  // N(x) = ReLU(x); at x = 0 the pinned "active" pattern extends the
+  // identity piece, so constraints are judged against that extension.
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0}}), Vector{0.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(1));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0}}), Vector{0.0}));
+
+  NetworkPattern Active = computePattern(Net, Vector{1.0});
+  NetworkPattern Inactive = computePattern(Net, Vector{-1.0});
+
+  PointSpec SpecActive;
+  SpecActive.push_back({Vector{-2.0},
+                        boxConstraint(Vector{-2.0}, Vector{-2.0}), Active});
+  EXPECT_TRUE(satisfies(Net, SpecActive, 1e-9));
+
+  PointSpec SpecInactive;
+  SpecInactive.push_back({Vector{-2.0},
+                          boxConstraint(Vector{0.0}, Vector{0.0}),
+                          Inactive});
+  EXPECT_TRUE(satisfies(Net, SpecInactive, 1e-9));
+
+  // maxViolation reports the worst point across the spec.
+  PointSpec Mixed = SpecActive;
+  Mixed.push_back({Vector{3.0}, boxConstraint(Vector{0.0}, Vector{1.0}),
+                   std::nullopt});
+  EXPECT_NEAR(maxViolation(Net, Mixed), 2.0, 1e-9);
+}
+
+TEST(Spec, EmptySpecIsSatisfied) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0}}), Vector{0.0}));
+  EXPECT_TRUE(satisfies(Net, PointSpec{}));
+  EXPECT_DOUBLE_EQ(maxViolation(Net, PointSpec{}), 0.0);
+}
+
+class SpecRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpecRandomTest, ViolationIsMaxOverRows) {
+  Rng R(GetParam());
+  int Dim = R.uniformInt(2, 6);
+  int Rows = R.uniformInt(1, 8);
+  OutputConstraint C;
+  C.A = Matrix(Rows, Dim);
+  C.B = Vector(Rows);
+  for (int I = 0; I < Rows; ++I) {
+    for (int J = 0; J < Dim; ++J)
+      C.A(I, J) = R.normal();
+    C.B[I] = R.normal();
+  }
+  Vector Y(Dim);
+  for (int J = 0; J < Dim; ++J)
+    Y[J] = R.normal();
+  double Expected = 0.0;
+  for (int I = 0; I < Rows; ++I) {
+    double Activity = 0.0;
+    for (int J = 0; J < Dim; ++J)
+      Activity += C.A(I, J) * Y[J];
+    Expected = std::max(Expected, Activity - C.B[I]);
+  }
+  EXPECT_NEAR(C.violation(Y), Expected, 1e-12);
+  EXPECT_EQ(C.satisfiedBy(Y, 1e-9), Expected <= 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecRandomTest,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- tests/support_test.cpp - support library tests ----------------------===//
+
+#include "support/Casting.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace {
+
+using namespace prdnn;
+
+// --- Casting ---------------------------------------------------------------
+
+enum class ShapeKind { Circle, Square };
+
+struct Shape {
+  explicit Shape(ShapeKind K) : Kind(K) {}
+  ShapeKind getKind() const { return Kind; }
+
+private:
+  ShapeKind Kind;
+};
+
+struct Circle : Shape {
+  Circle() : Shape(ShapeKind::Circle) {}
+  static bool classof(const Shape *S) {
+    return S->getKind() == ShapeKind::Circle;
+  }
+};
+
+struct Square : Shape {
+  Square() : Shape(ShapeKind::Square) {}
+  static bool classof(const Shape *S) {
+    return S->getKind() == ShapeKind::Square;
+  }
+};
+
+TEST(Casting, IsaAndDynCast) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+  EXPECT_NE(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), nullptr);
+  EXPECT_EQ(cast<Circle>(S), &C);
+  const Shape *CS = &C;
+  EXPECT_TRUE(isa<Circle>(*CS));
+  EXPECT_EQ(dyn_cast<Circle>(CS), &C);
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+    double V = R.uniform(-3.0, 5.0);
+    EXPECT_GE(V, -3.0);
+    EXPECT_LT(V, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng R(11);
+  bool Seen[5] = {false, false, false, false, false};
+  for (int I = 0; I < 500; ++I) {
+    int V = R.uniformInt(0, 4);
+    ASSERT_GE(V, 0);
+    ASSERT_LE(V, 4);
+    Seen[V] = true;
+  }
+  for (bool B : Seen)
+    EXPECT_TRUE(B);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng R(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng R(99);
+  Rng A = R.fork();
+  Rng B = R.fork();
+  // Forked streams should differ from each other.
+  int Same = 0;
+  for (int I = 0; I < 50; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng R(5);
+  std::vector<int> V{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+// --- Timer -----------------------------------------------------------------
+
+TEST(Timer, PhaseProfilerAccumulates) {
+  PhaseProfiler Prof;
+  Prof.add("lp", 1.5);
+  Prof.add("lp", 0.5);
+  Prof.add("jacobian", 2.0);
+  EXPECT_DOUBLE_EQ(Prof.get("lp"), 2.0);
+  EXPECT_DOUBLE_EQ(Prof.get("jacobian"), 2.0);
+  EXPECT_DOUBLE_EQ(Prof.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(Prof.total(), 4.0);
+}
+
+TEST(Timer, ScopedPhaseRecordsNonnegative) {
+  PhaseProfiler Prof;
+  { ScopedPhase Phase(Prof, "work"); }
+  EXPECT_GE(Prof.get("work"), 0.0);
+}
+
+// --- Table -----------------------------------------------------------------
+
+TEST(Table, FormatDuration) {
+  EXPECT_EQ(formatDuration(12.34), "12.3s");
+  EXPECT_EQ(formatDuration(99.0), "1m39.0s");
+  EXPECT_EQ(formatDuration(170.8), "2m50.8s");
+  EXPECT_EQ(formatDuration(3600 + 22 * 60 + 18.7), "1h22m18.7s");
+  EXPECT_EQ(formatDuration(-1.0), "0.0s");
+}
+
+TEST(Table, FormatPercentAndDouble) {
+  EXPECT_EQ(formatPercent(0.036), "3.6");
+  EXPECT_EQ(formatPercent(0.1234, 2), "12.34");
+  EXPECT_EQ(formatDouble(3.14159, 3), "3.142");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  TablePrinter Table({"Name", "Value"});
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "22"});
+  std::ostringstream Os;
+  Table.print(Os);
+  std::string Text = Os.str();
+  EXPECT_NE(Text.find("Name"), std::string::npos);
+  EXPECT_NE(Text.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Text.find("----"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+//===- tests/syrenn_test.cpp - LinRegions transform tests --------------------===//
+//
+// The 1-D transform is validated against the paper's worked example
+// (Equation 1) and by the defining property of a linear-region
+// partition: the network is affine on each piece (midpoint test) and
+// the pieces cover [0, 1]. The 2-D transform is validated by area
+// conservation, per-region affineness, and pattern constancy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syrenn/LineTransform.h"
+#include "syrenn/PlaneTransform.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/ActivationPattern.h"
+#include "nn/LinearLayers.h"
+#include "nn/PoolLayers.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace prdnn;
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+Network makeFigure3Network() {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0}, {1.0}, {1.0}}), Vector{0.0, 0.0, -1.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(3));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0, -1.0, 1.0}}), Vector{0.0}));
+  return Net;
+}
+
+Network makeRandomReluNetwork(Rng &R, int InputSize, int Hidden, int Depth,
+                              int OutputSize) {
+  Network Net;
+  int Size = InputSize;
+  for (int D = 0; D < Depth; ++D) {
+    Net.addLayer(std::make_unique<FullyConnectedLayer>(
+        randomMatrix(R, Hidden, Size, 1.2), randomVector(R, Hidden, 0.4)));
+    Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+    Size = Hidden;
+  }
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, OutputSize, Size, 1.2),
+      randomVector(R, OutputSize, 0.4)));
+  return Net;
+}
+
+// --- 1-D -----------------------------------------------------------------
+
+TEST(LineTransform, Figure3Equation1) {
+  // LinRegions(N1, [-1, 2]) = {[-1, 0], [0, 1], [1, 2]} (Equation 1).
+  Network Net = makeFigure3Network();
+  LinePartition P = lineRegions(Net, Vector{-1.0}, Vector{2.0});
+  ASSERT_EQ(P.numPieces(), 3);
+  // Breakpoints in t-space over [-1, 2]: x = 0 at t = 1/3, x = 1 at 2/3.
+  EXPECT_NEAR(P.Ts[0], 0.0, 1e-12);
+  EXPECT_NEAR(P.Ts[1], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(P.Ts[2], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(P.Ts[3], 1.0, 1e-12);
+}
+
+TEST(LineTransform, EndpointsAlwaysPresent) {
+  Network Net = makeFigure3Network();
+  LinePartition P = lineRegions(Net, Vector{0.2}, Vector{0.8});
+  // Entirely inside one region.
+  ASSERT_EQ(P.numPieces(), 1);
+  EXPECT_DOUBLE_EQ(P.Ts.front(), 0.0);
+  EXPECT_DOUBLE_EQ(P.Ts.back(), 1.0);
+}
+
+TEST(LineTransform, PointAtInterpolates) {
+  LinePartition P;
+  P.A = Vector{0.0, 10.0};
+  P.B = Vector{2.0, 20.0};
+  Vector Mid = P.pointAt(0.5);
+  EXPECT_DOUBLE_EQ(Mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(Mid[1], 15.0);
+}
+
+class LineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LineSweep, PartitionIsAffinePerPieceAndPatternsConstant) {
+  Rng R(GetParam());
+  Network Net = makeRandomReluNetwork(R, 3, 8, 2, 2);
+  Vector A = randomVector(R, 3, 2.0);
+  Vector B = randomVector(R, 3, 2.0);
+  LinePartition P = lineRegions(Net, A, B);
+
+  ASSERT_GE(P.numPieces(), 1);
+  EXPECT_DOUBLE_EQ(P.Ts.front(), 0.0);
+  EXPECT_DOUBLE_EQ(P.Ts.back(), 1.0);
+  for (size_t I = 0; I + 1 < P.Ts.size(); ++I)
+    EXPECT_LT(P.Ts[I], P.Ts[I + 1]);
+
+  for (int Piece = 0; Piece < P.numPieces(); ++Piece) {
+    double T0 = P.Ts[static_cast<size_t>(Piece)];
+    double T1 = P.Ts[static_cast<size_t>(Piece) + 1];
+    // Affine on the piece: midpoint value equals endpoint average ...
+    Vector Y0 = Net.evaluate(P.pointAt(T0));
+    Vector Y1 = Net.evaluate(P.pointAt(T1));
+    Vector Mid = Net.evaluate(P.pointAt(0.5 * (T0 + T1)));
+    EXPECT_LT(Mid.maxAbsDiff((Y0 + Y1) * 0.5), 1e-7) << "piece " << Piece;
+    // ... and at random interior convex combinations too.
+    for (int Trial = 0; Trial < 3; ++Trial) {
+      double S = R.uniform(0.05, 0.95);
+      Vector Ys = Net.evaluate(P.pointAt(T0 + S * (T1 - T0)));
+      Vector Expect = Y0 * (1.0 - S) + Y1 * S;
+      EXPECT_LT(Ys.maxAbsDiff(Expect), 1e-7);
+    }
+    // Patterns agree at interior samples of the same piece.
+    NetworkPattern PatMid =
+        computePattern(Net, P.pointAt(P.midpoint(Piece)));
+    NetworkPattern PatOther = computePattern(
+        Net, P.pointAt(T0 + 0.25 * (T1 - T0) + 1e-9));
+    EXPECT_TRUE(PatMid == PatOther) << "piece " << Piece;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LineSweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(LineTransform, MaxPoolCrossingsSubdivide) {
+  // conv-free network with a maxpool: regions change where window
+  // entries cross.
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0}, {-1.0}, {0.5}, {0.0}}),
+      Vector{0.0, 0.0, 0.0, 0.2}));
+  Net.addLayer(std::make_unique<MaxPool2DLayer>(1, 2, 2, 2, 2, 2));
+  LinePartition P = lineRegions(Net, Vector{-2.0}, Vector{2.0});
+  ASSERT_GE(P.numPieces(), 2);
+  // Function is max(x, -x, x/2, 0.2): affine per piece.
+  for (int Piece = 0; Piece < P.numPieces(); ++Piece) {
+    double T0 = P.Ts[static_cast<size_t>(Piece)];
+    double T1 = P.Ts[static_cast<size_t>(Piece) + 1];
+    Vector Y0 = Net.evaluate(P.pointAt(T0));
+    Vector Y1 = Net.evaluate(P.pointAt(T1));
+    Vector Mid = Net.evaluate(P.pointAt(0.5 * (T0 + T1)));
+    EXPECT_LT(Mid.maxAbsDiff((Y0 + Y1) * 0.5), 1e-9);
+  }
+}
+
+TEST(LineTransform, HardTanhDoubleThreshold) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0}}), Vector{0.0}));
+  Net.addLayer(std::make_unique<HardTanhLayer>(1));
+  LinePartition P = lineRegions(Net, Vector{-3.0}, Vector{3.0});
+  // Pieces: [-3,-1], [-1,1], [1,3].
+  ASSERT_EQ(P.numPieces(), 3);
+  EXPECT_NEAR(P.Ts[1], (-1.0 + 3.0) / 6.0, 1e-9);
+}
+
+// --- 2-D -----------------------------------------------------------------
+
+class PlaneSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlaneSweep, RegionsTileThePolygonAndAreAffine) {
+  Rng R(GetParam());
+  Network Net = makeRandomReluNetwork(R, 4, 6, 2, 2);
+
+  // An axis-aligned square embedded in a random 2-D affine subspace.
+  Vector Origin = randomVector(R, 4);
+  Vector E1 = randomVector(R, 4);
+  Vector E2 = randomVector(R, 4);
+  auto At = [&](double S, double T) {
+    Vector V = Origin;
+    V += E1 * S;
+    V += E2 * T;
+    return V;
+  };
+  std::vector<Vector> Polygon = {At(0, 0), At(1, 0), At(1, 1), At(0, 1)};
+
+  std::vector<PlaneRegion> Regions = planeRegions(Net, Polygon);
+  ASSERT_GE(Regions.size(), 1u);
+
+  // Area conservation in the plane frame.
+  double TotalArea = 0.0;
+  for (const PlaneRegion &Region : Regions)
+    TotalArea += Region.area();
+  // The square's area in the orthonormal plane frame equals the area of
+  // the parallelogram-mapped unit square: compute it from the frame.
+  PlaneRegion Whole;
+  Whole.InputVertices = Polygon;
+  // Recompute expected area via the cross-product formula in the plane.
+  double L1 = E1.norm2();
+  Vector E2Orth = E2;
+  Vector Proj = E1 * (E2.dot(E1) / (L1 * L1));
+  E2Orth -= Proj;
+  double ExpectedArea = L1 * E2Orth.norm2();
+  EXPECT_NEAR(TotalArea, ExpectedArea, 1e-6 * ExpectedArea);
+
+  // Affine within each region; pattern constant at interior points.
+  for (const PlaneRegion &Region : Regions) {
+    Vector C = Region.centroid();
+    Vector Yc = Net.evaluate(C);
+    NetworkPattern Pat = computePattern(Net, C);
+    int N = static_cast<int>(Region.InputVertices.size());
+    // Midpoint of centroid and each vertex stays in the (convex) region.
+    for (int I = 0; I < N; ++I) {
+      Vector MidPoint = (Region.InputVertices[static_cast<size_t>(I)] + C) *
+                        0.5;
+      Vector Expected =
+          (Net.evaluate(Region.InputVertices[static_cast<size_t>(I)]) + Yc) *
+          0.5;
+      EXPECT_LT(Net.evaluate(MidPoint).maxAbsDiff(Expected), 1e-6);
+      // Interior points share the centroid's pattern.
+      Vector Inner = C;
+      Inner += (Region.InputVertices[static_cast<size_t>(I)] - C) * 0.9;
+      Vector YInner = Net.evaluate(Inner);
+      Vector YLinear = Yc + (Net.evaluate(MidPoint) - Yc) * (0.9 / 0.5);
+      EXPECT_LT(YInner.maxAbsDiff(YLinear), 1e-5);
+    }
+    (void)Pat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlaneSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(PlaneTransform, SingleRegionForAffineNetwork) {
+  Rng R(31);
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(randomMatrix(R, 3, 3),
+                                                     randomVector(R, 3)));
+  std::vector<Vector> Polygon = {Vector{0.0, 0.0, 0.0}, Vector{1.0, 0.0, 0.0},
+                                 Vector{1.0, 1.0, 0.0}, Vector{0.0, 1.0, 0.0}};
+  std::vector<PlaneRegion> Regions = planeRegions(Net, Polygon);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_NEAR(Regions[0].area(), 1.0, 1e-9);
+}
+
+TEST(PlaneTransform, SplitCountMatchesSimpleGeometry) {
+  // One ReLU over x: splits the square into x<0 and x>0 halves.
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{1.0, 0.0}}), Vector{0.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(1));
+  std::vector<Vector> Polygon = {Vector{-1.0, -1.0}, Vector{1.0, -1.0},
+                                 Vector{1.0, 1.0}, Vector{-1.0, 1.0}};
+  std::vector<PlaneRegion> Regions = planeRegions(Net, Polygon);
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_NEAR(Regions[0].area() + Regions[1].area(), 4.0, 1e-9);
+  EXPECT_NEAR(Regions[0].area(), 2.0, 1e-9);
+}
+
+} // namespace

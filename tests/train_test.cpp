@@ -1,0 +1,269 @@
+//===- tests/train_test.cpp - SGD / FT / MFT tests -----------------------------===//
+
+#include "train/FineTune.h"
+#include "train/Loss.h"
+#include "train/Sgd.h"
+
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Casting.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace prdnn;
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+Network makeSmallClassifier(Rng &R, int InputSize, int Hidden, int Classes) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Hidden, InputSize, 0.7),
+      randomVector(R, Hidden, 0.1)));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Classes, Hidden, 0.7),
+      randomVector(R, Classes, 0.1)));
+  return Net;
+}
+
+/// Two well-separated Gaussian blobs per class.
+Dataset makeBlobs(Rng &R, int PerClass, int Classes, int Dim) {
+  Dataset Data;
+  std::vector<Vector> Centers;
+  for (int C = 0; C < Classes; ++C) {
+    Vector Center(Dim);
+    for (int D = 0; D < Dim; ++D)
+      Center[D] = 4.0 * ((C >> (D % 3)) & 1 ? 1.0 : -1.0) +
+                  0.5 * C; // spread the classes apart
+    Centers.push_back(std::move(Center));
+  }
+  for (int I = 0; I < PerClass * Classes; ++I) {
+    int C = I % Classes;
+    Vector X = Centers[static_cast<size_t>(C)];
+    for (int D = 0; D < Dim; ++D)
+      X[D] += R.normal(0.0, 0.4);
+    Data.push(std::move(X), C);
+  }
+  return Data;
+}
+
+// --- Loss ---------------------------------------------------------------------
+
+TEST(Loss, CrossEntropyKnownValues) {
+  // Uniform logits over K classes: loss = log K.
+  Vector Logits{0.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(crossEntropyLoss(Logits, 2), std::log(4.0), 1e-12);
+  // Strongly-correct prediction: near-zero loss.
+  Vector Confident{10.0, -10.0};
+  EXPECT_LT(crossEntropyLoss(Confident, 0), 1e-4);
+  EXPECT_GT(crossEntropyLoss(Confident, 1), 10.0);
+}
+
+TEST(Loss, StableUnderLargeLogits) {
+  Vector Huge{1000.0, 999.0};
+  double L = crossEntropyLoss(Huge, 0);
+  EXPECT_TRUE(std::isfinite(L));
+  EXPECT_NEAR(L, std::log(1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(Loss, GradientMatchesFiniteDifferences) {
+  Rng R(1);
+  Vector Logits = randomVector(R, 5, 2.0);
+  Vector Grad;
+  crossEntropyLossGrad(Logits, 3, Grad);
+  const double Eps = 1e-6;
+  for (int I = 0; I < 5; ++I) {
+    Vector Plus = Logits, Minus = Logits;
+    Plus[I] += Eps;
+    Minus[I] -= Eps;
+    double Fd =
+        (crossEntropyLoss(Plus, 3) - crossEntropyLoss(Minus, 3)) / (2 * Eps);
+    EXPECT_NEAR(Grad[I], Fd, 1e-6);
+  }
+  // Softmax gradient rows sum to zero.
+  double Sum = 0.0;
+  for (int I = 0; I < 5; ++I)
+    Sum += Grad[I];
+  EXPECT_NEAR(Sum, 0.0, 1e-12);
+}
+
+// --- Backprop -------------------------------------------------------------------
+
+TEST(Backprop, FullNetworkGradientCheck) {
+  Rng R(2);
+  Network Net = makeSmallClassifier(R, 4, 6, 3);
+  Vector X = randomVector(R, 4);
+  int Label = 1;
+
+  std::vector<std::vector<double>> Grads(
+      static_cast<size_t>(Net.numLayers()));
+  for (int LayerIdx : Net.parameterizedLayerIndices())
+    Grads[static_cast<size_t>(LayerIdx)].assign(
+        static_cast<size_t>(
+            cast<LinearLayer>(Net.layer(LayerIdx)).numParams()),
+        0.0);
+  backprop(Net, X, Label, Grads);
+
+  const double Eps = 1e-6;
+  for (int LayerIdx : Net.parameterizedLayerIndices()) {
+    auto &L = cast<LinearLayer>(Net.layer(LayerIdx));
+    std::vector<double> Params;
+    L.getParams(Params);
+    for (int P = 0; P < L.numParams(); ++P) {
+      std::vector<double> Mod = Params;
+      Mod[P] += Eps;
+      L.setParams(Mod);
+      double Plus = crossEntropyLoss(Net.evaluate(X), Label);
+      Mod[P] -= 2 * Eps;
+      L.setParams(Mod);
+      double Minus = crossEntropyLoss(Net.evaluate(X), Label);
+      L.setParams(Params);
+      double Fd = (Plus - Minus) / (2 * Eps);
+      EXPECT_NEAR(Grads[static_cast<size_t>(LayerIdx)][P], Fd, 1e-5)
+          << "layer " << LayerIdx << " param " << P;
+    }
+  }
+}
+
+// --- SGD -----------------------------------------------------------------------
+
+TEST(Sgd, LearnsSeparableBlobs) {
+  Rng R(3);
+  Network Net = makeSmallClassifier(R, 3, 12, 4);
+  Dataset Data = makeBlobs(R, 40, 4, 3);
+  SgdOptions Options;
+  Options.LearningRate = 0.05;
+  Options.Momentum = 0.9;
+  Options.BatchSize = 16;
+  Options.Epochs = 40;
+  TrainTrace Trace = trainSgd(Net, Data, Options, R);
+  ASSERT_EQ(Trace.EpochLoss.size(), 40u);
+  EXPECT_LT(Trace.EpochLoss.back(), Trace.EpochLoss.front());
+  EXPECT_GE(accuracy(Net, Data.Inputs, Data.Labels), 0.97);
+}
+
+TEST(Sgd, DeterministicGivenSeed) {
+  Rng R1(4), R2(4);
+  Rng Init(5);
+  Network A = makeSmallClassifier(Init, 3, 8, 3);
+  Network B = A;
+  Dataset Data = makeBlobs(Init, 20, 3, 3);
+  SgdOptions Options;
+  Options.Epochs = 5;
+  trainSgd(A, Data, Options, R1);
+  trainSgd(B, Data, Options, R2);
+  Vector X = Vector{0.5, -0.5, 1.0};
+  EXPECT_LT(A.evaluate(X).maxAbsDiff(B.evaluate(X)), 1e-15);
+}
+
+TEST(Sgd, OnlyLayerLeavesOthersUntouched) {
+  Rng R(6);
+  Network Net = makeSmallClassifier(R, 3, 8, 3);
+  std::vector<double> Layer0Before;
+  cast<LinearLayer>(Net.layer(0)).getParams(Layer0Before);
+
+  Dataset Data = makeBlobs(R, 10, 3, 3);
+  SgdOptions Options;
+  Options.Epochs = 3;
+  Options.OnlyLayer = 2;
+  trainSgd(Net, Data, Options, R);
+
+  std::vector<double> Layer0After;
+  cast<LinearLayer>(Net.layer(0)).getParams(Layer0After);
+  EXPECT_EQ(Layer0Before, Layer0After);
+}
+
+TEST(Sgd, DriftPenaltyShrinksTheChange) {
+  Rng Init(7);
+  Network Base = makeSmallClassifier(Init, 3, 8, 3);
+  Dataset Data = makeBlobs(Init, 15, 3, 3);
+
+  auto DriftOf = [&](double Penalty) {
+    Network Net = Base;
+    Rng R(8);
+    SgdOptions Options;
+    Options.Epochs = 10;
+    Options.OnlyLayer = 2;
+    Options.DriftPenaltyL1 = Penalty;
+    Options.DriftPenaltyLInf = Penalty;
+    trainSgd(Net, Data, Options, R);
+    std::vector<double> Before, After;
+    cast<LinearLayer>(Base.layer(2)).getParams(Before);
+    cast<LinearLayer>(Net.layer(2)).getParams(After);
+    double Drift = 0.0;
+    for (size_t P = 0; P < Before.size(); ++P)
+      Drift += std::fabs(After[P] - Before[P]);
+    return Drift;
+  };
+  EXPECT_LT(DriftOf(0.5), DriftOf(0.0));
+}
+
+// --- FT / MFT -------------------------------------------------------------------
+
+TEST(FineTune, ReachesFullAccuracyOnSmallRepairSet) {
+  Rng R(9);
+  Network Net = makeSmallClassifier(R, 3, 10, 3);
+  Dataset Data = makeBlobs(R, 4, 3, 3);
+  FineTuneOptions Options;
+  Options.LearningRate = 0.05;
+  Options.MaxEpochs = 500;
+  FineTuneResult Result = fineTune(Net, Data, Options, R);
+  EXPECT_TRUE(Result.ReachedFullAccuracy);
+  EXPECT_DOUBLE_EQ(Result.RepairAccuracy, 1.0);
+  EXPECT_GT(Result.Epochs, 0);
+}
+
+TEST(FineTune, RespectsEpochCap) {
+  Rng R(10);
+  Network Net = makeSmallClassifier(R, 3, 4, 3);
+  // Contradictory labels on the same input: cannot reach 100%.
+  Dataset Data;
+  Vector X{1.0, 1.0, 1.0};
+  Data.push(X, 0);
+  Data.push(X, 1);
+  FineTuneOptions Options;
+  Options.MaxEpochs = 20;
+  FineTuneResult Result = fineTune(Net, Data, Options, R);
+  EXPECT_FALSE(Result.ReachedFullAccuracy);
+  EXPECT_LE(Result.Epochs, 20);
+}
+
+TEST(ModifiedFineTune, TrainsOnlyItsLayerAndEarlyStops) {
+  Rng R(11);
+  Network Net = makeSmallClassifier(R, 3, 10, 3);
+  Dataset Data = makeBlobs(R, 12, 3, 3);
+
+  std::vector<double> Layer0Before;
+  cast<LinearLayer>(Net.layer(0)).getParams(Layer0Before);
+
+  ModifiedFineTuneOptions Options;
+  Options.LayerIndex = 2;
+  Options.MaxEpochs = 50;
+  ModifiedFineTuneResult Result = modifiedFineTune(Net, Data, Options, R);
+
+  std::vector<double> Layer0After;
+  cast<LinearLayer>(Result.Tuned.layer(0)).getParams(Layer0After);
+  EXPECT_EQ(Layer0Before, Layer0After);
+  EXPECT_GE(Result.HoldoutAccuracy, 0.0);
+  EXPECT_LE(Result.Epochs, 50);
+}
+
+} // namespace
