@@ -3,10 +3,71 @@
 #include "BenchUtil.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 
 using namespace prdnn;
 using namespace prdnn::bench;
 using namespace prdnn::data;
+
+void BenchJson::beginRecord() { Records.emplace_back(); }
+
+void BenchJson::add(const std::string &Key, double Value) {
+  assert(!Records.empty() && "beginRecord before add");
+  Records.back().push_back({Key, Value});
+}
+
+void BenchJson::add(const std::string &Key, int Value) {
+  assert(!Records.empty() && "beginRecord before add");
+  Records.back().push_back({Key, Value});
+}
+
+void BenchJson::add(const std::string &Key, const std::string &Value) {
+  assert(!Records.empty() && "beginRecord before add");
+  Records.back().push_back({Key, Value});
+}
+
+std::string BenchJson::write() const {
+  std::string FileName = "BENCH_" + Name + ".json";
+  std::ofstream Os(FileName);
+  if (!Os)
+    return "";
+  Os << "{\"bench\": \"" << Name << "\", \"records\": [";
+  for (size_t R = 0; R < Records.size(); ++R) {
+    Os << (R == 0 ? "\n" : ",\n") << "  {";
+    const auto &Record = Records[R];
+    for (size_t E = 0; E < Record.size(); ++E) {
+      if (E != 0)
+        Os << ", ";
+      Os << '"' << Record[E].first << "\": ";
+      if (const double *D = std::get_if<double>(&Record[E].second)) {
+        if (!std::isfinite(*D)) {
+          // NaN/Inf are not valid JSON literals.
+          Os << "null";
+        } else {
+          char Buffer[32];
+          std::snprintf(Buffer, sizeof(Buffer), "%.9g", *D);
+          Os << Buffer;
+        }
+      } else if (const int *I = std::get_if<int>(&Record[E].second)) {
+        Os << *I;
+      } else {
+        Os << '"';
+        for (char C : std::get<std::string>(Record[E].second)) {
+          if (C == '"' || C == '\\')
+            Os << '\\';
+          Os << C;
+        }
+        Os << '"';
+      }
+    }
+    Os << "}";
+  }
+  Os << "\n]}\n";
+  Os.close(); // surface close-time write errors in the stream state
+  return Os ? FileName : "";
+}
 
 Task1Workload prdnn::bench::makeTask1Workload(int AdversarialCount) {
   Task1Workload W;

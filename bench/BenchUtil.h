@@ -18,6 +18,7 @@
 #include "train/FineTune.h"
 
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace prdnn {
@@ -96,6 +97,34 @@ Task3Workload makeTask3Workload(int NumRepairSlices, int NumOtherSlices,
 /// matching labeled dataset the FT/MFT baselines train on.
 PointSpec task3Spec(const Task3Workload &W, double *LinRegionsSeconds,
                     int *NumRegions, Dataset *FtSamples = nullptr);
+
+/// Machine-readable benchmark output: accumulates named records of
+/// key/value metrics and writes them as BENCH_<name>.json next to the
+/// binary, so successive PRs can track the performance trajectory
+/// (points/sec, Jacobian/LP seconds, thread count, ...) without
+/// scraping the human-readable tables. Schema:
+///
+///   { "bench": "<name>", "records": [ {"k": v | "s", ...}, ... ] }
+class BenchJson {
+public:
+  explicit BenchJson(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  /// Starts a new record (one measured configuration).
+  void beginRecord();
+
+  void add(const std::string &Key, double Value);
+  void add(const std::string &Key, int Value);
+  void add(const std::string &Key, const std::string &Value);
+
+  /// Writes BENCH_<name>.json into the working directory and returns
+  /// the file name (empty on I/O failure).
+  std::string write() const;
+
+private:
+  using Value = std::variant<double, int, std::string>;
+  std::string Name;
+  std::vector<std::vector<std::pair<std::string, Value>>> Records;
+};
 
 /// Fraction of \p Points whose advisory under \p Classify is safe.
 template <typename ClassifyT>

@@ -6,6 +6,7 @@
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
 #include "support/Error.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -43,6 +44,37 @@ struct SpecRow {
   }
 };
 
+/// Rows of \p Rows (excluding those marked in \p InLp, when non-null)
+/// whose violation at \p Delta exceeds \p Tol, in ascending row order.
+/// The scan is chunked across the thread pool; chunks are merged in
+/// order, so the result matches the sequential scan exactly.
+std::vector<std::pair<double, int>>
+violatedRows(const std::vector<SpecRow> &Rows, const std::vector<char> *InLp,
+             const std::vector<double> &Delta, double Tol) {
+  std::int64_t NumRows = static_cast<std::int64_t>(Rows.size());
+  const std::int64_t Grain = 1024;
+  std::int64_t NumChunks = (NumRows + Grain - 1) / Grain;
+  std::vector<std::vector<std::pair<double, int>>> PerChunk(
+      static_cast<size_t>(NumChunks));
+  parallelForRanges(
+      0, NumRows,
+      [&](std::int64_t Begin, std::int64_t End) {
+        auto &Local = PerChunk[static_cast<size_t>(Begin / Grain)];
+        for (std::int64_t RI = Begin; RI < End; ++RI) {
+          if (InLp && (*InLp)[static_cast<size_t>(RI)])
+            continue;
+          double V = Rows[static_cast<size_t>(RI)].violationAt(Delta);
+          if (V > Tol)
+            Local.push_back({V, static_cast<int>(RI)});
+        }
+      },
+      Grain);
+  std::vector<std::pair<double, int>> Result;
+  for (auto &Local : PerChunk)
+    Result.insert(Result.end(), Local.begin(), Local.end());
+  return Result;
+}
+
 } // namespace
 
 RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
@@ -73,19 +105,33 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   assert(NumEff > 0 && "all parameters frozen");
 
   // --- Jacobian phase (Algorithm 1, lines 4-6) -----------------------------
-  std::vector<SpecRow> Rows;
+  // Jacobians come from the batched engine (nn/Jacobian.h) in chunks
+  // sized to bound the live J storage, and each chunk's constraint rows
+  // are assembled in parallel into preallocated slots (row order - and
+  // every row's bits - identical to the per-point loop).
+  int NumPoints = static_cast<int>(Spec.size());
+  std::vector<int> RowOffset(static_cast<size_t>(NumPoints) + 1, 0);
+  for (int P = 0; P < NumPoints; ++P) {
+    assert(Spec[static_cast<size_t>(P)].Constraint.A.cols() ==
+               Net.outputSize() &&
+           "constraint output dimension mismatch");
+    RowOffset[static_cast<size_t>(P) + 1] =
+        RowOffset[static_cast<size_t>(P)] +
+        Spec[static_cast<size_t>(P)].Constraint.numRows();
+  }
+  std::vector<SpecRow> Rows(
+      static_cast<size_t>(RowOffset[static_cast<size_t>(NumPoints)]));
   {
     WallTimer JacobianTimer;
-    for (const SpecPoint &P : Spec) {
-      JacobianResult Jr =
-          paramJacobian(Net, LayerIndex, P.X,
-                        P.Pattern ? &*P.Pattern : nullptr);
+    // Assembles point Base+I's constraint rows from its Jacobian into
+    // the preallocated slots; bits match the seed per-point loop.
+    auto AssembleRows = [&](int PointIndex, const JacobianResult &Jr) {
+      const SpecPoint &P = Spec[static_cast<size_t>(PointIndex)];
       const OutputConstraint &C = P.Constraint;
-      assert(C.A.cols() == Net.outputSize() &&
-             "constraint output dimension mismatch");
       // Row k: (A_k J) Delta <= b_k - A_k N(x) - RowMargin.
       for (int K = 0; K < C.numRows(); ++K) {
-        SpecRow Row;
+        SpecRow &Row = Rows[static_cast<size_t>(
+            RowOffset[static_cast<size_t>(PointIndex)] + K)];
         Row.Coef.assign(static_cast<size_t>(NumEff), 0.0);
         double Activity = 0.0;
         for (int O = 0; O < C.A.cols(); ++O) {
@@ -98,7 +144,54 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
             Row.Coef[static_cast<size_t>(E)] += AKo * JRow[Effective[E]];
         }
         Row.Hi = C.B[K] - Activity - Options.RowMargin;
-        Rows.push_back(std::move(Row));
+      }
+    };
+
+    if (!Options.BatchedJacobians) {
+      // Seed per-point path (ablation baseline).
+      for (int P = 0; P < NumPoints; ++P) {
+        const SpecPoint &Point = Spec[static_cast<size_t>(P)];
+        AssembleRows(P, paramJacobian(Net, LayerIndex, Point.X,
+                                      Point.Pattern ? &*Point.Pattern
+                                                    : nullptr));
+      }
+    } else {
+      // Batched engine, in chunks capping the live batch storage
+      // (Jacobians + stacked backward matrix + layer intermediates) at
+      // ~64 MiB, with each chunk's rows assembled in parallel.
+      std::int64_t MaxWidth = 0, SumWidths = Net.inputSize();
+      for (int I = 0; I < Net.numLayers(); ++I) {
+        MaxWidth = std::max<std::int64_t>(MaxWidth,
+                                          Net.layer(I).outputSize());
+        SumWidths += Net.layer(I).outputSize();
+      }
+      std::int64_t BytesPerPoint =
+          static_cast<std::int64_t>(8) *
+          (static_cast<std::int64_t>(Net.outputSize()) * NumParams +
+           Net.outputSize() * MaxWidth + SumWidths);
+      int ChunkPoints = static_cast<int>(std::clamp<std::int64_t>(
+          (64 << 20) / std::max<std::int64_t>(1, BytesPerPoint), 1, 256));
+      for (int Base = 0; Base < NumPoints; Base += ChunkPoints) {
+        int Count = std::min(ChunkPoints, NumPoints - Base);
+        std::vector<Vector> Xs;
+        std::vector<const NetworkPattern *> Pinned;
+        Xs.reserve(static_cast<size_t>(Count));
+        Pinned.reserve(static_cast<size_t>(Count));
+        bool AnyPinned = false;
+        for (int I = 0; I < Count; ++I) {
+          const SpecPoint &P = Spec[static_cast<size_t>(Base + I)];
+          Xs.push_back(P.X);
+          Pinned.push_back(P.Pattern ? &*P.Pattern : nullptr);
+          AnyPinned = AnyPinned || P.Pattern.has_value();
+        }
+        if (!AnyPinned)
+          Pinned.clear(); // pure batched forward, no per-row dispatch
+        std::vector<JacobianResult> Jrs =
+            paramJacobianBatch(Net, LayerIndex, Xs, Pinned);
+        parallelFor(0, Count, [&](std::int64_t I) {
+          AssembleRows(Base + static_cast<int>(I),
+                       Jrs[static_cast<size_t>(I)]);
+        });
       }
     }
     Result.Stats.JacobianSeconds = JacobianTimer.seconds();
@@ -111,6 +204,18 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   int LpIterations = 0;
   int RowsUsed = 0;
   bool Solved = false;
+
+  // Stamps the timing stats (TotalSeconds and the OtherSeconds
+  // remainder) on *every* exit path, early returns included.
+  auto FinalizeStats = [&] {
+    Result.Stats.LpSeconds = LpSeconds;
+    Result.Stats.LpIterations = LpIterations;
+    Result.Stats.LpRowsUsed = RowsUsed;
+    Result.Stats.TotalSeconds = Total.seconds();
+    Result.Stats.OtherSeconds = std::max(
+        0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
+                 Result.Stats.LpSeconds);
+  };
 
   auto SolveWithRows = [&](const std::vector<int> &Use,
                            std::vector<double> &Out) -> lp::SolveStatus {
@@ -134,8 +239,7 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
     RowsUsed = static_cast<int>(All.size());
     if (Status == lp::SolveStatus::Infeasible) {
       Result.Status = RepairStatus::Infeasible;
-      Result.Stats.LpSeconds = LpSeconds;
-      Result.Stats.TotalSeconds = Total.seconds();
+      FinalizeStats();
       return Result;
     }
     Solved = Status == lp::SolveStatus::Optimal;
@@ -162,24 +266,16 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
         if (Status == lp::SolveStatus::Infeasible) {
           // A subset is infeasible, so the full system is too.
           Result.Status = RepairStatus::Infeasible;
-          Result.Stats.LpSeconds = LpSeconds;
-          Result.Stats.LpIterations = LpIterations;
-          Result.Stats.LpRowsUsed = RowsUsed;
-          Result.Stats.TotalSeconds = Total.seconds();
+          FinalizeStats();
           return Result;
         }
         if (Status != lp::SolveStatus::Optimal)
           break; // fall through to the full solve below
 
-        // Collect rows the relaxation optimum still violates.
-        std::vector<std::pair<double, int>> Violated;
-        for (size_t RI = 0; RI < Rows.size(); ++RI) {
-          if (InLp[RI])
-            continue;
-          double V = Rows[RI].violationAt(DeltaEff);
-          if (V > 10 * Options.Lp.FeasTol)
-            Violated.push_back({V, static_cast<int>(RI)});
-        }
+        // Collect rows the relaxation optimum still violates (parallel
+        // scan, sequential order).
+        std::vector<std::pair<double, int>> Violated =
+            violatedRows(Rows, &InLp, DeltaEff, 10 * Options.Lp.FeasTol);
         if (Violated.empty()) {
           Solved = true;
           break;
@@ -204,23 +300,16 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
       RowsUsed = static_cast<int>(All.size());
       if (Status == lp::SolveStatus::Infeasible) {
         Result.Status = RepairStatus::Infeasible;
-        Result.Stats.LpSeconds = LpSeconds;
-        Result.Stats.LpIterations = LpIterations;
-        Result.Stats.LpRowsUsed = RowsUsed;
-        Result.Stats.TotalSeconds = Total.seconds();
+        FinalizeStats();
         return Result;
       }
       Solved = Status == lp::SolveStatus::Optimal;
     }
   }
 
-  Result.Stats.LpSeconds = LpSeconds;
-  Result.Stats.LpIterations = LpIterations;
-  Result.Stats.LpRowsUsed = RowsUsed;
-
   if (!Solved) {
     Result.Status = RepairStatus::SolverFailure;
-    Result.Stats.TotalSeconds = Total.seconds();
+    FinalizeStats();
     return Result;
   }
 
@@ -237,27 +326,31 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   cast<LinearLayer>(Repaired.valueChannel().layer(LayerIndex))
       .addToParams(Result.Delta);
 
-  // Re-verify the specification against the repaired DDNN itself.
+  // Re-verify the specification against the repaired DDNN itself. Max
+  // violation is order-independent, so the parallel scan over points is
+  // deterministic.
+  std::vector<double> PointViolation(static_cast<size_t>(NumPoints), 0.0);
+  parallelFor(0, NumPoints, [&](std::int64_t P) {
+    const SpecPoint &Point = Spec[static_cast<size_t>(P)];
+    Vector Y = Point.Pattern
+                   ? Repaired.evaluateWithPattern(Point.X, *Point.Pattern)
+                   : Repaired.evaluate(Point.X);
+    PointViolation[static_cast<size_t>(P)] = Point.Constraint.violation(Y);
+  });
   double Verified = 0.0;
-  for (const SpecPoint &P : Spec) {
-    Vector Y = P.Pattern ? Repaired.evaluateWithPattern(P.X, *P.Pattern)
-                         : Repaired.evaluate(P.X);
-    Verified = std::max(Verified, P.Constraint.violation(Y));
-  }
+  for (double V : PointViolation)
+    Verified = std::max(Verified, V);
   Result.Stats.VerifiedViolation = Verified;
   if (Verified > 100 * Options.Lp.FeasTol + 1e-9) {
     // The LP said feasible but the network disagrees: numerical failure,
     // never silently accepted.
     Result.Status = RepairStatus::SolverFailure;
-    Result.Stats.TotalSeconds = Total.seconds();
+    FinalizeStats();
     return Result;
   }
 
   Result.Repaired = std::move(Repaired);
   Result.Status = RepairStatus::Success;
-  Result.Stats.TotalSeconds = Total.seconds();
-  Result.Stats.OtherSeconds = std::max(
-      0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
-               Result.Stats.LpSeconds);
+  FinalizeStats();
   return Result;
 }

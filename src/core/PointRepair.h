@@ -62,6 +62,11 @@ struct RepairOptions {
   /// Optional per-parameter mask (size = layer param count); false
   /// freezes the parameter at its current value.
   std::optional<std::vector<bool>> ParamMask;
+  /// Compute spec-row Jacobians through the batched engine
+  /// (paramJacobianBatch + parallel row assembly). Disable to fall back
+  /// to the original per-point loop - kept as the ablation baseline for
+  /// benchmarks; both paths produce bit-for-bit identical rows.
+  bool BatchedJacobians = true;
   lp::SimplexOptions Lp;
 };
 

@@ -2,6 +2,7 @@
 
 #include "core/PolytopeRepair.h"
 
+#include "support/Parallel.h"
 #include "support/Timer.h"
 #include "syrenn/LineTransform.h"
 #include "syrenn/PlaneTransform.h"
@@ -14,17 +15,27 @@ PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
                               double *LinRegionsSeconds, int *NumRegions) {
   assert(Net.isPiecewiseLinear() &&
          "polytope repair requires a piecewise-linear network (§6)");
-  PointSpec Points;
-  int Regions = 0;
-  WallTimer Timer;
-  double TransformSeconds = 0.0;
+  int NumPolytopes = static_cast<int>(Spec.size());
+  // Each polytope's SyReNN transform and key-point construction is
+  // independent; transform the whole spec in parallel and concatenate
+  // the per-polytope results in spec order (so point order - and, per
+  // the thread-pool contract, every point's bits - match the
+  // sequential loop).
+  std::vector<PointSpec> PerPolytope(static_cast<size_t>(NumPolytopes));
+  std::vector<int> PerPolytopeRegions(static_cast<size_t>(NumPolytopes), 0);
+  // Wall time of the whole parallel transform phase, measured on the
+  // calling thread (summing per-task timers would overstate elapsed
+  // time by up to the thread count). Includes the per-region pattern
+  // capture, which is part of producing the key points.
+  WallTimer TransformTimer;
 
-  for (const SpecPolytope &P : Spec) {
+  parallelFor(0, NumPolytopes, [&](std::int64_t PIdx) {
+    const SpecPolytope &P = Spec[static_cast<size_t>(PIdx)];
+    PointSpec &Points = PerPolytope[static_cast<size_t>(PIdx)];
+    int &Regions = PerPolytopeRegions[static_cast<size_t>(PIdx)];
     if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape)) {
-      WallTimer T;
       LinePartition Partition = lineRegions(Net, Segment->A, Segment->B);
-      TransformSeconds += T.seconds();
-      Regions += Partition.numPieces();
+      Regions = Partition.numPieces();
       for (int Piece = 0; Piece < Partition.numPieces(); ++Piece) {
         // The region's pattern, sampled at an interior point; both piece
         // endpoints are repaired *as members of this region*
@@ -37,18 +48,27 @@ PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
           Points.push_back(
               SpecPoint{Partition.pointAt(T2), P.Constraint, Pattern});
       }
-      continue;
+    } else {
+      const auto &Plane = std::get<PlanePolytope>(P.Shape);
+      std::vector<PlaneRegion> PlaneRegions =
+          planeRegions(Net, Plane.Vertices);
+      Regions = static_cast<int>(PlaneRegions.size());
+      for (const PlaneRegion &Region : PlaneRegions) {
+        NetworkPattern Pattern = computePattern(Net, Region.centroid());
+        for (const Vector &V : Region.InputVertices)
+          Points.push_back(SpecPoint{V, P.Constraint, Pattern});
+      }
     }
-    const auto &Plane = std::get<PlanePolytope>(P.Shape);
-    WallTimer T;
-    std::vector<PlaneRegion> PlaneRegions = planeRegions(Net, Plane.Vertices);
-    TransformSeconds += T.seconds();
-    Regions += static_cast<int>(PlaneRegions.size());
-    for (const PlaneRegion &Region : PlaneRegions) {
-      NetworkPattern Pattern = computePattern(Net, Region.centroid());
-      for (const Vector &V : Region.InputVertices)
-        Points.push_back(SpecPoint{V, P.Constraint, Pattern});
-    }
+  });
+  double TransformSeconds = TransformTimer.seconds();
+
+  PointSpec Points;
+  int Regions = 0;
+  for (int P = 0; P < NumPolytopes; ++P) {
+    Regions += PerPolytopeRegions[static_cast<size_t>(P)];
+    auto &Local = PerPolytope[static_cast<size_t>(P)];
+    Points.insert(Points.end(), std::make_move_iterator(Local.begin()),
+                  std::make_move_iterator(Local.end()));
   }
 
   if (LinRegionsSeconds)

@@ -2,9 +2,24 @@
 
 #include "linalg/Matrix.h"
 
+#include "support/Parallel.h"
+
+#include <algorithm>
 #include <cmath>
 
 using namespace prdnn;
+
+namespace {
+
+/// K-dimension block size for the GEMM kernels: 256 doubles (2 KB) of
+/// the left row stay hot while the matching right-rows block streams.
+constexpr int kGemmKBlock = 256;
+
+/// Flop threshold below which a product runs inline; smaller products
+/// lose more to task handoff than they gain from the pool.
+constexpr double kParallelFlopThreshold = 1e5;
+
+} // namespace
 
 Matrix Matrix::identity(int Size) {
   Matrix Result(Size, Size);
@@ -27,6 +42,33 @@ Matrix Matrix::fromRows(
     ++R;
   }
   return Result;
+}
+
+Matrix Matrix::fromRowVectors(const std::vector<Vector> &Rows) {
+  int NumRows = static_cast<int>(Rows.size());
+  int NumCols = NumRows == 0 ? 0 : Rows.front().size();
+  Matrix Result(NumRows, NumCols);
+  for (int R = 0; R < NumRows; ++R) {
+    assert(Rows[static_cast<size_t>(R)].size() == NumCols &&
+           "ragged matrix rows");
+    Result.setRow(R, Rows[static_cast<size_t>(R)]);
+  }
+  return Result;
+}
+
+Vector Matrix::row(int Row) const {
+  Vector Result(NumCols);
+  const double *Data = rowData(Row);
+  for (int C = 0; C < NumCols; ++C)
+    Result[C] = Data[C];
+  return Result;
+}
+
+void Matrix::setRow(int Row, const Vector &V) {
+  assert(V.size() == NumCols && "row width mismatch");
+  double *Data = rowData(Row);
+  for (int C = 0; C < NumCols; ++C)
+    Data[C] = V[C];
 }
 
 Vector Matrix::apply(const Vector &X) const {
@@ -59,18 +101,55 @@ Vector Matrix::applyTransposed(const Vector &X) const {
 Matrix Matrix::multiply(const Matrix &Other) const {
   assert(NumCols == Other.NumRows && "matrix-matrix shape mismatch");
   Matrix Result(NumRows, Other.NumCols);
-  for (int R = 0; R < NumRows; ++R) {
-    const double *LhsRow = rowData(R);
-    double *OutRow = Result.rowData(R);
-    for (int K = 0; K < NumCols; ++K) {
-      double Scale = LhsRow[K];
-      if (Scale == 0.0)
-        continue;
-      const double *RhsRow = Other.rowData(K);
-      for (int C = 0; C < Other.NumCols; ++C)
-        OutRow[C] += Scale * RhsRow[C];
+  // Blocked ikj kernel: K-blocks ascend, so each output element
+  // accumulates in the same order (with the same zero-skips) as the
+  // naive loop - blocking and threading never change the result bits.
+  auto RowRange = [&](std::int64_t RowBegin, std::int64_t RowEnd) {
+    for (int KBlock = 0; KBlock < NumCols; KBlock += kGemmKBlock) {
+      int KEnd = std::min(KBlock + kGemmKBlock, NumCols);
+      for (int R = static_cast<int>(RowBegin); R < RowEnd; ++R) {
+        const double *LhsRow = rowData(R);
+        double *OutRow = Result.rowData(R);
+        for (int K = KBlock; K < KEnd; ++K) {
+          double Scale = LhsRow[K];
+          if (Scale == 0.0)
+            continue;
+          const double *RhsRow = Other.rowData(K);
+          for (int C = 0; C < Other.NumCols; ++C)
+            OutRow[C] += Scale * RhsRow[C];
+        }
+      }
     }
-  }
+  };
+  double Flops = static_cast<double>(NumRows) * NumCols * Other.NumCols;
+  if (Flops >= kParallelFlopThreshold)
+    parallelForRanges(0, NumRows, RowRange);
+  else
+    RowRange(0, NumRows);
+  return Result;
+}
+
+Matrix Matrix::multiplyTransposed(const Matrix &Other) const {
+  assert(NumCols == Other.NumCols && "matrix-matrix shape mismatch");
+  Matrix Result(NumRows, Other.NumRows);
+  auto RowRange = [&](std::int64_t RowBegin, std::int64_t RowEnd) {
+    for (int R = static_cast<int>(RowBegin); R < RowEnd; ++R) {
+      const double *LhsRow = rowData(R);
+      double *OutRow = Result.rowData(R);
+      for (int O = 0; O < Other.NumRows; ++O) {
+        const double *RhsRow = Other.rowData(O);
+        double Sum = 0.0;
+        for (int C = 0; C < NumCols; ++C)
+          Sum += RhsRow[C] * LhsRow[C];
+        OutRow[O] = Sum;
+      }
+    }
+  };
+  double Flops = static_cast<double>(NumRows) * NumCols * Other.NumRows;
+  if (Flops >= kParallelFlopThreshold)
+    parallelForRanges(0, NumRows, RowRange);
+  else
+    RowRange(0, NumRows);
   return Result;
 }
 

@@ -2,8 +2,16 @@
 ///
 /// \file
 /// Dense row-major matrix of doubles. Used for layer weights, the
-/// backward accumulation matrices in nn/Jacobian.h, and the simplex
-/// solver's basis inverse.
+/// backward accumulation matrices in nn/Jacobian.h, the simplex
+/// solver's basis inverse, and - one point per row - the batches flowing
+/// through the batched repair engine (Layer::applyBatch,
+/// paramJacobianBatch).
+///
+/// The matrix products are cache-blocked and run on the global thread
+/// pool (support/Parallel.h) when the operand sizes warrant it. Each
+/// output row is produced by exactly one task with an accumulation
+/// order identical to the sequential loop, so results are bit-for-bit
+/// independent of the thread count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +43,10 @@ public:
   static Matrix fromRows(std::initializer_list<std::initializer_list<double>>
                              Rows);
 
+  /// Stacks \p Rows (all of equal dimension) as the rows of a matrix:
+  /// the standard way a batch of points becomes a batch matrix.
+  static Matrix fromRowVectors(const std::vector<Vector> &Rows);
+
   int rows() const { return NumRows; }
   int cols() const { return NumCols; }
 
@@ -58,14 +70,28 @@ public:
     return Values.data() + static_cast<size_t>(Row) * NumCols;
   }
 
+  /// Copies row \p Row into a Vector.
+  Vector row(int Row) const;
+
+  /// Overwrites row \p Row with \p V (dimension must equal cols()).
+  void setRow(int Row, const Vector &V);
+
   /// Matrix-vector product A*x.
   Vector apply(const Vector &X) const;
 
   /// Transposed product A^T * x.
   Vector applyTransposed(const Vector &X) const;
 
-  /// Matrix-matrix product (*this) * Other.
+  /// Matrix-matrix product (*this) * Other. Cache-blocked over the
+  /// inner dimension and parallel over output rows for large operands;
+  /// per-element accumulation order matches the naive loop exactly.
   Matrix multiply(const Matrix &Other) const;
+
+  /// Product against a transposed right operand: (*this) * Other^T,
+  /// with Other stored row-major (so each output entry is a dot product
+  /// of two contiguous rows). This is the batched fully-connected
+  /// forward kernel: Out = In * W^T.
+  Matrix multiplyTransposed(const Matrix &Other) const;
 
   Matrix transposed() const;
 

@@ -3,6 +3,7 @@
 #include "nn/ActivationLayers.h"
 
 #include "support/Error.h"
+#include "support/Parallel.h"
 
 #include <cassert>
 #include <cmath>
@@ -15,6 +16,20 @@ Vector ElementwiseActivation::apply(const Vector &In) const {
   Vector Out(Size);
   for (int I = 0; I < Size; ++I)
     Out[I] = value(In[I]);
+  return Out;
+}
+
+Matrix ElementwiseActivation::applyBatch(const Matrix &In) const {
+  assert(In.cols() == Size && "activation input size mismatch");
+  Matrix Out(In.rows(), Size);
+  parallelForRanges(0, In.rows(), [&](std::int64_t Begin, std::int64_t End) {
+    for (int R = static_cast<int>(Begin); R < End; ++R) {
+      const double *InRow = In.rowData(R);
+      double *OutRow = Out.rowData(R);
+      for (int I = 0; I < Size; ++I)
+        OutRow[I] = value(InRow[I]);
+    }
+  });
   return Out;
 }
 

@@ -30,6 +30,8 @@ public:
   int outputSize() const override { return Size; }
 
   Vector apply(const Vector &In) const override;
+  /// Fused elementwise sweep over the whole batch buffer.
+  Matrix applyBatch(const Matrix &In) const override;
   Vector applyLinearized(const Vector &Center, const Vector &In) const override;
   Vector vjpLinearized(const Vector &Center,
                        const Vector &GradOut) const override;

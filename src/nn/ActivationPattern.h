@@ -29,6 +29,12 @@ struct NetworkPattern {
 /// The activation pattern induced by input \p X (network must be PWL).
 NetworkPattern computePattern(const Network &Net, const Vector &X);
 
+/// Batched computePattern: result[p] is the pattern of row p of \p Xs.
+/// Linear layers run batched; per-row pattern capture is parallelized
+/// on the global thread pool.
+std::vector<NetworkPattern> computePatternBatch(const Network &Net,
+                                                const Matrix &Xs);
+
 /// Evaluates \p Net at \p X with every PWL activation pinned to
 /// \p Pattern instead of its input-derived region. For X inside the
 /// pattern's linear region this equals evaluate(X); elsewhere it
@@ -41,6 +47,17 @@ Vector evaluateWithPattern(const Network &Net, const Vector &X,
 std::vector<Vector> intermediatesWithPattern(const Network &Net,
                                              const Vector &X,
                                              const NetworkPattern &Pattern);
+
+/// Mixed-batch intermediates: row p of each matrix follows
+/// intermediatesWithPattern(Net, Xs row p, *Pinned[p]) when Pinned[p]
+/// is non-null and plain intermediates otherwise, bit-for-bit. Linear
+/// layers run as one batched GEMM shared by pinned and unpinned rows;
+/// activation rows are dispatched per point in parallel. \p Pinned may
+/// be empty (no pinning) or have one (nullable) entry per row.
+std::vector<Matrix>
+intermediatesBatchWithPatterns(const Network &Net, const Matrix &Xs,
+                               const std::vector<const NetworkPattern *>
+                                   &Pinned);
 
 } // namespace prdnn
 

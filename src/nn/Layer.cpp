@@ -3,6 +3,7 @@
 #include "nn/Layer.h"
 
 #include "support/Error.h"
+#include "support/Parallel.h"
 
 using namespace prdnn;
 
@@ -33,6 +34,31 @@ const char *prdnn::toString(LayerKind Kind) {
 }
 
 Layer::~Layer() = default;
+
+Matrix Layer::applyBatch(const Matrix &In) const {
+  assert(In.cols() == inputSize() && "batched input size mismatch");
+  Matrix Out(In.rows(), outputSize());
+  parallelFor(0, In.rows(), [&](std::int64_t R) {
+    Out.setRow(static_cast<int>(R), apply(In.row(static_cast<int>(R))));
+  });
+  return Out;
+}
+
+void prdnn::applyBatchToRows(const Layer &L, std::vector<Vector> &Rows) {
+  Matrix Out = L.applyBatch(Matrix::fromRowVectors(Rows));
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Rows[I] = Out.row(static_cast<int>(I));
+}
+
+Matrix LinearLayer::vjpLinearBatch(const Matrix &GradOut) const {
+  assert(GradOut.cols() == outputSize() && "batched gradient size mismatch");
+  Matrix Out(GradOut.rows(), inputSize());
+  parallelFor(0, GradOut.rows(), [&](std::int64_t R) {
+    Out.setRow(static_cast<int>(R),
+               vjpLinear(GradOut.row(static_cast<int>(R))));
+  });
+  return Out;
+}
 
 void LinearLayer::getParams(std::vector<double> &Out) const {
   Out.clear();

@@ -67,6 +67,13 @@ public:
   /// Standard forward evaluation.
   virtual Vector apply(const Vector &In) const = 0;
 
+  /// Batched forward evaluation: \p In holds one input per row, the
+  /// result one output per row (bit-for-bit equal to apply() on each
+  /// row). The default runs apply() row by row on the global thread
+  /// pool; FullyConnectedLayer overrides with a blocked GEMM and
+  /// ElementwiseActivation with a fused elementwise sweep.
+  virtual Matrix applyBatch(const Matrix &In) const;
+
   virtual std::unique_ptr<Layer> clone() const = 0;
 
   /// One-line human-readable description ("fc 10x100", "relu 64", ...).
@@ -95,6 +102,13 @@ public:
   /// Vector-Jacobian product W^T * GradOut.
   virtual Vector vjpLinear(const Vector &GradOut) const = 0;
 
+  /// Batched VJP: row r of the result is vjpLinear(row r of GradOut),
+  /// bit-for-bit. This is how paramJacobianBatch shares one backward
+  /// accumulation matrix across a whole batch of points: the default
+  /// runs vjpLinear row by row on the global thread pool, and
+  /// FullyConnectedLayer overrides with a single GEMM GradOut * W.
+  virtual Matrix vjpLinearBatch(const Matrix &GradOut) const;
+
   /// Number of repairable parameters (0 for parameter-free layers).
   virtual int numParams() const { return 0; }
 
@@ -122,6 +136,12 @@ public:
 protected:
   using Layer::Layer;
 };
+
+/// Maps every vector of \p Rows through \p L with one applyBatch call
+/// (row p becomes L.apply(Rows[p]), bit-for-bit). The batching hook for
+/// callers that keep their points in a std::vector<Vector> (the SyReNN
+/// transforms).
+void applyBatchToRows(const Layer &L, std::vector<Vector> &Rows);
 
 /// An activation layer sigma. All activations support linearization
 /// around a center (Definition 4.2); piecewise-linear ones additionally

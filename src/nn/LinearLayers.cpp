@@ -2,6 +2,9 @@
 
 #include "nn/LinearLayers.h"
 
+#include "support/Parallel.h"
+
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -22,6 +25,17 @@ Vector FullyConnectedLayer::apply(const Vector &In) const {
   return Out;
 }
 
+Matrix FullyConnectedLayer::applyBatch(const Matrix &In) const {
+  assert(In.cols() == inputSize() && "batched input size mismatch");
+  Matrix Out = In.multiplyTransposed(Weights);
+  for (int R = 0; R < Out.rows(); ++R) {
+    double *Row = Out.rowData(R);
+    for (int C = 0; C < Out.cols(); ++C)
+      Row[C] += Bias[C];
+  }
+  return Out;
+}
+
 std::unique_ptr<Layer> FullyConnectedLayer::clone() const {
   return std::make_unique<FullyConnectedLayer>(Weights, Bias);
 }
@@ -35,6 +49,13 @@ std::string FullyConnectedLayer::describe() const {
 
 Vector FullyConnectedLayer::vjpLinear(const Vector &GradOut) const {
   return Weights.applyTransposed(GradOut);
+}
+
+Matrix FullyConnectedLayer::vjpLinearBatch(const Matrix &GradOut) const {
+  assert(GradOut.cols() == outputSize() && "batched gradient size mismatch");
+  // Row r of GradOut * W is W^T (row r), with the same inner
+  // accumulation order (and zero-skips) as applyTransposed.
+  return GradOut.multiply(Weights);
 }
 
 void FullyConnectedLayer::getParams(std::vector<double> &Out) const {
@@ -131,6 +152,46 @@ Conv2DLayer::Conv2DLayer(int InChannels, int InHeight, int InWidth,
          "kernel parameter count mismatch");
   assert(static_cast<int>(this->Bias.size()) == OutC &&
          "bias parameter count mismatch");
+  buildTapTable();
+}
+
+void Conv2DLayer::buildTapTable() {
+  // Interior stencil: offsets relative to the window base, in the same
+  // (C, Y, X) order forEachTap emits.
+  InteriorOffsets.clear();
+  InteriorOffsets.reserve(static_cast<size_t>(InC) * KH * KW);
+  for (int C = 0; C < InC; ++C)
+    for (int Y = 0; Y < KH; ++Y)
+      for (int X = 0; X < KW; ++X)
+        InteriorOffsets.push_back((C * InH + Y) * InW + X);
+  InteriorBase.assign(static_cast<size_t>(outputSize()), -1);
+  for (int K = 0; K < OutC; ++K)
+    for (int OY = 0; OY < OutH; ++OY)
+      for (int OX = 0; OX < OutW; ++OX) {
+        int IY = OY * Stride - Pad, IX = OX * Stride - Pad;
+        if (IY < 0 || IX < 0 || IY + KH > InH || IX + KW > InW)
+          continue;
+        InteriorBase[static_cast<size_t>((K * OutH + OY) * OutW + OX)] =
+            IY * InW + IX;
+      }
+
+  // Explicit taps only for the border outputs the stencil can't serve;
+  // interior outputs (the vast majority) would never read theirs.
+  TapOffsets.assign(static_cast<size_t>(outputSize()) + 1, 0);
+  Taps.clear();
+  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
+    if (InIndex < 0 || InteriorBase[static_cast<size_t>(OutIndex)] >= 0)
+      return;
+    Taps.push_back({InIndex, ParamIndex});
+    // forEachTap emits outputs in ascending order, so this finalizes
+    // the offset of every output once its taps are done.
+    TapOffsets[static_cast<size_t>(OutIndex) + 1] =
+        static_cast<int>(Taps.size());
+  });
+  for (int O = 0; O < outputSize(); ++O)
+    TapOffsets[static_cast<size_t>(O) + 1] =
+        std::max(TapOffsets[static_cast<size_t>(O)],
+                 TapOffsets[static_cast<size_t>(O) + 1]);
 }
 
 template <typename FnT> void Conv2DLayer::forEachTap(FnT Fn) const {
@@ -159,14 +220,48 @@ template <typename FnT> void Conv2DLayer::forEachTap(FnT Fn) const {
   }
 }
 
+// Shared forward kernel: flat-tap sweep with the interior stencil fast
+// path; tap order (hence accumulation order) matches forEachTap
+// exactly, with the bias added last as before.
+void Conv2DLayer::forwardRow(const double *InRow, double *OutRow) const {
+  int PlaneSize = OutH * OutW;
+  int KernelSize = InC * KH * KW;
+  const int *Offsets = InteriorOffsets.data();
+  for (int O = 0; O < outputSize(); ++O) {
+    double Sum = 0.0;
+    int Base = InteriorBase[static_cast<size_t>(O)];
+    if (Base >= 0) {
+      const double *KParams =
+          Kernels.data() +
+          static_cast<size_t>(O / PlaneSize) * KernelSize;
+      const double *Window = InRow + Base;
+      for (int T = 0; T < KernelSize; ++T)
+        Sum += KParams[T] * Window[Offsets[T]];
+    } else {
+      for (int T = TapOffsets[static_cast<size_t>(O)],
+               TEnd = TapOffsets[static_cast<size_t>(O) + 1];
+           T < TEnd; ++T)
+        Sum +=
+            Kernels[static_cast<size_t>(Taps[static_cast<size_t>(T)].Param)] *
+            InRow[Taps[static_cast<size_t>(T)].In];
+    }
+    OutRow[O] = Sum + Bias[static_cast<size_t>(O / PlaneSize)];
+  }
+}
+
 Vector Conv2DLayer::apply(const Vector &In) const {
   assert(In.size() == inputSize() && "conv input size mismatch");
   Vector Out(outputSize());
-  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
-    if (InIndex < 0)
-      Out[OutIndex] += Bias[ParamIndex - OutC * InC * KH * KW];
-    else
-      Out[OutIndex] += Kernels[static_cast<size_t>(ParamIndex)] * In[InIndex];
+  forwardRow(In.data(), Out.data());
+  return Out;
+}
+
+Matrix Conv2DLayer::applyBatch(const Matrix &In) const {
+  assert(In.cols() == inputSize() && "batched input size mismatch");
+  Matrix Out(In.rows(), outputSize());
+  parallelForRanges(0, In.rows(), [&](std::int64_t Begin, std::int64_t End) {
+    for (int R = static_cast<int>(Begin); R < End; ++R)
+      forwardRow(In.rowData(R), Out.rowData(R));
   });
   return Out;
 }
@@ -187,12 +282,31 @@ std::string Conv2DLayer::describe() const {
 Vector Conv2DLayer::vjpLinear(const Vector &GradOut) const {
   assert(GradOut.size() == outputSize() && "conv gradient size mismatch");
   Vector GradIn(inputSize());
-  forEachTap([&](int OutIndex, int InIndex, int ParamIndex) {
-    if (InIndex < 0)
-      return;
-    GradIn[InIndex] +=
-        Kernels[static_cast<size_t>(ParamIndex)] * GradOut[OutIndex];
-  });
+  // Flat-tap scatter in forEachTap order (bit-identical accumulation),
+  // with the interior stencil fast path mirroring forwardRow.
+  double *GradData = GradIn.data();
+  int PlaneSize = OutH * OutW;
+  int KernelSize = InC * KH * KW;
+  const int *Offsets = InteriorOffsets.data();
+  for (int O = 0; O < outputSize(); ++O) {
+    double G = GradOut[O];
+    int Base = InteriorBase[static_cast<size_t>(O)];
+    if (Base >= 0) {
+      const double *KParams =
+          Kernels.data() +
+          static_cast<size_t>(O / PlaneSize) * KernelSize;
+      double *Window = GradData + Base;
+      for (int T = 0; T < KernelSize; ++T)
+        Window[Offsets[T]] += KParams[T] * G;
+    } else {
+      for (int T = TapOffsets[static_cast<size_t>(O)],
+               TEnd = TapOffsets[static_cast<size_t>(O) + 1];
+           T < TEnd; ++T)
+        GradData[Taps[static_cast<size_t>(T)].In] +=
+            Kernels[static_cast<size_t>(Taps[static_cast<size_t>(T)].Param)] *
+            G;
+    }
+  }
   return GradIn;
 }
 

@@ -28,10 +28,14 @@ public:
   int outputSize() const override { return Weights.rows(); }
 
   Vector apply(const Vector &In) const override;
+  /// Blocked GEMM In * W^T with the bias broadcast over rows.
+  Matrix applyBatch(const Matrix &In) const override;
   std::unique_ptr<Layer> clone() const override;
   std::string describe() const override;
 
   Vector vjpLinear(const Vector &GradOut) const override;
+  /// Single GEMM GradOut * W (row-wise W^T products).
+  Matrix vjpLinearBatch(const Matrix &GradOut) const override;
   int numParams() const override {
     return Weights.rows() * Weights.cols() + Bias.size();
   }
@@ -69,6 +73,8 @@ public:
   int outputSize() const override { return OutC * OutH * OutW; }
 
   Vector apply(const Vector &In) const override;
+  /// Flat-tap kernel over every row in parallel (see buildTapTable).
+  Matrix applyBatch(const Matrix &In) const override;
   std::unique_ptr<Layer> clone() const override;
   std::string describe() const override;
 
@@ -102,6 +108,31 @@ private:
   std::vector<double> Kernels;
   std::vector<double> Bias;
 
+  /// One in-range (input index, kernel parameter index) contribution to
+  /// some output position.
+  struct Tap {
+    int In, Param;
+  };
+  /// Taps grouped by output position in forEachTap emission order:
+  /// output o's taps are Taps[TapOffsets[o] .. TapOffsets[o+1]). Built
+  /// once at construction so the forward/VJP hot loops run over flat
+  /// arrays instead of re-deriving the six-deep tap geometry per point
+  /// (the batched engine's conv kernels iterate this table).
+  std::vector<Tap> Taps;
+  std::vector<int> TapOffsets;
+  /// Interior fast path: outputs whose window is unclipped by padding
+  /// share one input-offset stencil (InteriorOffsets, in (C,Y,X) tap
+  /// order) and read their kernel parameters contiguously, so the
+  /// forward loop needs no per-tap index pairs. InteriorBase[o] is the
+  /// window's input base index, or -1 for border outputs (which use the
+  /// generic tap list). Accumulation order is unchanged either way.
+  std::vector<int> InteriorBase;
+  std::vector<int> InteriorOffsets;
+  void buildTapTable();
+
+  /// Forward kernel for one input row (see buildTapTable).
+  void forwardRow(const double *InRow, double *OutRow) const;
+
   /// Invokes Fn(OutIndex, InIndex, ParamIndex) for every (output
   /// position, kernel entry) pair whose input position is in range, and
   /// Fn(OutIndex, -1, BiasParamIndex) for each bias contribution.
@@ -122,6 +153,7 @@ public:
   int inputSize() const override { return Size; }
   int outputSize() const override { return Size; }
   Vector apply(const Vector &In) const override { return In; }
+  Matrix applyBatch(const Matrix &In) const override { return In; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<FlattenLayer>(Size);
   }

@@ -50,12 +50,28 @@ Vector Network::evaluate(const Vector &X) const {
   return Current;
 }
 
+Matrix Network::applyBatch(const Matrix &Xs) const {
+  Matrix Current = Xs;
+  for (const auto &L : Layers)
+    Current = L->applyBatch(Current);
+  return Current;
+}
+
 std::vector<Vector> Network::intermediates(const Vector &X) const {
   std::vector<Vector> Values;
   Values.reserve(Layers.size() + 1);
   Values.push_back(X);
   for (const auto &L : Layers)
     Values.push_back(L->apply(Values.back()));
+  return Values;
+}
+
+std::vector<Matrix> Network::intermediatesBatch(const Matrix &Xs) const {
+  std::vector<Matrix> Values;
+  Values.reserve(Layers.size() + 1);
+  Values.push_back(Xs);
+  for (const auto &L : Layers)
+    Values.push_back(L->applyBatch(Values.back()));
   return Values;
 }
 

@@ -42,12 +42,24 @@ public:
   /// Forward evaluation N(x) (Definition 2.2).
   Vector evaluate(const Vector &X) const;
 
+  /// Batched forward evaluation: row p of the result is N(row p of
+  /// \p Xs), bit-for-bit equal to evaluate() on that row. Linear layers
+  /// run as blocked GEMMs, activations as fused sweeps, both on the
+  /// global thread pool (support/Parallel.h).
+  Matrix applyBatch(const Matrix &Xs) const;
+
   /// Argmax of the output (classification).
   int classify(const Vector &X) const { return evaluate(X).argmax(); }
 
   /// Inputs to every layer plus the final output: result[i] is the
   /// input of layer i, result[numLayers()] is N(x).
   std::vector<Vector> intermediates(const Vector &X) const;
+
+  /// Batched intermediates: result[i] holds the inputs of layer i one
+  /// point per row, result[numLayers()] the outputs - the batch
+  /// analogue of intermediates(), and the unpinned fast path of
+  /// intermediatesBatchWithPatterns.
+  std::vector<Matrix> intermediatesBatch(const Matrix &Xs) const;
 
   /// True iff every layer is PWL (required for polytope repair, §6).
   bool isPiecewiseLinear() const;

@@ -2,6 +2,8 @@
 
 #include "nn/PoolLayers.h"
 
+#include "support/Parallel.h"
+
 #include <cassert>
 #include <cstdio>
 #include <limits>
@@ -35,6 +37,25 @@ Vector MaxPool2DLayer::apply(const Vector &In) const {
     (void)Tap;
     if (In[InIndex] > Out[OutIndex])
       Out[OutIndex] = In[InIndex];
+  });
+  return Out;
+}
+
+Matrix MaxPool2DLayer::applyBatch(const Matrix &In) const {
+  assert(In.cols() == inputSize() && "batched input size mismatch");
+  Matrix Out(In.rows(), outputSize());
+  parallelForRanges(0, In.rows(), [&](std::int64_t Begin, std::int64_t End) {
+    for (int R = static_cast<int>(Begin); R < End; ++R) {
+      const double *InRow = In.rowData(R);
+      double *OutRow = Out.rowData(R);
+      for (int O = 0; O < outputSize(); ++O)
+        OutRow[O] = -std::numeric_limits<double>::infinity();
+      Geo.forEachTap([&](int OutIndex, int InIndex, int Tap) {
+        (void)Tap;
+        if (InRow[InIndex] > OutRow[OutIndex])
+          OutRow[OutIndex] = InRow[InIndex];
+      });
+    }
   });
   return Out;
 }

@@ -61,6 +61,8 @@ public:
   int inputSize() const override { return Geo.inputSize(); }
   int outputSize() const override { return Geo.outputSize(); }
   Vector apply(const Vector &In) const override;
+  /// Window sweep directly over the batch rows (no per-row copies).
+  Matrix applyBatch(const Matrix &In) const override;
   std::unique_ptr<Layer> clone() const override;
   std::string describe() const override;
 

@@ -1,0 +1,181 @@
+//===- support/Parallel.cpp -------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+using namespace prdnn;
+
+namespace {
+
+/// True while the current thread is executing chunks of some loop;
+/// nested parallelFor calls run inline to avoid pool deadlock.
+thread_local bool InParallelRegion = false;
+
+} // namespace
+
+/// One in-flight parallel loop. Lives on the caller's stack; workers
+/// register/deregister under the pool mutex so the caller can wait for
+/// every participant to leave before returning.
+struct ThreadPool::Loop {
+  std::int64_t Begin = 0, End = 0, Chunk = 1;
+  std::int64_t NumChunks = 0;
+  std::atomic<std::int64_t> Next{0};
+  const std::function<void(std::int64_t, std::int64_t)> *Body = nullptr;
+  /// Workers currently inside runChunks (guarded by the pool mutex).
+  int ActiveWorkers = 0;
+  /// First exception thrown by a body (guarded by the pool mutex).
+  std::exception_ptr Error;
+  std::mutex *PoolMutex = nullptr;
+};
+
+ThreadPool::ThreadPool(int NumThreads)
+    : NumThreadsTotal(std::max(1, NumThreads)) {
+  Workers.reserve(static_cast<size_t>(NumThreadsTotal - 1));
+  for (int I = 0; I < NumThreadsTotal - 1; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runChunks(Loop &L) {
+  bool WasInParallel = InParallelRegion;
+  InParallelRegion = true;
+  while (true) {
+    std::int64_t C = L.Next.fetch_add(1, std::memory_order_relaxed);
+    if (C >= L.NumChunks)
+      break;
+    std::int64_t ChunkBegin = L.Begin + C * L.Chunk;
+    std::int64_t ChunkEnd = std::min(ChunkBegin + L.Chunk, L.End);
+    try {
+      (*L.Body)(ChunkBegin, ChunkEnd);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(*L.PoolMutex);
+      if (!L.Error)
+        L.Error = std::current_exception();
+      // Cancel the chunks nobody claimed yet.
+      L.Next.store(L.NumChunks, std::memory_order_relaxed);
+    }
+  }
+  InParallelRegion = WasInParallel;
+}
+
+void ThreadPool::workerMain() {
+  std::uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WorkCv.wait(Lock, [&] {
+      return Stopping || (Current && Generation != SeenGeneration);
+    });
+    if (Stopping)
+      return;
+    SeenGeneration = Generation;
+    Loop *L = Current;
+    ++L->ActiveWorkers;
+    Lock.unlock();
+    runChunks(*L);
+    Lock.lock();
+    if (--L->ActiveWorkers == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::forRanges(
+    std::int64_t Begin, std::int64_t End, std::int64_t Grain,
+    const std::function<void(std::int64_t, std::int64_t)> &Body) {
+  std::int64_t Count = End - Begin;
+  if (Count <= 0)
+    return;
+  if (NumThreadsTotal == 1 || Count == 1 || InParallelRegion) {
+    // Sequential / nested fallback; still honors chunk granularity so a
+    // chunk-order-sensitive caller sees the same chunks as the pool.
+    // InParallelRegion is deliberately left as-is: a top-level loop
+    // with a single item must not disable parallelism in nested calls
+    // (e.g. keyPointSpec over one polytope still wants parallel
+    // transforms inside).
+    std::int64_t Chunk =
+        Grain > 0 ? Grain
+                  : std::max<std::int64_t>(1, Count / (NumThreadsTotal * 8));
+    for (std::int64_t B = Begin; B < End; B += Chunk)
+      Body(B, std::min(B + Chunk, End));
+    return;
+  }
+
+  // One loop at a time; concurrent callers queue up here.
+  std::lock_guard<std::mutex> RunLock(RunMutex);
+
+  Loop L;
+  L.Begin = Begin;
+  L.End = End;
+  L.Chunk = Grain > 0
+                ? Grain
+                : std::max<std::int64_t>(1, Count / (NumThreadsTotal * 8));
+  L.NumChunks = (Count + L.Chunk - 1) / L.Chunk;
+  L.Body = &Body;
+  L.PoolMutex = &Mutex;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current = &L;
+    ++Generation;
+  }
+  WorkCv.notify_all();
+
+  runChunks(L);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Current = nullptr;
+  DoneCv.wait(Lock, [&] { return L.ActiveWorkers == 0; });
+  std::exception_ptr Error = L.Error;
+  Lock.unlock();
+  if (Error)
+    std::rethrow_exception(Error);
+}
+
+int prdnn::defaultThreadCount() {
+  if (const char *Env = std::getenv("PRDNN_NUM_THREADS")) {
+    int Parsed = std::atoi(Env);
+    if (Parsed > 0)
+      return Parsed;
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware == 0 ? 1 : static_cast<int>(Hardware);
+}
+
+namespace {
+
+std::mutex GlobalPoolMutex;
+std::unique_ptr<ThreadPool> GlobalPool;
+
+} // namespace
+
+ThreadPool &prdnn::globalThreadPool() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<ThreadPool>(defaultThreadCount());
+  return *GlobalPool;
+}
+
+int prdnn::globalThreadCount() { return globalThreadPool().numThreads(); }
+
+void prdnn::setGlobalThreadCount(int NumThreads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  GlobalPool = std::make_unique<ThreadPool>(std::max(1, NumThreads));
+}
+
+void prdnn::parallelForRanges(
+    std::int64_t Begin, std::int64_t End,
+    const std::function<void(std::int64_t, std::int64_t)> &Body,
+    std::int64_t Grain) {
+  globalThreadPool().forRanges(Begin, End, Grain, Body);
+}

@@ -1,0 +1,111 @@
+//===- support/Parallel.h - thread pool and parallel-for -------*- C++ -*-===//
+///
+/// \file
+/// A small persistent thread pool behind the parallelFor primitives:
+/// the execution substrate of the batched repair engine (blocked GEMM,
+/// batch Jacobians, parallel constraint assembly and violation scans).
+///
+/// Design rules, relied on throughout the library:
+///  - Bodies write only to disjoint output slots, and every slot's
+///    computation is independent of the partitioning, so all results
+///    are bit-for-bit identical for any thread count (1 included).
+///  - The calling thread participates in the loop; a pool of size 1
+///    (or a nested parallelFor) degrades to a plain sequential loop.
+///  - An exception thrown by a body cancels the remaining chunks and is
+///    rethrown on the calling thread once the loop has drained; the
+///    pool stays usable afterwards.
+///
+/// The global pool is sized from the PRDNN_NUM_THREADS environment
+/// variable when set to a positive integer, otherwise from
+/// std::thread::hardware_concurrency(), and can be resized at runtime
+/// with setGlobalThreadCount (e.g. to compare 1-thread vs N-thread
+/// runs, or from an application's --threads option).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_PARALLEL_H
+#define PRDNN_SUPPORT_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prdnn {
+
+/// Persistent worker pool; see the file comment for the contract.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads - 1 workers (the calling thread is the last
+  /// "worker"); NumThreads < 1 is clamped to 1.
+  explicit ThreadPool(int NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int numThreads() const { return NumThreadsTotal; }
+
+  /// Runs \p Body(ChunkBegin, ChunkEnd) over a disjoint cover of
+  /// [Begin, End) in chunks of about \p Grain indices (Grain <= 0
+  /// picks one automatically). Blocks until every chunk finished;
+  /// rethrows the first body exception.
+  void forRanges(std::int64_t Begin, std::int64_t End, std::int64_t Grain,
+                 const std::function<void(std::int64_t, std::int64_t)> &Body);
+
+private:
+  struct Loop;
+
+  void workerMain();
+  static void runChunks(Loop &L);
+
+  int NumThreadsTotal;
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkCv, DoneCv;
+  std::mutex RunMutex;
+  Loop *Current = nullptr;
+  std::uint64_t Generation = 0;
+  bool Stopping = false;
+};
+
+/// Thread count the global pool is created with: PRDNN_NUM_THREADS when
+/// set to a positive integer, else std::thread::hardware_concurrency()
+/// (at least 1).
+int defaultThreadCount();
+
+/// The process-wide pool used by the free parallelFor functions.
+ThreadPool &globalThreadPool();
+
+/// Current size of the global pool.
+int globalThreadCount();
+
+/// Replaces the global pool with one of \p NumThreads threads (clamped
+/// to >= 1). Must not race with in-flight parallelFor calls.
+void setGlobalThreadCount(int NumThreads);
+
+/// Chunked parallel loop over [Begin, End) on the global pool; chunks
+/// are contiguous, disjoint, and in ascending order within each call of
+/// \p Body. \p Grain <= 0 picks a chunk size automatically.
+void parallelForRanges(std::int64_t Begin, std::int64_t End,
+                       const std::function<void(std::int64_t, std::int64_t)>
+                           &Body,
+                       std::int64_t Grain = 0);
+
+/// Per-index parallel loop over [Begin, End) on the global pool.
+template <typename FnT>
+void parallelFor(std::int64_t Begin, std::int64_t End, FnT &&Body) {
+  parallelForRanges(Begin, End,
+                    [&Body](std::int64_t ChunkBegin, std::int64_t ChunkEnd) {
+                      for (std::int64_t I = ChunkBegin; I < ChunkEnd; ++I)
+                        Body(I);
+                    });
+}
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_PARALLEL_H

@@ -38,8 +38,7 @@ LinePartition prdnn::lineRegions(const Network &Net, const Vector &A,
     if (!Act) {
       // Affine layer: endpoint values map through; breakpoints are
       // unchanged (affine maps preserve affineness in t).
-      for (Vector &V : Vals)
-        V = L.apply(V);
+      applyBatchToRows(L, Vals);
       continue;
     }
 
@@ -77,8 +76,7 @@ LinePartition prdnn::lineRegions(const Network &Net, const Vector &A,
 
     // Apply the activation at every breakpoint (sigma is continuous, so
     // breakpoint values remain exact).
-    for (Vector &V : NewVals)
-      V = Act->apply(V);
+    applyBatchToRows(*Act, NewVals);
 
     Ts = std::move(NewTs);
     Vals = std::move(NewVals);

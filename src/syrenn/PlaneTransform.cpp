@@ -4,6 +4,7 @@
 
 #include "nn/ActivationLayers.h"
 #include "support/Casting.h"
+#include "support/Parallel.h"
 
 #include <cassert>
 #include <cmath>
@@ -191,9 +192,13 @@ prdnn::planeRegions(const Network &Net, const std::vector<Vector> &Polygon) {
   for (int LayerIdx = 0; LayerIdx < Net.numLayers(); ++LayerIdx) {
     const Layer &L = Net.layer(LayerIdx);
     if (const auto *Linear = dyn_cast<LinearLayer>(&L)) {
-      for (WorkPolygon &Poly : Polys)
-        for (Vector &V : Poly.Vals)
-          V = Linear->apply(V);
+      // Polygons are independent; each one maps its vertex set through
+      // the layer in a single batched call.
+      parallelFor(0, static_cast<std::int64_t>(Polys.size()),
+                  [&](std::int64_t P) {
+                    applyBatchToRows(*Linear,
+                                     Polys[static_cast<size_t>(P)].Vals);
+                  });
       continue;
     }
     const auto *Act = dyn_cast<ElementwiseActivation>(&L);
@@ -208,9 +213,11 @@ prdnn::planeRegions(const Network &Net, const std::vector<Vector> &Polygon) {
         std::swap(Polys, Next);
       }
     }
-    for (WorkPolygon &Poly : Polys)
-      for (Vector &V : Poly.Vals)
-        V = Act->apply(V);
+    parallelFor(0, static_cast<std::int64_t>(Polys.size()),
+                [&](std::int64_t P) {
+                  for (Vector &V : Polys[static_cast<size_t>(P)].Vals)
+                    V = Act->apply(V);
+                });
   }
 
   std::vector<PlaneRegion> Result;

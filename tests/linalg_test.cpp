@@ -3,6 +3,7 @@
 #include "linalg/Matrix.h"
 #include "linalg/Vector.h"
 
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -102,6 +103,62 @@ TEST(Matrix, MultiplyAssociatesWithApply) {
   Vector Left = A.multiply(B).apply(X);
   Vector Right = A.apply(B.apply(X));
   EXPECT_LT(Left.maxAbsDiff(Right), 1e-12);
+}
+
+TEST(Matrix, MultiplyTransposedMatchesMultiply) {
+  Rng R(23);
+  Matrix A(6, 9), B(7, 9);
+  for (int I = 0; I < 6; ++I)
+    for (int J = 0; J < 9; ++J)
+      A(I, J) = R.normal();
+  for (int I = 0; I < 7; ++I)
+    for (int J = 0; J < 9; ++J)
+      B(I, J) = R.normal();
+  Matrix Via = A.multiplyTransposed(B);
+  Matrix Direct = A.multiply(B.transposed());
+  EXPECT_LT(Via.maxAbsDiff(Direct), 1e-12);
+}
+
+TEST(Matrix, LargeMultiplyMatchesNaiveAcrossThreadCounts) {
+  // Sizes above the parallel/blocking thresholds: the blocked kernel
+  // must agree with the naive triple loop bit-for-bit on any pool size.
+  Rng R(29);
+  const int N = 70, K = 300, M = 60;
+  Matrix A(N, K), B(K, M);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < K; ++J)
+      A(I, J) = R.normal();
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < M; ++J)
+      B(I, J) = R.normal();
+  Matrix Naive(N, M);
+  for (int I = 0; I < N; ++I)
+    for (int Kk = 0; Kk < K; ++Kk) {
+      double Scale = A(I, Kk);
+      if (Scale == 0.0)
+        continue;
+      for (int J = 0; J < M; ++J)
+        Naive(I, J) += Scale * B(Kk, J);
+    }
+  for (int Threads : {1, 4}) {
+    setGlobalThreadCount(Threads);
+    Matrix C = A.multiply(B);
+    EXPECT_EQ(C.maxAbsDiff(Naive), 0.0) << Threads << " threads";
+  }
+  setGlobalThreadCount(1);
+}
+
+TEST(Matrix, RowHelpersAndFromRowVectors) {
+  std::vector<Vector> Rows = {Vector{1.0, 2.0}, Vector{3.0, 4.0},
+                              Vector{5.0, 6.0}};
+  Matrix M = Matrix::fromRowVectors(Rows);
+  EXPECT_EQ(M.rows(), 3);
+  EXPECT_EQ(M.cols(), 2);
+  EXPECT_DOUBLE_EQ(M(2, 1), 6.0);
+  EXPECT_EQ(M.row(1).maxAbsDiff(Vector{3.0, 4.0}), 0.0);
+  M.setRow(0, Vector{-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(M(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(M(0, 1), -2.0);
 }
 
 TEST(Matrix, NormInfAndAccumulate) {

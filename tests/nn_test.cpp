@@ -17,6 +17,7 @@
 #include "nn/Serialization.h"
 
 #include "support/Casting.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -535,6 +536,132 @@ TEST(Jacobian, SmoothActivationsFirstOrder) {
 }
 
 // --- Serialization -----------------------------------------------------------
+
+// --- Batched engine ----------------------------------------------------------
+//
+// The batch APIs promise bit-for-bit agreement with the per-point
+// paths for any thread count; every comparison below therefore demands
+// a max-abs-diff of exactly 0.0.
+
+TEST(Batch, NetworkApplyBatchMatchesEvaluateBitForBit) {
+  Rng R(401);
+  Network Net = makeRandomPwlNetwork(R, 5, 3);
+  const int NumPoints = 23;
+  std::vector<Vector> Points;
+  for (int I = 0; I < NumPoints; ++I)
+    Points.push_back(randomVector(R, 5));
+  for (int Threads : {1, 4}) {
+    setGlobalThreadCount(Threads);
+    Matrix Out = Net.applyBatch(Matrix::fromRowVectors(Points));
+    ASSERT_EQ(Out.rows(), NumPoints);
+    for (int I = 0; I < NumPoints; ++I)
+      EXPECT_EQ(Out.row(I).maxAbsDiff(
+                    Net.evaluate(Points[static_cast<size_t>(I)])),
+                0.0)
+          << "point " << I << " with " << Threads << " threads";
+  }
+  setGlobalThreadCount(1);
+}
+
+TEST(Batch, ConvApplyBatchMatchesApply) {
+  // Conv2D's flat-tap batched kernel must agree with apply exactly.
+  Rng R(402);
+  Conv2DLayer Conv(/*InChannels=*/1, /*InHeight=*/4, /*InWidth=*/4,
+                   /*OutChannels=*/2, /*KernelH=*/2, /*KernelW=*/2,
+                   /*Stride=*/1, /*Pad=*/0,
+                   {0.5, -0.25, 1.0, 0.75, -0.5, 0.25, -1.0, 0.125},
+                   {0.1, -0.2});
+  std::vector<Vector> Points;
+  for (int I = 0; I < 9; ++I)
+    Points.push_back(randomVector(R, Conv.inputSize()));
+  Matrix Out = Conv.applyBatch(Matrix::fromRowVectors(Points));
+  for (int I = 0; I < 9; ++I)
+    EXPECT_EQ(Out.row(I).maxAbsDiff(
+                  Conv.apply(Points[static_cast<size_t>(I)])),
+              0.0);
+}
+
+TEST(Batch, ComputePatternBatchMatchesScalar) {
+  Rng R(403);
+  Network Net = makeRandomPwlNetwork(R, 4, 3);
+  std::vector<Vector> Points;
+  for (int I = 0; I < 11; ++I)
+    Points.push_back(randomVector(R, 4));
+  std::vector<NetworkPattern> Batch =
+      computePatternBatch(Net, Matrix::fromRowVectors(Points));
+  ASSERT_EQ(Batch.size(), Points.size());
+  for (size_t I = 0; I < Points.size(); ++I)
+    EXPECT_TRUE(Batch[I] == computePattern(Net, Points[I]))
+        << "point " << I;
+}
+
+TEST(Batch, ParamJacobianBatchMatchesScalarBitForBit) {
+  Rng R(404);
+  Network Net = makeRandomPwlNetwork(R, 5, 3);
+  const int NumPoints = 17;
+  std::vector<Vector> Points;
+  std::vector<NetworkPattern> Patterns;
+  for (int I = 0; I < NumPoints; ++I) {
+    Points.push_back(randomVector(R, 5));
+    // Pin every third point to the region of a *different* input, so
+    // the batch must honor off-region pinned patterns (Appendix B).
+    Patterns.push_back(computePattern(
+        Net, I % 3 == 0 ? randomVector(R, 5) : Points.back()));
+  }
+  std::vector<const NetworkPattern *> Pinned;
+  for (int I = 0; I < NumPoints; ++I)
+    Pinned.push_back(I % 2 == 0 ? &Patterns[static_cast<size_t>(I)]
+                                : nullptr);
+
+  for (int LayerIdx : Net.parameterizedLayerIndices()) {
+    for (int Threads : {1, 4}) {
+      setGlobalThreadCount(Threads);
+      std::vector<JacobianResult> Batch =
+          paramJacobianBatch(Net, LayerIdx, Points, Pinned);
+      ASSERT_EQ(static_cast<int>(Batch.size()), NumPoints);
+      for (int I = 0; I < NumPoints; ++I) {
+        JacobianResult Scalar =
+            paramJacobian(Net, LayerIdx, Points[static_cast<size_t>(I)],
+                          Pinned[static_cast<size_t>(I)]);
+        EXPECT_EQ(Batch[static_cast<size_t>(I)].J.maxAbsDiff(Scalar.J), 0.0)
+            << "layer " << LayerIdx << " point " << I << " threads "
+            << Threads;
+        EXPECT_EQ(
+            Batch[static_cast<size_t>(I)].Output.maxAbsDiff(Scalar.Output),
+            0.0)
+            << "layer " << LayerIdx << " point " << I << " threads "
+            << Threads;
+      }
+    }
+  }
+  setGlobalThreadCount(1);
+}
+
+TEST(Batch, ParamJacobianBatchMaxPoolFallback) {
+  // MaxPool2D is PWL but not elementwise, exercising the per-row VJP
+  // fallback of the batched backward sweep.
+  Rng R(405);
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 3, 0.8), randomVector(R, 16, 0.3)));
+  Net.addLayer(std::make_unique<MaxPool2DLayer>(/*Channels=*/1, /*InH=*/4,
+                                                /*InW=*/4, /*WindowH=*/2,
+                                                /*WindowW=*/2, /*Stride=*/2));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 2, 4, 0.8), randomVector(R, 2, 0.3)));
+  std::vector<Vector> Points;
+  for (int I = 0; I < 7; ++I)
+    Points.push_back(randomVector(R, 3));
+  std::vector<JacobianResult> Batch = paramJacobianBatch(Net, 0, Points);
+  for (int I = 0; I < 7; ++I) {
+    JacobianResult Scalar =
+        paramJacobian(Net, 0, Points[static_cast<size_t>(I)]);
+    EXPECT_EQ(Batch[static_cast<size_t>(I)].J.maxAbsDiff(Scalar.J), 0.0);
+    EXPECT_EQ(
+        Batch[static_cast<size_t>(I)].Output.maxAbsDiff(Scalar.Output),
+        0.0);
+  }
+}
 
 TEST(Serialization, RoundTripAllLayerKinds) {
   Rng R(301);

@@ -14,6 +14,7 @@
 #include "nn/ActivationLayers.h"
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -356,6 +357,113 @@ TEST(PointRepair, FrozenParametersStayFrozen) {
     }
   }
   EXPECT_GT(std::fabs(Result.Delta[4]), 1e-9);
+}
+
+// --- Batched engine determinism ----------------------------------------------
+//
+// The batched pipeline promises thread-count-invariant results: the
+// repaired Delta must match bit-for-bit between a 1-thread and an
+// N-thread run, with and without constraint generation.
+
+TEST(PointRepair, DeltaIdenticalAcrossThreadCounts) {
+  Rng R(71);
+  Network Net = makeRandomReluClassifier(R, 5, 14, 3);
+  PointSpec Spec;
+  for (int I = 0; I < 40; ++I) {
+    Vector X = randomVector(R, 5);
+    Spec.push_back({X, classificationConstraint(3, I % 3, 1e-3),
+                    I % 4 == 0 ? std::optional<NetworkPattern>(
+                                     computePattern(Net, X))
+                               : std::nullopt});
+  }
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+  for (bool UseCg : {false, true}) {
+    RepairOptions Options;
+    Options.UseConstraintGeneration = UseCg;
+
+    setGlobalThreadCount(1);
+    RepairResult Single = repairPoints(Net, OutputLayer, Spec, Options);
+    setGlobalThreadCount(4);
+    RepairResult Multi = repairPoints(Net, OutputLayer, Spec, Options);
+    setGlobalThreadCount(1);
+
+    ASSERT_EQ(Single.Status, Multi.Status) << "cg " << UseCg;
+    ASSERT_EQ(Single.Delta.size(), Multi.Delta.size());
+    for (size_t P = 0; P < Single.Delta.size(); ++P)
+      EXPECT_EQ(Single.Delta[P], Multi.Delta[P])
+          << "param " << P << " cg " << UseCg;
+    EXPECT_EQ(Single.Stats.SpecRows, Multi.Stats.SpecRows);
+  }
+}
+
+TEST(PointRepair, BatchedAndSeedJacobianPathsMatchBitForBit) {
+  Rng R(73);
+  Network Net = makeRandomReluClassifier(R, 5, 12, 3);
+  PointSpec Spec;
+  for (int I = 0; I < 25; ++I) {
+    Vector X = randomVector(R, 5);
+    Spec.push_back({X, classificationConstraint(3, Net.classify(X), 1e-3),
+                    I % 5 == 0 ? std::optional<NetworkPattern>(
+                                     computePattern(Net, X))
+                               : std::nullopt});
+  }
+  int OutputLayer = Net.parameterizedLayerIndices().back();
+  RepairOptions Batched, Seed;
+  Seed.BatchedJacobians = false;
+  setGlobalThreadCount(4);
+  RepairResult A = repairPoints(Net, OutputLayer, Spec, Batched);
+  RepairResult B = repairPoints(Net, OutputLayer, Spec, Seed);
+  setGlobalThreadCount(1);
+  ASSERT_EQ(A.Status, B.Status);
+  ASSERT_EQ(A.Delta.size(), B.Delta.size());
+  for (size_t P = 0; P < A.Delta.size(); ++P)
+    EXPECT_EQ(A.Delta[P], B.Delta[P]) << "param " << P;
+}
+
+TEST(PolytopeRepair, KeyPointsIdenticalAcrossThreadCounts) {
+  Rng R(72);
+  Network Net = makeRandomReluClassifier(R, 4, 10, 3);
+  PolytopeSpec Spec;
+  for (int I = 0; I < 6; ++I) {
+    Vector A = randomVector(R, 4), B = randomVector(R, 4);
+    Spec.push_back(SpecPolytope{
+        SegmentPolytope{A, B},
+        classificationConstraint(3, Net.classify(A), 1e-3)});
+  }
+
+  setGlobalThreadCount(1);
+  PointSpec Single = keyPointSpec(Net, Spec);
+  setGlobalThreadCount(4);
+  PointSpec Multi = keyPointSpec(Net, Spec);
+  setGlobalThreadCount(1);
+
+  ASSERT_EQ(Single.size(), Multi.size());
+  for (size_t P = 0; P < Single.size(); ++P) {
+    EXPECT_EQ(Single[P].X.maxAbsDiff(Multi[P].X), 0.0) << "point " << P;
+    ASSERT_TRUE(Single[P].Pattern.has_value());
+    ASSERT_TRUE(Multi[P].Pattern.has_value());
+    EXPECT_TRUE(*Single[P].Pattern == *Multi[P].Pattern) << "point " << P;
+  }
+}
+
+TEST(PointRepair, StatsTimingPopulatedOnAllPaths) {
+  // OtherSeconds/TotalSeconds must be stamped on early exits too.
+  Network Net = makeFigure3Network();
+  PointSpec Impossible;
+  // y <= -1 and y >= 1 simultaneously: infeasible for any Delta.
+  Impossible.push_back({Vector{0.5},
+                        boxConstraint(Vector{1.0}, Vector{1.5}),
+                        std::nullopt});
+  Impossible.push_back({Vector{0.5},
+                        boxConstraint(Vector{-1.5}, Vector{-1.0}),
+                        std::nullopt});
+  RepairResult Result = repairPoints(Net, 0, Impossible);
+  EXPECT_EQ(Result.Status, RepairStatus::Infeasible);
+  EXPECT_GT(Result.Stats.TotalSeconds, 0.0);
+  EXPECT_GE(Result.Stats.OtherSeconds, 0.0);
+  EXPECT_GE(Result.Stats.TotalSeconds,
+            Result.Stats.JacobianSeconds + Result.Stats.LpSeconds +
+                Result.Stats.OtherSeconds - 1e-9);
 }
 
 } // namespace
