@@ -13,7 +13,7 @@
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
 #include "support/Table.h"
@@ -40,8 +40,13 @@ int main() {
   TablePrinter Table({"Layer", "Kind", "DDNN violations",
                       "coupled violations", "DDNN max viol",
                       "coupled max viol"});
+  RepairEngine Engine;
   for (int LayerIdx : W.Net.parameterizedLayerIndices()) {
-    RepairResult Result = repairPoints(W.Net, LayerIdx, Spec);
+    RepairResult Result =
+        Engine
+            .run(RepairRequest::points(RepairRequest::borrow(W.Net),
+                                       LayerIdx, Spec))
+            .Result;
     if (Result.Status != RepairStatus::Success) {
       Table.addRow({std::to_string(LayerIdx),
                     W.Net.layer(LayerIdx).describe(),

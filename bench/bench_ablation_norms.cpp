@@ -10,7 +10,7 @@
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "core/PolytopeRepair.h"
 #include "support/Table.h"
 
@@ -32,11 +32,16 @@ int main() {
 
   TablePrinter Table({"Objective", "|Delta|_1", "|Delta|_inf",
                       "changed params", "D", "G", "T"});
+  RepairEngine Engine;
   for (lp::Norm Objective :
        {lp::Norm::L1, lp::Norm::LInf, lp::Norm::L1PlusLInf}) {
     RepairOptions Options;
     Options.Objective = Objective;
-    RepairResult Result = repairPoints(W.Net, OutputLayer, Points, Options);
+    RepairResult Result =
+        Engine
+            .run(RepairRequest::points(RepairRequest::borrow(W.Net),
+                                       OutputLayer, Points, Options))
+            .Result;
     if (Result.Status != RepairStatus::Success) {
       Table.addRow({toString(Objective), "-", "-", "-",
                     toString(Result.Status), "-", "-"});

@@ -1,0 +1,236 @@
+//===- bench/bench_engine_jobs.cpp - engine job throughput -------------------===//
+//
+// Throughput and latency of the RepairEngine's async job path: a fixed
+// pool of point-repair jobs is pushed through one engine at 1, 4, and 8
+// concurrent workers and compared against the serial baseline (the
+// same requests as one-shot repairPoints calls, back to back).
+//
+// Emits BENCH_engine_jobs.json: jobs/sec and p50/p95 job latency
+// (submit -> report, i.e. queue wait + execution) per concurrency
+// level, the speedup over serial, and the max Delta divergence from
+// the serial results (must be exactly 0: the engine's determinism
+// contract). Jobs/sec gains come from overlapping the single-threaded
+// phases of different jobs (above all the simplex solves), so the
+// speedup tracks the machine's core count; the JSON records both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "api/RepairEngine.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Parallel.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+namespace {
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+/// 12 -> 32 -> 32 -> 6 ReLU classifier (parameterized layers 0, 2, 4).
+Network makeClassifier(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 32, 12, 0.8), randomVector(R, 32, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(32));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 32, 32, 0.7), randomVector(R, 32, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(32));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 6, 32, 0.8), randomVector(R, 6, 0.3)));
+  return Net;
+}
+
+/// Every third point flips to its runner-up class; the rest anchor.
+PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
+  PointSpec Spec;
+  for (int I = 0; I < Count; ++I) {
+    Vector X = randomVector(R, Net.inputSize());
+    Vector Y = Net.evaluate(X);
+    int Top = Y.argmax();
+    int Target = Top;
+    if (I % 3 == 0) {
+      double Best = -1e300;
+      for (int C = 0; C < Y.size(); ++C)
+        if (C != Top && Y[C] > Best) {
+          Best = Y[C];
+          Target = C;
+        }
+    }
+    Spec.push_back({std::move(X),
+                    classificationConstraint(Net.outputSize(), Target, 1e-3),
+                    std::nullopt});
+  }
+  return Spec;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Index = static_cast<size_t>(
+      std::min<double>(static_cast<double>(Sorted.size()) - 1.0,
+                       P * static_cast<double>(Sorted.size())));
+  return Sorted[Index];
+}
+
+double maxDeltaDiff(const RepairResult &A, const RepairResult &B) {
+  if (A.Delta.size() != B.Delta.size())
+    return 1e300;
+  double Max = 0.0;
+  for (size_t I = 0; I < A.Delta.size(); ++I)
+    Max = std::max(Max, std::fabs(A.Delta[I] - B.Delta[I]));
+  return Max;
+}
+
+} // namespace
+
+int main() {
+  const int NumJobs = 16;
+  const int PointsPerJob = 60;
+
+  Rng R(67001);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  std::printf("=== Engine job throughput: %d point-repair jobs "
+              "(%d points each) ===\n",
+              NumJobs, PointsPerJob);
+  std::printf("network: %d params; pool threads: %d; hardware "
+              "concurrency: %u\n\n",
+              Net->totalParams(), globalThreadCount(),
+              std::thread::hardware_concurrency());
+
+  const int Layers[] = {0, 2, 4};
+  std::vector<RepairRequest> Requests;
+  for (int J = 0; J < NumJobs; ++J) {
+    Rng SpecR(9000 + J);
+    Requests.push_back(RepairRequest::points(
+        Net, Layers[J % 3], makeFlipSpec(*Net, SpecR, PointsPerJob)));
+  }
+
+  // --- Serial baseline: one-shot wrapper calls, back to back ----------------
+  std::vector<RepairResult> Serial(NumJobs);
+  std::vector<double> SerialLatency(NumJobs);
+  WallTimer SerialTimer;
+  for (int J = 0; J < NumJobs; ++J) {
+    WallTimer JobTimer;
+    Serial[static_cast<size_t>(J)] =
+        repairPoints(*Net, Requests[static_cast<size_t>(J)].LayerIndex,
+                     std::get<PointSpec>(
+                         Requests[static_cast<size_t>(J)].Spec));
+    SerialLatency[static_cast<size_t>(J)] = JobTimer.seconds();
+  }
+  double SerialWall = SerialTimer.seconds();
+  double SerialJobsPerSec = NumJobs / SerialWall;
+  int SerialSuccesses = 0;
+  for (const RepairResult &Result : Serial)
+    SerialSuccesses += Result.Status == RepairStatus::Success;
+
+  BenchJson Json("engine_jobs");
+  Json.beginRecord();
+  Json.add("mode", "serial");
+  Json.add("concurrency", 1);
+  Json.add("jobs", NumJobs);
+  Json.add("successes", SerialSuccesses);
+  Json.add("wall_seconds", SerialWall);
+  Json.add("jobs_per_sec", SerialJobsPerSec);
+  Json.add("p50_latency_seconds", percentile(SerialLatency, 0.50));
+  Json.add("p95_latency_seconds", percentile(SerialLatency, 0.95));
+  Json.add("speedup_vs_serial", 1.0);
+  Json.add("max_delta_diff_vs_serial", 0.0);
+  Json.add("pool_threads", globalThreadCount());
+  Json.add("hardware_concurrency",
+           static_cast<int>(std::thread::hardware_concurrency()));
+
+  TablePrinter Table({"mode", "workers", "wall(s)", "jobs/s", "p50(ms)",
+                      "p95(ms)", "speedup", "max |dDelta|"});
+  Table.addRow({"serial", "1", formatDouble(SerialWall, 3),
+                formatDouble(SerialJobsPerSec, 2),
+                formatDouble(1e3 * percentile(SerialLatency, 0.50), 1),
+                formatDouble(1e3 * percentile(SerialLatency, 0.95), 1),
+                "1.00", "0"});
+
+  // --- Engine at 1 / 4 / 8 concurrent workers -------------------------------
+  for (int Workers : {1, 4, 8}) {
+    EngineOptions Options;
+    Options.NumWorkers = Workers;
+    Options.QueueCapacity = NumJobs;
+    RepairEngine Engine(Options);
+
+    std::vector<JobHandle> Handles;
+    Handles.reserve(static_cast<size_t>(NumJobs));
+    WallTimer EngineTimer;
+    for (const RepairRequest &Request : Requests)
+      Handles.push_back(Engine.submit(Request));
+    for (JobHandle &Handle : Handles)
+      Handle.wait();
+    double EngineWall = EngineTimer.seconds();
+
+    std::vector<double> Latency;
+    double MaxDiff = 0.0;
+    int Successes = 0;
+    for (int J = 0; J < NumJobs; ++J) {
+      const RepairReport &Report =
+          Handles[static_cast<size_t>(J)].report();
+      // Service latency: queue wait + execution.
+      Latency.push_back(Report.QueueSeconds + Report.TotalSeconds);
+      MaxDiff = std::max(
+          MaxDiff, maxDeltaDiff(Report.Result, Serial[static_cast<size_t>(J)]));
+      Successes += Report.Status == RepairStatus::Success;
+    }
+    double JobsPerSec = NumJobs / EngineWall;
+    double Speedup = JobsPerSec / SerialJobsPerSec;
+
+    Json.beginRecord();
+    Json.add("mode", "engine");
+    Json.add("concurrency", Workers);
+    Json.add("jobs", NumJobs);
+    Json.add("successes", Successes);
+    Json.add("wall_seconds", EngineWall);
+    Json.add("jobs_per_sec", JobsPerSec);
+    Json.add("p50_latency_seconds", percentile(Latency, 0.50));
+    Json.add("p95_latency_seconds", percentile(Latency, 0.95));
+    Json.add("speedup_vs_serial", Speedup);
+    Json.add("max_delta_diff_vs_serial", MaxDiff);
+    Json.add("pool_threads", globalThreadCount());
+    Json.add("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+
+    Table.addRow({"engine", std::to_string(Workers),
+                  formatDouble(EngineWall, 3), formatDouble(JobsPerSec, 2),
+                  formatDouble(1e3 * percentile(Latency, 0.50), 1),
+                  formatDouble(1e3 * percentile(Latency, 0.95), 1),
+                  formatDouble(Speedup, 2),
+                  MaxDiff == 0.0 ? "0" : formatDouble(MaxDiff, 12)});
+  }
+
+  Table.print(std::cout);
+  std::string JsonFile = Json.write();
+  if (!JsonFile.empty())
+    std::printf("\nwrote %s\n", JsonFile.c_str());
+  return 0;
+}

@@ -7,11 +7,16 @@
 // is dominated by one phase (Jacobians for the paper's PyTorch; the LP
 // for our closed-form Jacobians - noted in EXPERIMENTS.md).
 //
+// The per-layer runs go through one RepairEngine, and the same
+// experiment is then repeated as a single kAutoLayer request: the
+// engine's layer sweep reproduces the per-layer attempts and returns
+// the minimal-|Delta| success (the §7 methodology as an API mode).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
 #include "support/Table.h"
@@ -32,11 +37,16 @@ int main() {
               100 * W.ValidationAccuracy);
   PointSpec Spec = task1Spec(W, 100, /*AnchorCount=*/40);
 
+  RepairEngine Engine;
   TablePrinter Table({"Layer", "Kind", "Params", "Drawdown(%)",
                       "T total", "T jacobian", "T lp", "T other",
                       "LP rows used", "CG rounds"});
   for (int LayerIdx : W.Net.parameterizedLayerIndices()) {
-    RepairResult Result = repairPoints(W.Net, LayerIdx, Spec);
+    RepairResult Result =
+        Engine
+            .run(RepairRequest::points(RepairRequest::borrow(W.Net),
+                                       LayerIdx, Spec))
+            .Result;
     std::string Drawdown = "infeasible";
     if (Result.Status == RepairStatus::Success)
       Drawdown = formatDouble(
@@ -59,5 +69,23 @@ int main() {
   Table.print(std::cout);
   std::printf("\nFigure 7(a): the Drawdown column by layer; "
               "Figure 7(b): the T jacobian / T lp / T other columns.\n");
+
+  // --- The same experiment as one kAutoLayer sweep request -------------------
+  RepairRequest Sweep;
+  Sweep.Net = RepairRequest::borrow(W.Net);
+  Sweep.Spec = Spec;
+  Sweep.LayerIndex = kAutoLayer;
+  RepairReport Report = Engine.run(Sweep);
+  std::printf("\nkAutoLayer sweep: %s", toString(Report.Status));
+  if (Report.succeeded())
+    std::printf(", minimal-|Delta| layer = %d (|Delta|_1 = %.4f)",
+                Report.RepairedLayer, Report.Result.DeltaL1);
+  std::printf("; %zu attempts, %.1fs total\n", Report.Sweep.size(),
+              Report.TotalSeconds);
+  for (const SweepAttempt &Attempt : Report.Sweep)
+    std::printf("  layer %d: %s, |Delta|_1 = %.4f, %s\n",
+                Attempt.LayerIndex, toString(Attempt.Status),
+                Attempt.DeltaL1,
+                formatDuration(Attempt.Seconds).c_str());
   return 0;
 }

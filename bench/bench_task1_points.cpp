@@ -13,7 +13,7 @@
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "nn/Jacobian.h"
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
@@ -276,6 +276,15 @@ int main() {
     std::printf(" %d (%s)", L, W.Net.layer(L).describe().c_str());
   std::printf("\n\n");
 
+  RepairEngine Engine;
+  auto RunRepair = [&](int LayerIdx, const PointSpec &Spec,
+                       const RepairOptions &Options = RepairOptions()) {
+    return Engine
+        .run(RepairRequest::points(RepairRequest::borrow(W.Net), LayerIdx,
+                                   Spec, Options))
+        .Result;
+  };
+
   TablePrinter Table1({"Points", "PR(BD) D", "T", "FT[1] D", "T",
                        "FT[2] D", "T", "MFT[1] E", "D", "T", "MFT[2] E",
                        "D", "T"});
@@ -351,9 +360,9 @@ int main() {
       PerPointOptions.BatchedJacobians = false;
       setGlobalThreadCount(1);
       RepairResult PerPointRun =
-          repairPoints(W.Net, AblationLayer, Spec, PerPointOptions);
+          RunRepair(AblationLayer, Spec, PerPointOptions);
       setGlobalThreadCount(BenchThreads);
-      RepairResult BatchRun = repairPoints(W.Net, AblationLayer, Spec);
+      RepairResult BatchRun = RunRepair(AblationLayer, Spec);
 
       double MaxDeltaDiff = 0.0;
       if (PerPointRun.Delta.size() == BatchRun.Delta.size())
@@ -405,7 +414,7 @@ int main() {
     PrRow Pr;
     Pr.Total = static_cast<int>(Layers.size());
     for (int LayerIdx : Layers) {
-      RepairResult Result = repairPoints(W.Net, LayerIdx, Spec);
+      RepairResult Result = RunRepair(LayerIdx, Spec);
       if (Result.Status != RepairStatus::Success)
         continue;
       ++Pr.Feasible;

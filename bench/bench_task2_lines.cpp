@@ -10,7 +10,7 @@
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "core/PolytopeRepair.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -47,9 +47,14 @@ int main() {
     PointSpec Points =
         keyPointSpec(W.Net, Spec, &LinRegionsSeconds, &NumRegions);
 
+    RepairEngine Engine;
     auto RunPr = [&](int LayerIdx, double &D, double &G, double &T) {
       WallTimer Timer;
-      RepairResult Result = repairPoints(W.Net, LayerIdx, Points);
+      RepairResult Result =
+          Engine
+              .run(RepairRequest::points(RepairRequest::borrow(W.Net),
+                                         LayerIdx, Points))
+              .Result;
       T = Timer.seconds() + LinRegionsSeconds;
       if (Result.Status != RepairStatus::Success) {
         D = G = -999;

@@ -12,7 +12,7 @@
 
 #include "BenchUtil.h"
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -45,7 +45,14 @@ int main() {
   // --- RQ1/RQ4: repair the last layer -----------------------------------------
   std::vector<int> Layers = W.Net.parameterizedLayerIndices();
   int LastLayer = Layers.back();
-  RepairResult Result = repairPoints(W.Net, LastLayer, Spec);
+  RepairEngine Engine;
+  auto RunLayer = [&](int LayerIdx) {
+    return Engine
+        .run(RepairRequest::points(RepairRequest::borrow(W.Net), LayerIdx,
+                                   Spec))
+        .Result;
+  };
+  RepairResult Result = RunLayer(LastLayer);
   if (Result.Status != RepairStatus::Success) {
     std::printf("last-layer repair FAILED: %s\n", toString(Result.Status));
     return 1;
@@ -90,7 +97,7 @@ int main() {
                          formatDuration(Result.Stats.TotalSeconds)});
       continue;
     }
-    RepairResult Other = repairPoints(W.Net, LayerIdx, Spec);
+    RepairResult Other = RunLayer(LayerIdx);
     LayerTable.addRow({std::to_string(LayerIdx),
                        W.Net.layer(LayerIdx).describe(),
                        toString(Other.Status),

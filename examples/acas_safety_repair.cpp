@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/RepairEngine.h"
 #include "core/PolytopeRepair.h"
 #include "data/Acas.h"
 #include "syrenn/PlaneTransform.h"
@@ -92,7 +93,12 @@ int main() {
               Points.size(), BadSlices.size());
 
   int OutputLayer = Net.parameterizedLayerIndices().back();
-  RepairResult Result = repairPoints(Net, OutputLayer, Points);
+  RepairEngine Engine;
+  RepairResult Result =
+      Engine
+          .run(RepairRequest::points(RepairRequest::borrow(Net),
+                                     OutputLayer, Points))
+          .Result;
   if (Result.Status != RepairStatus::Success) {
     std::printf("repair failed: %s\n", toString(Result.Status));
     return 1;

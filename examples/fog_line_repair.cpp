@@ -7,13 +7,19 @@
 // one of the infinitely many fog levels in between (Provable Polytope
 // Repair, §6).
 //
+// The repair runs as an asynchronous RepairEngine job: submitted with
+// submit(), observed through progress snapshots (LinRegions ->
+// Jacobian -> Lp -> Verify), and collected with report().
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/PolytopeRepair.h"
+#include "api/RepairEngine.h"
 #include "data/Corruptions.h"
 #include "data/Digits.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace prdnn;
 using namespace prdnn::data;
@@ -57,7 +63,18 @@ int main() {
               Made);
 
   int OutputLayer = Net.parameterizedLayerIndices().back();
-  RepairResult Result = repairPolytopes(Net, OutputLayer, Spec);
+  RepairEngine Engine;
+  JobHandle Job = Engine.submit(RepairRequest::polytopes(
+      RepairRequest::borrow(Net), OutputLayer, Spec));
+  while (!Job.done()) {
+    ProgressSnapshot S = Job.progress();
+    std::printf("  [job %llu] phase %s (%lld/%lld)\n",
+                static_cast<unsigned long long>(Job.id()),
+                toString(S.Phase), static_cast<long long>(S.ItemsDone),
+                static_cast<long long>(S.ItemsTotal));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  RepairResult Result = Job.report().Result;
   if (Result.Status != RepairStatus::Success) {
     std::printf("repair failed: %s\n", toString(Result.Status));
     return 1;

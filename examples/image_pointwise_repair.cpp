@@ -6,9 +6,14 @@
 // of them with a provably l1-minimal single-layer change, and we
 // compare drawdown against the FT fine-tuning baseline.
 //
+// The layer choice uses the RepairEngine's kAutoLayer sweep (the §7
+// methodology as an API mode): the engine attempts each candidate
+// layer and returns the minimal-norm success, with per-layer attempts
+// in the report's sweep log.
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/PointRepair.h"
+#include "api/RepairEngine.h"
 #include "data/ShapeWorld.h"
 #include "train/FineTune.h"
 
@@ -56,27 +61,37 @@ int main() {
     ++Anchors;
   }
 
-  // Walk the repairable layers from the back (the paper's heuristic:
-  // later layers repair with less drawdown); an Infeasible result is a
-  // *proof* that no single-layer repair of that layer exists.
+  // Sweep the two rearmost repairable layers (the paper's heuristic:
+  // later layers repair with less drawdown) and keep the minimal-norm
+  // success; an Infeasible attempt is a *proof* that no single-layer
+  // repair of that layer exists.
   std::vector<int> Layers = Net.parameterizedLayerIndices();
-  RepairResult Result;
-  for (auto It = Layers.rbegin(); It != Layers.rend(); ++It) {
-    std::printf("\nProvable Point Repair of layer %d (%s) on %zu points"
-                "...\n",
-                *It, Net.layer(*It).describe().c_str(), Spec.size());
-    Result = repairPoints(Net, *It, Spec);
-    if (Result.Status == RepairStatus::Success)
-      break;
-    std::printf("  %s%s\n", toString(Result.Status),
-                Result.Status == RepairStatus::Infeasible
+  RepairRequest Request;
+  Request.Net = RepairRequest::borrow(Net);
+  Request.Spec = Spec;
+  Request.LayerIndex = kAutoLayer;
+  Request.SweepLayers = {Layers[Layers.size() - 2], Layers.back()};
+  std::printf("\nProvable Point Repair sweep over layers %d and %d on "
+              "%zu points...\n",
+              Request.SweepLayers[0], Request.SweepLayers[1], Spec.size());
+
+  RepairEngine Engine;
+  RepairReport Report = Engine.run(Request);
+  for (const SweepAttempt &Attempt : Report.Sweep)
+    std::printf("  layer %d (%s): %s, |Delta|_1 = %.3f, %.1fs%s\n",
+                Attempt.LayerIndex,
+                Net.layer(Attempt.LayerIndex).describe().c_str(),
+                toString(Attempt.Status), Attempt.DeltaL1, Attempt.Seconds,
+                Attempt.Status == RepairStatus::Infeasible
                     ? " (proof: this layer cannot satisfy the spec)"
                     : "");
-  }
-  if (Result.Status != RepairStatus::Success) {
+  if (Report.Status != RepairStatus::Success) {
     std::printf("no single-layer repair found\n");
     return 1;
   }
+  std::printf("  winner: layer %d (minimal objective norm)\n",
+              Report.RepairedLayer);
+  RepairResult Result = std::move(Report.Result);
   const DecoupledNetwork &Repaired = *Result.Repaired;
   double Efficacy =
       Repaired.accuracy(Adversarials.Inputs, Adversarials.Labels);

@@ -1,21 +1,22 @@
 //===- examples/quickstart.cpp - the paper's running example -----------------===//
 //
 // Reproduces §3 of "Provable Repair of Deep Neural Networks" end to end
-// on the Figure 3 network N1:
+// on the Figure 3 network N1, through the RepairEngine request/job API:
 //
 //   1. compute LinRegions(N1, [-1, 2])            (Equation 1);
-//   2. provable *point* repair for Equation 2, recovering the paper's
-//      l1-minimal deltas (Delta2 = 0.6, Delta3 = 1.13...) and the
-//      repaired network N5 of Figure 5;
-//   3. provable *polytope* repair for Equation 3, recovering the
-//      single-weight change Delta2 = -0.2 and network N6.
+//   2. provable *point* repair for Equation 2 (a synchronous
+//      engine.run), recovering the paper's l1-minimal deltas
+//      (Delta2 = 0.6, Delta3 = 1.13...) and the repaired network N5 of
+//      Figure 5;
+//   3. provable *polytope* repair for Equation 3 (an asynchronous
+//      engine.submit + report), recovering the single-weight change
+//      Delta2 = -0.2 and network N6.
 //
 // Exits non-zero if any reproduced number deviates from the paper.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PointRepair.h"
-#include "core/PolytopeRepair.h"
+#include "api/RepairEngine.h"
 #include "nn/ActivationLayers.h"
 #include "nn/LinearLayers.h"
 #include "syrenn/LineTransform.h"
@@ -59,6 +60,10 @@ int main() {
   std::printf("\n");
   check(Regions.numPieces() == 3, "three linear regions (Equation 1)");
 
+  // One engine serves both repairs; run() executes inline, submit()
+  // queues the job on the engine's workers.
+  RepairEngine Engine;
+
   // The paper's drawn network has no bias edges into h1/h2; freeze them
   // so the LP matches the paper's four Delta variables exactly.
   RepairOptions Options;
@@ -76,15 +81,19 @@ int main() {
   PointSpecification.push_back({Vector{1.5},
                                 boxConstraint(Vector{-0.2}, Vector{0.0}),
                                 std::nullopt});
-  RepairResult Point = repairPoints(N1, 0, PointSpecification, Options);
+  RepairReport Point = Engine.run(RepairRequest::points(
+      RepairRequest::borrow(N1), 0, PointSpecification, Options));
   check(Point.Status == RepairStatus::Success, "point repair succeeded");
+  const RepairResult &PointResult = Point.Result;
   std::printf("  Delta = (%.4f, %.4f, %.4f | bias3 %.4f),  |Delta|_1 = "
               "%.4f\n",
-              Point.Delta[0], Point.Delta[1], Point.Delta[2], Point.Delta[5],
-              Point.DeltaL1);
-  check(near(Point.Delta[1], 0.6), "Delta2 = 0.6 (paper §3.1)");
-  check(near(Point.Delta[2], 17.0 / 15.0), "Delta3 = 1.1333 (paper §3.1)");
-  const DecoupledNetwork &N5 = *Point.Repaired;
+              PointResult.Delta[0], PointResult.Delta[1],
+              PointResult.Delta[2], PointResult.Delta[5],
+              PointResult.DeltaL1);
+  check(near(PointResult.Delta[1], 0.6), "Delta2 = 0.6 (paper §3.1)");
+  check(near(PointResult.Delta[2], 17.0 / 15.0),
+        "Delta3 = 1.1333 (paper §3.1)");
+  const DecoupledNetwork &N5 = *PointResult.Repaired;
   std::printf("  N5(0.5) = %.4f, N5(1.5) = %.4f (Figure 5c)\n",
               N5.evaluate(Vector{0.5})[0], N5.evaluate(Vector{1.5})[0]);
   check(near(N5.evaluate(Vector{0.5})[0], -0.8), "N5(0.5) = -0.8");
@@ -97,18 +106,22 @@ int main() {
   PolySpecification.push_back(
       SpecPolytope{SegmentPolytope{Vector{0.5}, Vector{1.5}},
                    boxConstraint(Vector{-0.8}, Vector{-0.4})});
-  RepairResult Poly = repairPolytopes(N1, 0, PolySpecification, Options);
+  JobHandle PolyJob = Engine.submit(RepairRequest::polytopes(
+      RepairRequest::borrow(N1), 0, PolySpecification, Options));
+  const RepairReport &Poly = PolyJob.report();
   check(Poly.Status == RepairStatus::Success, "polytope repair succeeded");
-  std::printf("  key points: %d over %d linear regions\n",
-              Poly.Stats.KeyPoints, Poly.Stats.LinearRegions);
-  check(Poly.Stats.KeyPoints == 4, "4 key points: {0.5, 1, 1, 1.5}");
+  const RepairResult &PolyResult = Poly.Result;
+  std::printf("  key points: %d over %d linear regions (async job %llu)\n",
+              PolyResult.Stats.KeyPoints, PolyResult.Stats.LinearRegions,
+              static_cast<unsigned long long>(Poly.JobId));
+  check(PolyResult.Stats.KeyPoints == 4, "4 key points: {0.5, 1, 1, 1.5}");
   std::printf("  Delta = (%.4f, %.4f, %.4f | bias3 %.4f),  |Delta|_1 = "
               "%.4f\n",
-              Poly.Delta[0], Poly.Delta[1], Poly.Delta[2], Poly.Delta[5],
-              Poly.DeltaL1);
-  check(near(Poly.Delta[1], -0.2), "single weight change Delta2 = -0.2");
+              PolyResult.Delta[0], PolyResult.Delta[1], PolyResult.Delta[2],
+              PolyResult.Delta[5], PolyResult.DeltaL1);
+  check(near(PolyResult.Delta[1], -0.2), "single weight change Delta2 = -0.2");
 
-  const DecoupledNetwork &N6 = *Poly.Repaired;
+  const DecoupledNetwork &N6 = *PolyResult.Repaired;
   bool AllInside = true;
   for (int I = 0; I <= 1000; ++I) {
     double Y = N6.evaluate(Vector{0.5 + I / 1000.0})[0];

@@ -1,0 +1,247 @@
+//===- examples/repair_server.cpp - many jobs through one engine -------------===//
+//
+// The RepairEngine as a repair *service*: a dozen repair requests -
+// point and polytope specs, fixed layers and auto layer sweeps, over
+// two shared (immutable) networks - are submitted concurrently to one
+// engine and drain through its bounded FIFO queue and worker threads,
+// all sharing the one global compute pool.
+//
+// While the jobs run, the main thread polls progress snapshots (phase +
+// per-phase item counters). When everything is done, every async
+// result is compared bit-for-bit against a serial repairPoints /
+// repairPolytopes call of the same request - the engine's determinism
+// contract. A final job demonstrates cooperative cancellation.
+//
+// Exits non-zero if any job fails, diverges from its serial twin, or
+// the cancelled job doesn't report Cancelled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/RepairEngine.h"
+#include "core/PolytopeRepair.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace prdnn;
+
+namespace {
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+/// 8 -> 24 -> 24 -> 5 ReLU classifier (parameterized layers 0, 2, 4).
+Network makeClassifier(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 24, 8, 0.8), randomVector(R, 24, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(24));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 24, 24, 0.7), randomVector(R, 24, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(24));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 5, 24, 0.8), randomVector(R, 5, 0.3)));
+  return Net;
+}
+
+/// 2 -> 12 -> 2 regressor for segment (polytope) jobs.
+Network makeRegressor(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 12, 2, 0.9), randomVector(R, 12, 0.2)));
+  Net.addLayer(std::make_unique<ReLULayer>(12));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 2, 12, 0.8), randomVector(R, 2, 0.2)));
+  return Net;
+}
+
+/// Classification spec: every third point flips to its runner-up class.
+PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
+  PointSpec Spec;
+  for (int I = 0; I < Count; ++I) {
+    Vector X = randomVector(R, Net.inputSize());
+    Vector Y = Net.evaluate(X);
+    int Top = Y.argmax();
+    int Target = Top;
+    if (I % 3 == 0) {
+      double Best = -1e300;
+      for (int C = 0; C < Y.size(); ++C)
+        if (C != Top && Y[C] > Best) {
+          Best = Y[C];
+          Target = C;
+        }
+    }
+    Spec.push_back({std::move(X),
+                    classificationConstraint(Net.outputSize(), Target, 1e-3),
+                    std::nullopt});
+  }
+  return Spec;
+}
+
+/// Segment spec: outputs along a random segment must stay in a box
+/// slightly tighter than what the network currently produces.
+PolytopeSpec makeSegmentSpec(const Network &Net, Rng &R, int Segments) {
+  PolytopeSpec Spec;
+  for (int S = 0; S < Segments; ++S) {
+    Vector A = randomVector(R, Net.inputSize());
+    Vector B = randomVector(R, Net.inputSize());
+    Vector Lo(Net.outputSize()), Hi(Net.outputSize());
+    Vector Ya = Net.evaluate(A), Yb = Net.evaluate(B);
+    for (int O = 0; O < Net.outputSize(); ++O) {
+      double Mid = 0.5 * (Ya[O] + Yb[O]);
+      double Span = std::max(1.0, std::fabs(Ya[O] - Yb[O]));
+      Lo[O] = Mid - 1.2 * Span;
+      Hi[O] = Mid + 1.2 * Span;
+    }
+    Spec.push_back(SpecPolytope{SegmentPolytope{A, B},
+                                boxConstraint(Lo, Hi)});
+  }
+  return Spec;
+}
+
+bool bitIdentical(const RepairResult &A, const RepairResult &B) {
+  if (A.Status != B.Status || A.Delta.size() != B.Delta.size())
+    return false;
+  for (size_t I = 0; I < A.Delta.size(); ++I)
+    if (A.Delta[I] != B.Delta[I])
+      return false;
+  return A.DeltaL1 == B.DeltaL1 && A.DeltaLInf == B.DeltaLInf;
+}
+
+} // namespace
+
+int main() {
+  Rng R(20260727);
+  auto Classifier = std::make_shared<Network>(makeClassifier(R));
+  auto Regressor = std::make_shared<Network>(makeRegressor(R));
+  std::printf("shared networks: classifier (%d params), regressor "
+              "(%d params)\n",
+              Classifier->totalParams(), Regressor->totalParams());
+
+  // --- Build the request mix -------------------------------------------------
+  // 12 jobs: point repairs across all three classifier layers, segment
+  // (polytope) repairs on the regressor, and two auto layer sweeps.
+  std::vector<RepairRequest> Requests;
+  for (int Layer : {0, 2, 4})
+    for (int Seed : {1, 2})
+      Requests.push_back(RepairRequest::points(
+          Classifier, Layer,
+          [&] {
+            Rng SpecR(1000 + 10 * Layer + Seed);
+            return makeFlipSpec(*Classifier, SpecR, 30);
+          }()));
+  for (int Seed : {5, 6, 7, 8}) {
+    Rng SpecR(2000 + Seed);
+    Requests.push_back(RepairRequest::polytopes(
+        Regressor, 2, makeSegmentSpec(*Regressor, SpecR, 3)));
+  }
+  for (int Seed : {9, 10}) {
+    Rng SpecR(3000 + Seed);
+    RepairRequest Sweep;
+    Sweep.Net = Classifier;
+    Sweep.Spec = makeFlipSpec(*Classifier, SpecR, 24);
+    Sweep.LayerIndex = kAutoLayer; // minimal-norm layer sweep
+    Requests.push_back(std::move(Sweep));
+  }
+
+  // --- Serial ground truth ---------------------------------------------------
+  // The same requests through the one-shot wrappers (sweeps through
+  // per-layer wrapper calls), for the bit-identity check.
+  RepairEngine SerialEngine; // run() executes inline, no workers
+  std::vector<RepairReport> Serial;
+  for (const RepairRequest &Request : Requests)
+    Serial.push_back(SerialEngine.run(Request));
+
+  // --- Concurrent drain ------------------------------------------------------
+  EngineOptions Options;
+  Options.NumWorkers = 4;
+  Options.QueueCapacity = 8; // smaller than the job count: backpressure
+  RepairEngine Engine(Options);
+  std::printf("submitting %zu jobs to %d workers (queue capacity %d)"
+              "...\n\n",
+              Requests.size(), Options.NumWorkers, Options.QueueCapacity);
+
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Requests.size());
+  for (const RepairRequest &Request : Requests)
+    Handles.push_back(Engine.submit(Request));
+
+  // Poll progress while the queue drains.
+  while (Engine.pendingJobs() > 0) {
+    std::string Line = "  [progress]";
+    for (const JobHandle &H : Handles) {
+      ProgressSnapshot S = H.progress();
+      Line += " " + std::to_string(H.id()) + ":" +
+              std::string(toString(S.Phase)).substr(0, 3);
+    }
+    std::printf("%s\n", Line.c_str());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // --- Report and verify -----------------------------------------------------
+  std::printf("\n%-4s %-9s %-10s %-6s %-10s %-9s %-9s %s\n", "job",
+              "kind", "status", "layer", "|Delta|_1", "queue(ms)",
+              "total(ms)", "bit-identical-to-serial");
+  int Completed = 0;
+  bool AllMatch = true;
+  for (size_t I = 0; I < Handles.size(); ++I) {
+    const RepairReport &Report = Handles[I].report();
+    bool Match = bitIdentical(Report.Result, Serial[I].Result) &&
+                 Report.Status == Serial[I].Status &&
+                 Report.RepairedLayer == Serial[I].RepairedLayer;
+    AllMatch = AllMatch && Match;
+    Completed += Report.Status == RepairStatus::Success;
+    std::printf("%-4llu %-9s %-10s %-6d %-10.4f %-9.1f %-9.1f %s\n",
+                static_cast<unsigned long long>(Report.JobId),
+                Requests[I].isPolytope()
+                    ? "polytope"
+                    : (Requests[I].isSweep() ? "sweep" : "points"),
+                toString(Report.Status), Report.RepairedLayer,
+                Report.Result.DeltaL1, 1e3 * Report.QueueSeconds,
+                1e3 * Report.TotalSeconds, Match ? "yes" : "NO");
+  }
+
+  // --- Cancellation demo -----------------------------------------------------
+  Rng CancelR(4001);
+  JobHandle Doomed = Engine.submit(
+      RepairRequest::points(Classifier, 4,
+                            makeFlipSpec(*Classifier, CancelR, 600)));
+  Doomed.cancel();
+  const RepairReport &DoomedReport = Doomed.report();
+  std::printf("\ncancellation demo: job %llu -> %s (%.1fms)\n",
+              static_cast<unsigned long long>(DoomedReport.JobId),
+              toString(DoomedReport.Status),
+              1e3 * DoomedReport.TotalSeconds);
+
+  bool Ok = AllMatch && Completed >= 8 &&
+            DoomedReport.Status == RepairStatus::Cancelled;
+  std::printf("\n%d/%zu jobs succeeded; results %s serial runs; "
+              "cancellation %s\n",
+              Completed, Handles.size(),
+              AllMatch ? "bit-identical to" : "DIVERGED from",
+              DoomedReport.Status == RepairStatus::Cancelled ? "ok"
+                                                             : "FAILED");
+  std::printf("%s\n", Ok ? "repair_server: all checks passed"
+                         : "repair_server: CHECKS FAILED");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,377 @@
+//===- api/RepairEngine.cpp -----------------------------------------------===//
+
+#include "api/RepairEngine.h"
+
+#include "core/PolytopeRepair.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <utility>
+
+using namespace prdnn;
+
+/// Shared state of one submitted job: the request, its context, and
+/// the promise-like (mutex + condvar) result slot JobHandle waits on.
+struct prdnn::detail::EngineJob {
+  std::uint64_t Id = 0;
+  RepairRequest Request;
+  JobContext Ctx;
+  WallTimer Submitted; ///< started at submit; read when a worker pops
+
+  mutable std::mutex Mutex;
+  mutable std::condition_variable Cv;
+  bool Finished = false;
+  RepairReport Report;
+
+  void resolve(RepairReport NewReport) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Report = std::move(NewReport);
+      Finished = true;
+    }
+    Cv.notify_all();
+  }
+};
+
+// --- JobHandle --------------------------------------------------------------
+
+std::uint64_t JobHandle::id() const { return State ? State->Id : 0; }
+
+bool JobHandle::done() const {
+  assert(State && "invalid JobHandle");
+  std::lock_guard<std::mutex> Lock(State->Mutex);
+  return State->Finished;
+}
+
+void JobHandle::wait() const {
+  assert(State && "invalid JobHandle");
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->Cv.wait(Lock, [&] { return State->Finished; });
+}
+
+const RepairReport &JobHandle::report() const {
+  wait();
+  return State->Report;
+}
+
+ProgressSnapshot JobHandle::progress() const {
+  assert(State && "invalid JobHandle");
+  return State->Ctx.snapshot();
+}
+
+void JobHandle::cancel() const {
+  assert(State && "invalid JobHandle");
+  State->Ctx.requestCancel();
+}
+
+// --- RepairEngine -----------------------------------------------------------
+
+RepairEngine::RepairEngine(EngineOptions Options) : Opts(Options) {
+  if (Opts.NumWorkers < 1)
+    Opts.NumWorkers = 1;
+  if (Opts.QueueCapacity < 1)
+    Opts.QueueCapacity = 1;
+}
+
+RepairEngine::~RepairEngine() {
+  std::deque<std::shared_ptr<detail::EngineJob>> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+    Orphans.swap(Queue);
+  }
+  WorkCv.notify_all();
+  SpaceCv.notify_all();
+  // Resolve never-run jobs as Cancelled so their handles don't hang.
+  for (auto &Job : Orphans) {
+    Job->Ctx.requestCancel();
+    RepairReport Report;
+    Report.JobId = Job->Id;
+    Report.Status = RepairStatus::Cancelled;
+    Report.QueueSeconds = Job->Submitted.seconds();
+    Job->Ctx.markDone();
+    Job->resolve(std::move(Report));
+  }
+  {
+    // Submitters parked in backpressure wake on Stopping, resolve
+    // their jobs as Cancelled, and leave; wait for them so Mutex and
+    // the condvars are never destroyed under a blocked submit().
+    // (Calling submit() *after* destruction begins remains a caller
+    // bug, as for any C++ object.)
+    std::unique_lock<std::mutex> Lock(Mutex);
+    SpaceCv.wait(Lock, [&] { return WaitingSubmitters == 0; });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+RepairReport RepairEngine::run(const RepairRequest &Request) {
+  JobContext Ctx;
+  return execute(Request, Ctx, /*JobId=*/0, /*QueueSeconds=*/0.0);
+}
+
+JobHandle RepairEngine::submit(RepairRequest Request,
+                               std::function<void(RepairPhase)>
+                                   CheckpointHook) {
+  auto Job = std::make_shared<detail::EngineJob>();
+  Job->Request = std::move(Request);
+  if (CheckpointHook)
+    Job->Ctx.setCheckpointHook(std::move(CheckpointHook));
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!Stopping && "submit() on a destructing engine");
+    // Lazy worker start: engines used only for run() stay threadless.
+    if (Workers.empty()) {
+      Workers.reserve(static_cast<size_t>(Opts.NumWorkers));
+      for (int I = 0; I < Opts.NumWorkers; ++I)
+        Workers.emplace_back([this] { workerMain(); });
+    }
+    ++WaitingSubmitters;
+    SpaceCv.wait(Lock, [&] {
+      return Stopping ||
+             static_cast<int>(Queue.size()) < Opts.QueueCapacity;
+    });
+    --WaitingSubmitters;
+    Job->Id = NextJobId++;
+    Job->Submitted.reset();
+    if (Stopping) {
+      // Destruction began while we were parked in backpressure (the
+      // destructor waits for us before tearing anything down): resolve
+      // instead of enqueueing onto a queue nobody will drain.
+      SpaceCv.notify_all(); // let the destructor's drain-wait proceed
+      Lock.unlock();
+      Job->Ctx.requestCancel();
+      RepairReport Report;
+      Report.JobId = Job->Id;
+      Report.Status = RepairStatus::Cancelled;
+      Job->Ctx.markDone();
+      Job->resolve(std::move(Report));
+      return JobHandle(Job);
+    }
+    Queue.push_back(Job);
+  }
+  WorkCv.notify_one();
+  return JobHandle(Job);
+}
+
+int RepairEngine::pendingJobs() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<int>(Queue.size()) + Running;
+}
+
+void RepairEngine::workerMain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WorkCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stopping and drained
+    std::shared_ptr<detail::EngineJob> Job = Queue.front();
+    Queue.pop_front();
+    ++Running;
+    SpaceCv.notify_one();
+    Lock.unlock();
+
+    double QueueSeconds = Job->Submitted.seconds();
+    RepairReport Report =
+        execute(Job->Request, Job->Ctx, Job->Id, QueueSeconds);
+
+    // Drop the Running count before resolving, so a handle whose
+    // report() returned never sees itself still counted as pending.
+    Lock.lock();
+    --Running;
+    Lock.unlock();
+    Job->resolve(std::move(Report));
+    Lock.lock();
+  }
+}
+
+RepairReport RepairEngine::execute(const RepairRequest &Request,
+                                   JobContext &Ctx, std::uint64_t JobId,
+                                   double QueueSeconds) {
+  assert(Request.Net && "RepairRequest without a network");
+  WallTimer Total;
+  RepairReport Report;
+  Report.JobId = JobId;
+  Report.QueueSeconds = QueueSeconds;
+
+  const Network &Net = *Request.Net;
+  std::vector<int> Candidates;
+  if (Request.isSweep())
+    Candidates = Request.SweepLayers.empty()
+                     ? Net.parameterizedLayerIndices()
+                     : Request.SweepLayers;
+  else
+    Candidates.push_back(Request.LayerIndex);
+  assert(!Candidates.empty() && "no candidate layers to repair");
+  Ctx.beginSweep(static_cast<int>(Candidates.size()));
+
+  /// The sweep's comparison measure: the objective norm of Delta
+  /// (Definition 5.3), so "minimal-norm success" matches what each
+  /// per-layer LP minimized.
+  auto ObjectiveNorm = [&](const RepairResult &R) {
+    switch (Request.Options.Objective) {
+    case lp::Norm::L1:
+      return R.DeltaL1;
+    case lp::Norm::LInf:
+      return R.DeltaLInf;
+    case lp::Norm::L1PlusLInf:
+      return R.DeltaL1 + R.DeltaLInf; // unit LInf weight, as in the LP
+    }
+    return R.DeltaL1;
+  };
+
+  RepairResult Best;
+  double BestNorm = std::numeric_limits<double>::infinity();
+  int BestLayer = -1;
+  RepairResult LastUnsuccessful;
+  bool SawCancel = false;
+  bool SawFailure = false;
+
+  // For polytope sweeps, the SyReNN transform is layer-independent:
+  // compute the key points once (on the first attempt) and share them
+  // across candidates instead of re-running Algorithm 2's LinRegions
+  // phase per layer. Fixed-layer requests keep the exact
+  // repairPolytopesImpl path of the one-shot wrappers.
+  std::optional<PointSpec> SharedKeyPoints;
+  double SharedLinRegionsSeconds = 0.0;
+  int SharedRegions = 0;
+
+  auto RunAttempt = [&](int Layer) -> RepairResult {
+    if (!Request.isPolytope())
+      return detail::repairPointsImpl(Net, Layer,
+                                      std::get<PointSpec>(Request.Spec),
+                                      Request.Options, &Ctx);
+    const auto &PolySpec = std::get<PolytopeSpec>(Request.Spec);
+    if (Candidates.size() == 1)
+      return detail::repairPolytopesImpl(Net, Layer, PolySpec,
+                                         Request.Options, &Ctx);
+    WallTimer AttemptTotal;
+    bool ComputedHere = false;
+    if (!SharedKeyPoints) {
+      Ctx.beginPhase(RepairPhase::LinRegions,
+                     static_cast<std::int64_t>(PolySpec.size()));
+      if (Ctx.checkpoint(RepairPhase::LinRegions)) {
+        RepairResult Cancelled;
+        Cancelled.Status = RepairStatus::Cancelled;
+        Cancelled.Stats.TotalSeconds = AttemptTotal.seconds();
+        return Cancelled;
+      }
+      SharedKeyPoints.emplace(keyPointSpec(
+          Net, PolySpec, &SharedLinRegionsSeconds, &SharedRegions));
+      Ctx.advance(static_cast<std::int64_t>(PolySpec.size()));
+      ComputedHere = true;
+    }
+    RepairResult Attempt = detail::repairPointsImpl(
+        Net, Layer, *SharedKeyPoints, Request.Options, &Ctx);
+    // Stamp the Algorithm 2 stats as repairPolytopesImpl would; the
+    // transform time lands on the attempt that paid it.
+    Attempt.Stats.LinRegionsSeconds =
+        ComputedHere ? SharedLinRegionsSeconds : 0.0;
+    Attempt.Stats.KeyPoints = static_cast<int>(SharedKeyPoints->size());
+    Attempt.Stats.LinearRegions = SharedRegions;
+    Attempt.Stats.TotalSeconds = AttemptTotal.seconds();
+    Attempt.Stats.OtherSeconds = std::max(
+        0.0, Attempt.Stats.TotalSeconds - Attempt.Stats.JacobianSeconds -
+                 Attempt.Stats.LpSeconds -
+                 Attempt.Stats.LinRegionsSeconds);
+    return Attempt;
+  };
+
+  for (size_t C = 0; C < Candidates.size(); ++C) {
+    int Layer = Candidates[C];
+    Ctx.beginSweepLayer(Layer);
+    RepairResult Attempt = RunAttempt(Layer);
+    SweepAttempt Entry;
+    Entry.LayerIndex = Layer;
+    Entry.Status = Attempt.Status;
+    Entry.DeltaL1 = Attempt.DeltaL1;
+    Entry.DeltaLInf = Attempt.DeltaLInf;
+    Entry.Seconds = Attempt.Stats.TotalSeconds;
+    Report.Sweep.push_back(Entry);
+    Ctx.finishSweepLayer();
+
+    if (Attempt.Status == RepairStatus::Cancelled) {
+      SawCancel = true;
+      LastUnsuccessful = std::move(Attempt);
+      break;
+    }
+    if (Attempt.Status == RepairStatus::Success) {
+      // Strict < keeps the earliest candidate on ties, making sweeps
+      // deterministic for any tie pattern.
+      double Norm = ObjectiveNorm(Attempt);
+      if (Norm < BestNorm) {
+        BestNorm = Norm;
+        BestLayer = Layer;
+        Best = std::move(Attempt);
+      }
+    } else {
+      SawFailure |= Attempt.Status == RepairStatus::SolverFailure;
+      LastUnsuccessful = std::move(Attempt);
+    }
+    // A cancel raised between attempts stops the sweep; the minimal-
+    // norm contract needs the full sweep, so a cut-short sweep reports
+    // Cancelled rather than a possibly-non-minimal best-so-far.
+    if (C + 1 < Candidates.size() && Ctx.cancelRequested()) {
+      SawCancel = true;
+      break;
+    }
+  }
+
+  if (SawCancel) {
+    Report.Status = RepairStatus::Cancelled;
+    // LastUnsuccessful is the cancelled attempt when one ran; when the
+    // cancel landed *between* attempts it may be empty (or an earlier
+    // failure), so restate the status either way for consistency.
+    Report.Result = std::move(LastUnsuccessful);
+    Report.Result.Status = RepairStatus::Cancelled;
+  } else if (BestLayer >= 0) {
+    Report.Status = RepairStatus::Success;
+    Report.RepairedLayer = BestLayer;
+    Report.Result = std::move(Best);
+  } else {
+    Report.Status = SawFailure ? RepairStatus::SolverFailure
+                               : RepairStatus::Infeasible;
+    Report.Result = std::move(LastUnsuccessful);
+    Report.Result.Status = Report.Status;
+  }
+  Report.TotalSeconds = Total.seconds();
+  Ctx.markDone();
+  return Report;
+}
+
+// --- One-shot wrappers (the pre-engine public API) --------------------------
+//
+// Bit-for-bit identical to calling the algorithms directly: a fixed-
+// layer request executes exactly one repair*Impl call with a null-
+// equivalent context, and run() adds no work around it.
+
+namespace {
+
+RepairEngine &wrapperEngine() {
+  // Function-local static: constructed on first use, threadless (run()
+  // never spawns workers), so safe to keep for the process lifetime.
+  static RepairEngine Engine;
+  return Engine;
+}
+
+} // namespace
+
+RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
+                                 const PointSpec &Spec,
+                                 const RepairOptions &Options) {
+  return wrapperEngine()
+      .run(RepairRequest::points(RepairRequest::borrow(Net), LayerIndex,
+                                 Spec, Options))
+      .Result;
+}
+
+RepairResult prdnn::repairPolytopes(const Network &Net, int LayerIndex,
+                                    const PolytopeSpec &Spec,
+                                    const RepairOptions &Options) {
+  return wrapperEngine()
+      .run(RepairRequest::polytopes(RepairRequest::borrow(Net), LayerIndex,
+                                    Spec, Options))
+      .Result;
+}

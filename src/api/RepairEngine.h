@@ -1,0 +1,157 @@
+//===- api/RepairEngine.h - repair-as-a-service over the pool --*- C++ -*-===//
+///
+/// \file
+/// The unified entry point of the library: one engine serving many
+/// repair requests - synchronously (run) or as queued jobs (submit)
+/// with future-backed results, monotonic progress snapshots, and
+/// cooperative cancellation.
+///
+/// Mapping to the paper:
+///
+///   RepairRequest{PointSpec}    -> Algorithm 1 (repairPoints, §5):
+///     Jacobian phase = lines 4-6 (batch parameter Jacobians and
+///     constraint assembly), Lp phase = lines 7-8 (norm-minimal Delta
+///     by LP, with constraint generation), Verify phase = lines 9-10
+///     (apply Delta, re-verify the spec on the DDNN itself).
+///   RepairRequest{PolytopeSpec} -> Algorithm 2 (repairPolytopes, §6):
+///     a LinRegions phase (SyReNN transform, line 2) reduces each
+///     polytope to key points with pinned activation patterns
+///     (Appendix B), then Algorithm 1's phases run on those points.
+///   LayerIndex = kAutoLayer     -> the evaluation methodology of §7
+///     as a first-class mode: attempt every candidate layer and return
+///     the attempt minimizing the objective norm of Delta (ties break
+///     to the earliest candidate, so sweeps are deterministic).
+///
+/// Concurrency model: submit() enqueues onto a bounded FIFO (submit
+/// blocks while the queue is full) drained by NumWorkers job threads.
+/// Jobs run the normal repair pipeline, whose data-parallel loops all
+/// go through the one global thread pool (support/Parallel.h) - the
+/// pool serializes parallel sections across jobs, so N concurrent jobs
+/// share the machine instead of oversubscribing it, and every job's
+/// numeric results are bit-for-bit identical to a serial run() of the
+/// same request (the pool's determinism contract). Single-job phases
+/// (notably the simplex solve) overlap freely across workers.
+///
+/// Cancellation is cooperative: JobHandle::cancel() raises a flag the
+/// pipeline polls at phase/chunk boundaries and between simplex
+/// iterations; the job resolves with RepairStatus::Cancelled and
+/// stamped timing stats. Queued jobs cancel without running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_API_REPAIRENGINE_H
+#define PRDNN_API_REPAIRENGINE_H
+
+#include "api/RepairReport.h"
+#include "api/RepairRequest.h"
+#include "core/RepairContext.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prdnn {
+
+namespace detail {
+struct EngineJob;
+} // namespace detail
+
+struct EngineOptions {
+  /// Job threads draining the queue: how many repairs execute
+  /// concurrently. Their data-parallel phases share the global pool;
+  /// see the file comment.
+  int NumWorkers = 1;
+  /// Bounded FIFO capacity; submit() blocks while the queue is full
+  /// (backpressure instead of unbounded memory growth).
+  int QueueCapacity = 64;
+};
+
+/// Handle to a submitted job. Copyable (shared state); the default-
+/// constructed handle is invalid.
+class JobHandle {
+public:
+  JobHandle() = default;
+
+  bool valid() const { return State != nullptr; }
+  std::uint64_t id() const;
+
+  /// True once the report is ready (never blocks).
+  bool done() const;
+
+  /// Blocks until the report is ready.
+  void wait() const;
+
+  /// Blocks until ready, then returns the report. The reference stays
+  /// valid for the handle's lifetime.
+  const RepairReport &report() const;
+
+  /// Current progress (never blocks; safe while the job runs).
+  ProgressSnapshot progress() const;
+
+  /// Requests cooperative cancellation; see the file comment.
+  void cancel() const;
+
+private:
+  friend class RepairEngine;
+  explicit JobHandle(std::shared_ptr<detail::EngineJob> State)
+      : State(std::move(State)) {}
+
+  std::shared_ptr<detail::EngineJob> State;
+};
+
+class RepairEngine {
+public:
+  explicit RepairEngine(EngineOptions Options = EngineOptions());
+
+  /// Cancels still-queued jobs (they resolve as Cancelled without
+  /// running), drains submitters parked in backpressure (their jobs
+  /// also resolve as Cancelled), lets in-flight jobs finish, and joins
+  /// the workers. Cancel running jobs explicitly first if you need a
+  /// fast exit.
+  ~RepairEngine();
+
+  RepairEngine(const RepairEngine &) = delete;
+  RepairEngine &operator=(const RepairEngine &) = delete;
+
+  /// Executes \p Request on the calling thread and returns its report;
+  /// does not touch the job queue, so concurrent run() calls (and
+  /// run() next to submitted jobs) are fine.
+  RepairReport run(const RepairRequest &Request);
+
+  /// Enqueues \p Request; blocks while the queue is full. \p
+  /// CheckpointHook, when set, is installed on the job's context before
+  /// it can run (see JobContext::setCheckpointHook).
+  JobHandle submit(RepairRequest Request,
+                   std::function<void(RepairPhase)> CheckpointHook =
+                       std::function<void(RepairPhase)>());
+
+  /// Jobs submitted but not yet finished (queued + running).
+  int pendingJobs() const;
+
+  const EngineOptions &options() const { return Opts; }
+
+private:
+  void workerMain();
+  RepairReport execute(const RepairRequest &Request, JobContext &Ctx,
+                       std::uint64_t JobId, double QueueSeconds);
+
+  EngineOptions Opts;
+  mutable std::mutex Mutex;
+  std::condition_variable WorkCv;  ///< workers wait for jobs
+  std::condition_variable SpaceCv; ///< submitters wait for queue space
+  std::deque<std::shared_ptr<detail::EngineJob>> Queue;
+  std::vector<std::thread> Workers; ///< spawned lazily on first submit
+  int Running = 0;
+  int WaitingSubmitters = 0; ///< submit() calls parked in backpressure
+  std::uint64_t NextJobId = 1;
+  bool Stopping = false;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_API_REPAIRENGINE_H

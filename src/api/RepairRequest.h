@@ -1,0 +1,91 @@
+//===- api/RepairRequest.h - one repair, described as data -----*- C++ -*-===//
+///
+/// \file
+/// The value type the RepairEngine consumes: which network to repair,
+/// against which specification (pointwise, Definition 5.1, or polytope,
+/// Definition 6.1), editing which layer (a fixed index or an automatic
+/// sweep over candidates), under which RepairOptions.
+///
+/// Networks are held by shared_ptr so many concurrent jobs can repair
+/// different layers / specs of the *same* (immutable) network without
+/// copies - the repair algorithms never mutate the input network (they
+/// build a DecoupledNetwork copy for the patch). For synchronous runs
+/// on a caller-owned network, borrow() wraps a reference without taking
+/// ownership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_API_REPAIRREQUEST_H
+#define PRDNN_API_REPAIRREQUEST_H
+
+#include "core/PointRepair.h"
+#include "core/Specification.h"
+
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace prdnn {
+
+/// RepairRequest::LayerIndex sentinel: try every candidate layer and
+/// return the minimal-norm success (see RepairEngine).
+inline constexpr int kAutoLayer = -1;
+
+struct RepairRequest {
+  /// The network to repair; never mutated. Must be non-null and must
+  /// stay alive (and unmodified) until the job's report is ready.
+  std::shared_ptr<const Network> Net;
+
+  /// Point spec (Algorithm 1) or polytope spec (Algorithm 2).
+  std::variant<PointSpec, PolytopeSpec> Spec;
+
+  /// A parameterized linear layer index, or kAutoLayer to sweep.
+  int LayerIndex = kAutoLayer;
+
+  /// Candidate layers for the kAutoLayer sweep, tried in order; empty
+  /// means Network::parameterizedLayerIndices(). Ignored for fixed
+  /// LayerIndex requests.
+  std::vector<int> SweepLayers;
+
+  RepairOptions Options;
+
+  bool isSweep() const { return LayerIndex == kAutoLayer; }
+  bool isPolytope() const {
+    return std::holds_alternative<PolytopeSpec>(Spec);
+  }
+
+  static RepairRequest points(std::shared_ptr<const Network> Net,
+                              int LayerIndex, PointSpec Spec,
+                              RepairOptions Options = RepairOptions()) {
+    RepairRequest Request;
+    Request.Net = std::move(Net);
+    Request.Spec = std::move(Spec);
+    Request.LayerIndex = LayerIndex;
+    Request.Options = std::move(Options);
+    return Request;
+  }
+
+  static RepairRequest polytopes(std::shared_ptr<const Network> Net,
+                                 int LayerIndex, PolytopeSpec Spec,
+                                 RepairOptions Options = RepairOptions()) {
+    RepairRequest Request;
+    Request.Net = std::move(Net);
+    Request.Spec = std::move(Spec);
+    Request.LayerIndex = LayerIndex;
+    Request.Options = std::move(Options);
+    return Request;
+  }
+
+  /// Non-owning view of a caller-managed network (no-op deleter): for
+  /// synchronous run() calls, or submit() when the caller guarantees
+  /// the network outlives the job.
+  static std::shared_ptr<const Network> borrow(const Network &Net) {
+    return std::shared_ptr<const Network>(&Net,
+                                          [](const Network *) {});
+  }
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_API_REPAIRREQUEST_H

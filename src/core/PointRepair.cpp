@@ -2,6 +2,7 @@
 
 #include "core/PointRepair.h"
 
+#include "core/RepairContext.h"
 #include "nn/Jacobian.h"
 #include "nn/LinearLayers.h"
 #include "support/Casting.h"
@@ -24,6 +25,8 @@ const char *prdnn::toString(RepairStatus Status) {
     return "Infeasible";
   case RepairStatus::SolverFailure:
     return "SolverFailure";
+  case RepairStatus::Cancelled:
+    return "Cancelled";
   }
   PRDNN_UNREACHABLE("bad RepairStatus");
 }
@@ -77,12 +80,38 @@ violatedRows(const std::vector<SpecRow> &Rows, const std::vector<char> *InLp,
 
 } // namespace
 
-RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
-                                 const PointSpec &Spec,
-                                 const RepairOptions &Options) {
+RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
+                                             int LayerIndex,
+                                             const PointSpec &Spec,
+                                             const RepairOptions &Options,
+                                             JobContext *Ctx) {
   WallTimer Total;
   RepairResult Result;
   Result.Stats.SpecPoints = static_cast<int>(Spec.size());
+
+  // LP accounting, declared up front so every exit path - cancellation
+  // included - stamps the timing stats consistently.
+  double LpSeconds = 0.0;
+  int LpIterations = 0;
+  int RowsUsed = 0;
+  bool Solved = false;
+
+  /// Stamps TotalSeconds and the OtherSeconds remainder on *every* exit
+  /// path, early returns and cancellations included.
+  auto FinalizeStats = [&] {
+    Result.Stats.LpSeconds = LpSeconds;
+    Result.Stats.LpIterations = LpIterations;
+    Result.Stats.LpRowsUsed = RowsUsed;
+    Result.Stats.TotalSeconds = Total.seconds();
+    Result.Stats.OtherSeconds = std::max(
+        0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
+                 Result.Stats.LpSeconds);
+  };
+  auto Cancelled = [&] {
+    Result.Status = RepairStatus::Cancelled;
+    FinalizeStats();
+    return Result;
+  };
 
   const auto *Target = dyn_cast<LinearLayer>(&Net.layer(LayerIndex));
   assert(Target && Target->numParams() > 0 &&
@@ -108,8 +137,15 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   // Jacobians come from the batched engine (nn/Jacobian.h) in chunks
   // sized to bound the live J storage, and each chunk's constraint rows
   // are assembled in parallel into preallocated slots (row order - and
-  // every row's bits - identical to the per-point loop).
+  // every row's bits - identical to the per-point loop). Cancellation
+  // is polled between chunks (between points on the per-point path),
+  // never inside them.
   int NumPoints = static_cast<int>(Spec.size());
+  if (Ctx) {
+    Ctx->beginPhase(RepairPhase::Jacobian, NumPoints);
+    if (Ctx->checkpoint(RepairPhase::Jacobian))
+      return Cancelled();
+  }
   std::vector<int> RowOffset(static_cast<size_t>(NumPoints) + 1, 0);
   for (int P = 0; P < NumPoints; ++P) {
     assert(Spec[static_cast<size_t>(P)].Constraint.A.cols() ==
@@ -123,6 +159,11 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
       static_cast<size_t>(RowOffset[static_cast<size_t>(NumPoints)]));
   {
     WallTimer JacobianTimer;
+    /// Stamps the phase time on every exit from this scope, the
+    /// mid-phase cancellation returns included.
+    auto StampJacobian = [&] {
+      Result.Stats.JacobianSeconds = JacobianTimer.seconds();
+    };
     // Assembles point Base+I's constraint rows from its Jacobian into
     // the preallocated slots; bits match the seed per-point loop.
     auto AssembleRows = [&](int PointIndex, const JacobianResult &Jr) {
@@ -150,10 +191,16 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
     if (!Options.BatchedJacobians) {
       // Seed per-point path (ablation baseline).
       for (int P = 0; P < NumPoints; ++P) {
+        if (Ctx && Ctx->checkpoint(RepairPhase::Jacobian)) {
+          StampJacobian();
+          return Cancelled();
+        }
         const SpecPoint &Point = Spec[static_cast<size_t>(P)];
         AssembleRows(P, paramJacobian(Net, LayerIndex, Point.X,
                                       Point.Pattern ? &*Point.Pattern
                                                     : nullptr));
+        if (Ctx)
+          Ctx->advance(1);
       }
     } else {
       // Batched engine, in chunks capping the live batch storage
@@ -172,6 +219,10 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
       int ChunkPoints = static_cast<int>(std::clamp<std::int64_t>(
           (64 << 20) / std::max<std::int64_t>(1, BytesPerPoint), 1, 256));
       for (int Base = 0; Base < NumPoints; Base += ChunkPoints) {
+        if (Ctx && Ctx->checkpoint(RepairPhase::Jacobian)) {
+          StampJacobian();
+          return Cancelled();
+        }
         int Count = std::min(ChunkPoints, NumPoints - Base);
         std::vector<Vector> Xs;
         std::vector<const NetworkPattern *> Pinned;
@@ -192,30 +243,32 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
           AssembleRows(Base + static_cast<int>(I),
                        Jrs[static_cast<size_t>(I)]);
         });
+        if (Ctx)
+          Ctx->advance(Count);
       }
     }
-    Result.Stats.JacobianSeconds = JacobianTimer.seconds();
+    StampJacobian();
   }
   Result.Stats.SpecRows = static_cast<int>(Rows.size());
 
   // --- LP phase (Algorithm 1, lines 7-8) ------------------------------------
+  // The engine's cancel flag is threaded into the solver, which polls
+  // it between simplex iterations; rounds of constraint generation are
+  // additional checkpoints.
   std::vector<double> DeltaEff(static_cast<size_t>(NumEff), 0.0);
-  double LpSeconds = 0.0;
-  int LpIterations = 0;
-  int RowsUsed = 0;
-  bool Solved = false;
-
-  // Stamps the timing stats (TotalSeconds and the OtherSeconds
-  // remainder) on *every* exit path, early returns included.
-  auto FinalizeStats = [&] {
-    Result.Stats.LpSeconds = LpSeconds;
-    Result.Stats.LpIterations = LpIterations;
-    Result.Stats.LpRowsUsed = RowsUsed;
-    Result.Stats.TotalSeconds = Total.seconds();
-    Result.Stats.OtherSeconds = std::max(
-        0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
-                 Result.Stats.LpSeconds);
-  };
+  if (Ctx) {
+    Ctx->beginPhase(RepairPhase::Lp, /*Total=*/0);
+    if (Ctx->checkpoint(RepairPhase::Lp))
+      return Cancelled();
+  }
+  // Thread the job's cancel flag into the solver - unless the caller
+  // installed their own flag in Options.Lp, which keeps priority (an
+  // engine cancel then still lands at the next CG-round checkpoint,
+  // just not mid-solve).
+  lp::SimplexOptions LpOptions = Options.Lp;
+  if (Ctx && !LpOptions.CancelFlag)
+    LpOptions.CancelFlag = Ctx->cancelFlag();
+  bool LpCancelled = false;
 
   auto SolveWithRows = [&](const std::vector<int> &Use,
                            std::vector<double> &Out) -> lp::SolveStatus {
@@ -224,11 +277,15 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
       Lp.addConstraint(Rows[static_cast<size_t>(RI)].Coef, -lp::kInfinity,
                        Rows[static_cast<size_t>(RI)].Hi);
     WallTimer LpTimer;
-    lp::LpSolution Sol = lp::solveLp(Lp.problem(), Options.Lp);
+    lp::LpSolution Sol = lp::solveLp(Lp.problem(), LpOptions);
     LpSeconds += LpTimer.seconds();
     LpIterations += Sol.Iterations;
     if (Sol.Status == lp::SolveStatus::Optimal)
       Out = Lp.extractDelta(Sol.X);
+    if (Sol.Status == lp::SolveStatus::Cancelled)
+      LpCancelled = true;
+    if (Ctx)
+      Ctx->advance(1);
     return Sol.Status;
   };
 
@@ -237,6 +294,8 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
     std::iota(All.begin(), All.end(), 0);
     lp::SolveStatus Status = SolveWithRows(All, DeltaEff);
     RowsUsed = static_cast<int>(All.size());
+    if (LpCancelled)
+      return Cancelled();
     if (Status == lp::SolveStatus::Infeasible) {
       Result.Status = RepairStatus::Infeasible;
       FinalizeStats();
@@ -260,9 +319,13 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
       Solved = true;
     } else {
       for (int Round = 0; Round < Options.MaxCgRounds && !Solved; ++Round) {
+        if (Ctx && Ctx->checkpoint(RepairPhase::Lp))
+          return Cancelled();
         ++Result.Stats.CgRounds;
         lp::SolveStatus Status = SolveWithRows(Active, DeltaEff);
         RowsUsed = static_cast<int>(Active.size());
+        if (LpCancelled)
+          return Cancelled();
         if (Status == lp::SolveStatus::Infeasible) {
           // A subset is infeasible, so the full system is too.
           Result.Status = RepairStatus::Infeasible;
@@ -294,10 +357,14 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
     if (!Solved) {
       // Generation did not converge in budget; fall back to one full
       // solve (still exact).
+      if (Ctx && Ctx->checkpoint(RepairPhase::Lp))
+        return Cancelled();
       std::vector<int> All(Rows.size());
       std::iota(All.begin(), All.end(), 0);
       lp::SolveStatus Status = SolveWithRows(All, DeltaEff);
       RowsUsed = static_cast<int>(All.size());
+      if (LpCancelled)
+        return Cancelled();
       if (Status == lp::SolveStatus::Infeasible) {
         Result.Status = RepairStatus::Infeasible;
         FinalizeStats();
@@ -314,6 +381,11 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   }
 
   // --- Apply and verify (Algorithm 1, lines 9-10) ---------------------------
+  if (Ctx) {
+    Ctx->beginPhase(RepairPhase::Verify, NumPoints);
+    if (Ctx->checkpoint(RepairPhase::Verify))
+      return Cancelled();
+  }
   Result.Delta.assign(static_cast<size_t>(NumParams), 0.0);
   for (int E = 0; E < NumEff; ++E)
     Result.Delta[static_cast<size_t>(Effective[E])] = DeltaEff[E];
@@ -340,6 +412,8 @@ RepairResult prdnn::repairPoints(const Network &Net, int LayerIndex,
   double Verified = 0.0;
   for (double V : PointViolation)
     Verified = std::max(Verified, V);
+  if (Ctx)
+    Ctx->advance(NumPoints);
   Result.Stats.VerifiedViolation = Verified;
   if (Verified > 100 * Options.Lp.FeasTol + 1e-9) {
     // The LP said feasible but the network disagrees: numerical failure,

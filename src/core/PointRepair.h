@@ -9,6 +9,13 @@
 /// norm objective yields a *provably minimal* single-layer repair
 /// (Theorem 5.4) - or a proof that none exists (Infeasible).
 ///
+/// The primary public entry point is api/RepairEngine.h: build a
+/// RepairRequest (point or polytope spec, fixed layer or auto layer
+/// sweep) and run() it synchronously or submit() it as an async job
+/// with progress and cancellation. The repairPoints() free function
+/// below survives as a thin wrapper over the engine for one-shot
+/// fixed-layer repairs; it produces bit-for-bit the same result.
+///
 /// Engineering additions over the paper's pseudocode, all
 /// guarantee-preserving:
 ///  - optional constraint generation: solve on the violated rows first
@@ -18,7 +25,10 @@
 ///    parameters (used e.g. to reproduce the paper's Figure 3 example,
 ///    whose hand-drawn network lacks some bias edges);
 ///  - a final network-level re-verification of the spec, so a Success
-///    status certifies the repaired DDNN itself, not just LP algebra.
+///    status certifies the repaired DDNN itself, not just LP algebra;
+///  - cooperative cancellation and progress reporting through an
+///    optional JobContext (core/RepairContext.h), checked at phase and
+///    chunk boundaries so cancellation never perturbs computed bits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +44,8 @@
 
 namespace prdnn {
 
+class JobContext;
+
 enum class RepairStatus {
   /// A provably minimal single-layer repair was found and re-verified.
   Success,
@@ -42,6 +54,10 @@ enum class RepairStatus {
   Infeasible,
   /// The LP solver failed (iteration limit / numerical trouble).
   SolverFailure,
+  /// The job's cancellation flag was raised; the repair stopped
+  /// cooperatively at a phase / chunk / simplex-iteration boundary.
+  /// Timing stats (TotalSeconds included) are still stamped.
+  Cancelled,
 };
 
 const char *toString(RepairStatus Status);
@@ -102,11 +118,24 @@ struct RepairResult {
   RepairStats Stats;
 };
 
-/// Algorithm 1. \p LayerIndex names a parameterized linear layer of
-/// \p Net (see Network::parameterizedLayerIndices).
+/// Algorithm 1 as a one-shot call; a thin wrapper over
+/// RepairEngine::run (api/RepairEngine.h), bit-for-bit identical to
+/// it. \p LayerIndex names a parameterized linear layer of \p Net (see
+/// Network::parameterizedLayerIndices).
 RepairResult repairPoints(const Network &Net, int LayerIndex,
                           const PointSpec &Spec,
                           const RepairOptions &Options = RepairOptions());
+
+namespace detail {
+
+/// Algorithm 1 proper. \p Ctx, when non-null, receives phase/progress
+/// updates and is polled for cancellation at chunk boundaries; a null
+/// \p Ctx behaves exactly like the seed implementation.
+RepairResult repairPointsImpl(const Network &Net, int LayerIndex,
+                              const PointSpec &Spec,
+                              const RepairOptions &Options, JobContext *Ctx);
+
+} // namespace detail
 
 } // namespace prdnn
 

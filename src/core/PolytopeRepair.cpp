@@ -2,6 +2,7 @@
 
 #include "core/PolytopeRepair.h"
 
+#include "core/RepairContext.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
 #include "syrenn/LineTransform.h"
@@ -78,15 +79,34 @@ PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
   return Points;
 }
 
-RepairResult prdnn::repairPolytopes(const Network &Net, int LayerIndex,
-                                    const PolytopeSpec &Spec,
-                                    const RepairOptions &Options) {
+RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
+                                                int LayerIndex,
+                                                const PolytopeSpec &Spec,
+                                                const RepairOptions &Options,
+                                                JobContext *Ctx) {
   WallTimer Total;
   double LinRegionsSeconds = 0.0;
   int NumRegions = 0;
-  PointSpec Points = keyPointSpec(Net, Spec, &LinRegionsSeconds, &NumRegions);
 
-  RepairResult Result = repairPoints(Net, LayerIndex, Points, Options);
+  // --- LinRegions phase (Algorithm 2, line 2) -------------------------------
+  // The SyReNN transform runs to completion once started; cancellation
+  // is polled at its boundaries.
+  if (Ctx) {
+    Ctx->beginPhase(RepairPhase::LinRegions,
+                    static_cast<std::int64_t>(Spec.size()));
+    if (Ctx->checkpoint(RepairPhase::LinRegions)) {
+      RepairResult Result;
+      Result.Status = RepairStatus::Cancelled;
+      Result.Stats.TotalSeconds = Total.seconds();
+      return Result;
+    }
+  }
+  PointSpec Points = keyPointSpec(Net, Spec, &LinRegionsSeconds, &NumRegions);
+  if (Ctx)
+    Ctx->advance(static_cast<std::int64_t>(Spec.size()));
+
+  RepairResult Result =
+      repairPointsImpl(Net, LayerIndex, Points, Options, Ctx);
   Result.Stats.LinRegionsSeconds = LinRegionsSeconds;
   Result.Stats.KeyPoints = static_cast<int>(Points.size());
   Result.Stats.LinearRegions = NumRegions;

@@ -8,6 +8,13 @@
 /// convex hull of its vertices' images, and hence the polytope spec
 /// holds iff the point spec on all region vertices holds (Theorem 6.4).
 ///
+/// The primary public entry point is api/RepairEngine.h: a
+/// RepairRequest carrying a PolytopeSpec runs this algorithm (the
+/// engine's LinRegions phase is Algorithm 2's SyReNN transform, after
+/// which it proceeds through Algorithm 1's Jacobian/LP/Verify phases).
+/// The repairPolytopes() free function below survives as a thin
+/// wrapper over the engine for one-shot fixed-layer repairs.
+///
 /// Key points are generated with their owning region's activation
 /// pattern pinned (Appendix B), so the same input can appear once per
 /// adjacent region with different Jacobians.
@@ -25,7 +32,9 @@
 
 namespace prdnn {
 
-/// Algorithm 2. \p Net must be piecewise-linear; \p LayerIndex names a
+/// Algorithm 2 as a one-shot call; a thin wrapper over
+/// RepairEngine::run (api/RepairEngine.h), bit-for-bit identical to
+/// it. \p Net must be piecewise-linear; \p LayerIndex names a
 /// parameterized linear layer. Statuses as in repairPoints; on Success
 /// the repaired DDNN provably satisfies the constraint on *every* point
 /// of every specification polytope.
@@ -40,6 +49,18 @@ RepairResult repairPolytopes(const Network &Net, int LayerIndex,
 PointSpec keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
                        double *LinRegionsSeconds = nullptr,
                        int *NumRegions = nullptr);
+
+namespace detail {
+
+/// Algorithm 2 proper; see repairPointsImpl for the \p Ctx contract
+/// (cancellation here is additionally polled around the LinRegions
+/// transform phase).
+RepairResult repairPolytopesImpl(const Network &Net, int LayerIndex,
+                                 const PolytopeSpec &Spec,
+                                 const RepairOptions &Options,
+                                 JobContext *Ctx);
+
+} // namespace detail
 
 } // namespace prdnn
 

@@ -1,0 +1,53 @@
+//===- core/RepairContext.cpp ---------------------------------------------===//
+
+#include "core/RepairContext.h"
+
+#include "support/Error.h"
+
+using namespace prdnn;
+
+const char *prdnn::toString(RepairPhase Phase) {
+  switch (Phase) {
+  case RepairPhase::Queued:
+    return "Queued";
+  case RepairPhase::LinRegions:
+    return "LinRegions";
+  case RepairPhase::Jacobian:
+    return "Jacobian";
+  case RepairPhase::Lp:
+    return "Lp";
+  case RepairPhase::Verify:
+    return "Verify";
+  case RepairPhase::Done:
+    return "Done";
+  }
+  PRDNN_UNREACHABLE("bad RepairPhase");
+}
+
+ProgressSnapshot JobContext::snapshot() const {
+  // Individually-atomic reads: a snapshot taken across a phase
+  // transition may pair the new phase with the old counters for one
+  // observation, but every field is itself monotonic within its epoch.
+  ProgressSnapshot S;
+  S.Phase = static_cast<RepairPhase>(PhaseV.load(std::memory_order_relaxed));
+  S.ItemsDone = Done.load(std::memory_order_relaxed);
+  S.ItemsTotal = Total.load(std::memory_order_relaxed);
+  S.SweepLayer = SweepLayerV.load(std::memory_order_relaxed);
+  S.SweepDone = SweepDoneV.load(std::memory_order_relaxed);
+  S.SweepTotal = SweepTotalV.load(std::memory_order_relaxed);
+  S.CancelRequested = cancelRequested();
+  return S;
+}
+
+bool JobContext::checkpoint(RepairPhase Phase) {
+  PhaseV.store(static_cast<int>(Phase), std::memory_order_relaxed);
+  if (Hook)
+    Hook(Phase);
+  return cancelRequested();
+}
+
+void JobContext::beginPhase(RepairPhase Phase, std::int64_t NewTotal) {
+  Done.store(0, std::memory_order_relaxed);
+  Total.store(NewTotal, std::memory_order_relaxed);
+  PhaseV.store(static_cast<int>(Phase), std::memory_order_relaxed);
+}

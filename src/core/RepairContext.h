@@ -1,0 +1,139 @@
+//===- core/RepairContext.h - job context for engine repairs ---*- C++ -*-===//
+///
+/// \file
+/// The cooperative control channel between a running repair and its
+/// observers: cancellation, per-phase progress, and (for tests) a
+/// checkpoint hook. A JobContext is owned by the RepairEngine job (or
+/// stack-allocated for synchronous runs) and passed by pointer into the
+/// core algorithms, which
+///
+///  - announce phase transitions (LinRegions -> Jacobian -> Lp ->
+///    Verify, mapping to Algorithm 2 line 2 / Algorithm 1 lines 4-6 /
+///    lines 7-8 / lines 9-10 of the paper);
+///  - publish monotonic item counters within each phase (Jacobian
+///    chunks, constraint-generation rounds, verified points);
+///  - poll for cancellation at chunk boundaries (and, via
+///    SimplexOptions::CancelFlag, between simplex iterations). A
+///    cancelled repair returns RepairStatus::Cancelled with its timing
+///    stats stamped; it never tears partially-written state.
+///
+/// All observation methods are safe to call concurrently with the
+/// running repair; counters are per-phase monotonic (a new phase or a
+/// new sweep layer resets them, with the phase/sweep fields telling the
+/// observer which epoch a snapshot belongs to).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_CORE_REPAIRCONTEXT_H
+#define PRDNN_CORE_REPAIRCONTEXT_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace prdnn {
+
+/// Phases of an engine repair job, in execution order. LinRegions only
+/// occurs for polytope requests (Algorithm 2's SyReNN transform);
+/// Jacobian / Lp / Verify are Algorithm 1's three stages.
+enum class RepairPhase {
+  Queued,
+  LinRegions,
+  Jacobian,
+  Lp,
+  Verify,
+  Done,
+};
+
+const char *toString(RepairPhase Phase);
+
+/// One observation of a running job's progress.
+struct ProgressSnapshot {
+  RepairPhase Phase = RepairPhase::Queued;
+  /// Work items finished / expected in the current phase. ItemsTotal
+  /// is 0 when the total is unknown up front (the LP phase's
+  /// constraint-generation rounds).
+  std::int64_t ItemsDone = 0;
+  std::int64_t ItemsTotal = 0;
+  /// Layer currently being attempted (-1 before the first attempt) and
+  /// the sweep position; SweepTotal is 1 for fixed-layer requests.
+  int SweepLayer = -1;
+  int SweepDone = 0;
+  int SweepTotal = 0;
+  bool CancelRequested = false;
+};
+
+/// Shared state of one repair job; see the file comment.
+class JobContext {
+public:
+  JobContext() = default;
+  JobContext(const JobContext &) = delete;
+  JobContext &operator=(const JobContext &) = delete;
+
+  // --- Observer side --------------------------------------------------------
+
+  /// Requests cooperative cancellation; the repair notices at its next
+  /// checkpoint and returns RepairStatus::Cancelled.
+  void requestCancel() { Cancel.store(true, std::memory_order_relaxed); }
+
+  bool cancelRequested() const {
+    return Cancel.load(std::memory_order_relaxed);
+  }
+
+  /// The flag the LP solver polls (SimplexOptions::CancelFlag).
+  const std::atomic<bool> *cancelFlag() const { return &Cancel; }
+
+  ProgressSnapshot snapshot() const;
+
+  // --- Repair side (called from the job thread) -----------------------------
+
+  /// Cancellation checkpoint: records the current phase, invokes the
+  /// checkpoint hook (if any), and returns whether the repair should
+  /// stop. Called at phase and chunk boundaries only - never inside
+  /// bit-for-bit-sensitive inner loops.
+  bool checkpoint(RepairPhase Phase);
+
+  /// Enters \p Phase with \p Total expected items (0 if unknown) and
+  /// resets the item counter.
+  void beginPhase(RepairPhase Phase, std::int64_t Total);
+
+  /// Adds \p Count finished items to the current phase.
+  void advance(std::int64_t Count = 1) {
+    Done.fetch_add(Count, std::memory_order_relaxed);
+  }
+
+  void beginSweep(int Total) {
+    SweepTotalV.store(Total, std::memory_order_relaxed);
+  }
+  void beginSweepLayer(int Layer) {
+    SweepLayerV.store(Layer, std::memory_order_relaxed);
+  }
+  void finishSweepLayer() {
+    SweepDoneV.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void markDone() { beginPhase(RepairPhase::Done, 0); }
+
+  /// Installs a hook invoked (on the job thread) at every checkpoint
+  /// with the checkpoint's phase - the deterministic way for tests to
+  /// cancel "mid-Jacobian" or "mid-LP". Must be installed before the
+  /// job starts; the engine forwards the hook given to submit().
+  void setCheckpointHook(std::function<void(RepairPhase)> NewHook) {
+    Hook = std::move(NewHook);
+  }
+
+private:
+  std::atomic<bool> Cancel{false};
+  std::atomic<int> PhaseV{static_cast<int>(RepairPhase::Queued)};
+  std::atomic<std::int64_t> Done{0};
+  std::atomic<std::int64_t> Total{0};
+  std::atomic<int> SweepLayerV{-1};
+  std::atomic<int> SweepDoneV{0};
+  std::atomic<int> SweepTotalV{0};
+  /// Written before the job runs, read only from the job thread.
+  std::function<void(RepairPhase)> Hook;
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_CORE_REPAIRCONTEXT_H

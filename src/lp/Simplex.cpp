@@ -42,6 +42,8 @@ const char *prdnn::lp::toString(SolveStatus Status) {
     return "IterationLimit";
   case SolveStatus::NumericalError:
     return "NumericalError";
+  case SolveStatus::Cancelled:
+    return "Cancelled";
   }
   PRDNN_UNREACHABLE("bad SolveStatus");
 }
@@ -533,6 +535,11 @@ SolveStatus Worker::iterate(bool Phase1) {
   Stall = 0;
   HavePrevObj = false;
   while (true) {
+    // Cooperative cancellation: a relaxed load per iteration is noise
+    // next to the O(M * NT) pricing pass below.
+    if (Opt.CancelFlag &&
+        Opt.CancelFlag->load(std::memory_order_relaxed))
+      return SolveStatus::Cancelled;
     if (Iterations >= Opt.MaxIterations)
       return SolveStatus::IterationLimit;
     if (PivotsSinceRefactor >= Opt.RefactorInterval) {
@@ -667,7 +674,8 @@ LpSolution Worker::run() {
     SolveStatus Status = iterate(/*Phase1=*/true);
     if (Status == SolveStatus::IterationLimit ||
         Status == SolveStatus::NumericalError ||
-        Status == SolveStatus::Unbounded)
+        Status == SolveStatus::Unbounded ||
+        Status == SolveStatus::Cancelled)
       return finish(Status == SolveStatus::Unbounded
                         ? SolveStatus::NumericalError
                         : Status);

@@ -21,6 +21,7 @@
 
 #include "lp/LinearProgram.h"
 
+#include <atomic>
 #include <vector>
 
 namespace prdnn {
@@ -32,6 +33,9 @@ enum class SolveStatus {
   Unbounded,
   IterationLimit,
   NumericalError,
+  /// The caller's SimplexOptions::CancelFlag became true; the solve
+  /// stopped cooperatively between iterations.
+  Cancelled,
 };
 
 const char *toString(SolveStatus Status);
@@ -52,6 +56,11 @@ struct SimplexOptions {
   int StallLimit = 300;
   /// Recompute the basis inverse from scratch every this many pivots.
   int RefactorInterval = 2000;
+  /// Optional cooperative-cancellation flag, polled between simplex
+  /// iterations (the engine points this at its job's JobContext). When
+  /// it becomes true the solve returns SolveStatus::Cancelled. The
+  /// pointee must outlive the solve; null disables polling.
+  const std::atomic<bool> *CancelFlag = nullptr;
 };
 
 struct LpSolution {

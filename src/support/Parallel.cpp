@@ -155,27 +155,42 @@ int prdnn::defaultThreadCount() {
 namespace {
 
 std::mutex GlobalPoolMutex;
-std::unique_ptr<ThreadPool> GlobalPool;
+std::shared_ptr<ThreadPool> GlobalPool;
+
+/// Hands out a counted reference to the current global pool, creating
+/// it on first use. Callers hold the reference for the duration of
+/// their loop, so a concurrent setGlobalThreadCount never destroys a
+/// pool that still has loops in flight (the old pool is torn down by
+/// whichever thread drops the last reference, when all its workers are
+/// idle again).
+std::shared_ptr<ThreadPool> acquireGlobalPool() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  if (!GlobalPool)
+    GlobalPool = std::make_shared<ThreadPool>(defaultThreadCount());
+  return GlobalPool;
+}
 
 } // namespace
 
-ThreadPool &prdnn::globalThreadPool() {
-  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
-  if (!GlobalPool)
-    GlobalPool = std::make_unique<ThreadPool>(defaultThreadCount());
-  return *GlobalPool;
-}
-
-int prdnn::globalThreadCount() { return globalThreadPool().numThreads(); }
+int prdnn::globalThreadCount() { return acquireGlobalPool()->numThreads(); }
 
 void prdnn::setGlobalThreadCount(int NumThreads) {
-  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
-  GlobalPool = std::make_unique<ThreadPool>(std::max(1, NumThreads));
+  // Build the replacement outside the lock (thread spawning is slow),
+  // then swap; the old pool dies when its last in-flight loop returns.
+  auto NewPool = std::make_shared<ThreadPool>(std::max(1, NumThreads));
+  std::shared_ptr<ThreadPool> Old;
+  {
+    std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+    Old = std::move(GlobalPool);
+    GlobalPool = std::move(NewPool);
+  }
 }
 
 void prdnn::parallelForRanges(
     std::int64_t Begin, std::int64_t End,
     const std::function<void(std::int64_t, std::int64_t)> &Body,
     std::int64_t Grain) {
-  globalThreadPool().forRanges(Begin, End, Grain, Body);
+  // The shared_ptr keeps the pool alive across the whole loop even if
+  // the global pool is swapped mid-flight.
+  acquireGlobalPool()->forRanges(Begin, End, Grain, Body);
 }

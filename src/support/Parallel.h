@@ -78,14 +78,15 @@ private:
 /// (at least 1).
 int defaultThreadCount();
 
-/// The process-wide pool used by the free parallelFor functions.
-ThreadPool &globalThreadPool();
-
-/// Current size of the global pool.
+/// Current size of the global pool (creating it on first use).
 int globalThreadCount();
 
 /// Replaces the global pool with one of \p NumThreads threads (clamped
-/// to >= 1). Must not race with in-flight parallelFor calls.
+/// to >= 1). Safe against concurrent parallelFor callers: the global
+/// pool is reference-counted, so in-flight loops finish on the pool
+/// they started with (which is destroyed when the last of them
+/// returns) while new loops pick up the resized pool. During the
+/// handover both pools may briefly run loops concurrently.
 void setGlobalThreadCount(int NumThreads);
 
 /// Chunked parallel loop over [Begin, End) on the global pool; chunks

@@ -1,0 +1,512 @@
+//===- tests/engine_test.cpp - RepairEngine request/job API tests ------------===//
+//
+// Covers the engine contract: run()/the repairPoints wrappers/submit()
+// all produce bit-identical results; N concurrent jobs over the shared
+// pool match serial runs exactly; cooperative cancellation before the
+// job runs, mid-Jacobian, and in the LP phase (deterministically, via
+// checkpoint hooks) resolves with RepairStatus::Cancelled and stamped
+// timing stats; the kAutoLayer sweep picks the minimal-norm success
+// deterministically; queue backpressure and engine destruction with
+// queued jobs behave.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/RepairEngine.h"
+
+#include "core/PolytopeRepair.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+namespace {
+
+using namespace prdnn;
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+/// 6 -> 16 -> 16 -> 4 ReLU classifier; parameterized layers 0, 2, 4.
+Network makeClassifier(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 6, 0.9), randomVector(R, 16, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 16, 0.9), randomVector(R, 16, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 4, 16, 0.9), randomVector(R, 4, 0.3)));
+  return Net;
+}
+
+/// Point spec that needs actual repair work: every third point must
+/// flip to its runner-up class; the rest anchor their current class.
+PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
+  PointSpec Spec;
+  for (int I = 0; I < Count; ++I) {
+    Vector X = randomVector(R, Net.inputSize());
+    Vector Y = Net.evaluate(X);
+    int Top = Y.argmax();
+    int Target = Top;
+    if (I % 3 == 0) {
+      double Best = -1e300;
+      for (int C = 0; C < Y.size(); ++C)
+        if (C != Top && Y[C] > Best) {
+          Best = Y[C];
+          Target = C;
+        }
+    }
+    Spec.push_back({std::move(X),
+                    classificationConstraint(Net.outputSize(), Target, 1e-3),
+                    std::nullopt});
+  }
+  return Spec;
+}
+
+Network makeFigure3Network() {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0}, {1.0}, {1.0}}), Vector{0.0, 0.0, -1.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(3));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0, -1.0, 1.0}}), Vector{0.0}));
+  return Net;
+}
+
+PolytopeSpec makeFigure3PolySpec(double Lo, double Hi) {
+  PolytopeSpec Spec;
+  Spec.push_back(SpecPolytope{SegmentPolytope{Vector{0.5}, Vector{1.5}},
+                              boxConstraint(Vector{Lo}, Vector{Hi})});
+  return Spec;
+}
+
+void expectBitIdentical(const RepairResult &A, const RepairResult &B) {
+  ASSERT_EQ(A.Status, B.Status);
+  ASSERT_EQ(A.Delta.size(), B.Delta.size());
+  for (size_t I = 0; I < A.Delta.size(); ++I)
+    EXPECT_EQ(A.Delta[I], B.Delta[I]) << "Delta[" << I << "]";
+  EXPECT_EQ(A.DeltaL1, B.DeltaL1);
+  EXPECT_EQ(A.DeltaLInf, B.DeltaLInf);
+  EXPECT_EQ(A.Stats.SpecRows, B.Stats.SpecRows);
+  EXPECT_EQ(A.Stats.LpRowsUsed, B.Stats.LpRowsUsed);
+}
+
+/// Checkpoint-hook state that cancels its job at the Nth checkpoint of
+/// \p Phase. The gate makes the hook wait until the JobHandle exists,
+/// so hook-driven cancellation is deterministic even if the worker
+/// starts the job before submit() returns to the test.
+struct CancelAt {
+  RepairPhase Phase;
+  int N;
+  std::atomic<int> Seen{0};
+  JobHandle Handle;
+  std::promise<void> HandleReady;
+  std::shared_future<void> Ready{HandleReady.get_future().share()};
+  std::vector<RepairPhase> Trace; // job-thread only; read after report()
+
+  std::function<void(RepairPhase)> hook(std::shared_ptr<CancelAt> Self) {
+    return [Self](RepairPhase P) {
+      Self->Ready.wait();
+      Self->Trace.push_back(P);
+      if (P == Self->Phase &&
+          Self->Seen.fetch_add(1, std::memory_order_relaxed) + 1 ==
+              Self->N)
+        Self->Handle.cancel();
+    };
+  }
+};
+
+TEST(RepairEngine, StatusAndPhaseToString) {
+  EXPECT_STREQ(toString(RepairStatus::Cancelled), "Cancelled");
+  EXPECT_STREQ(toString(RepairStatus::Success), "Success");
+  EXPECT_STREQ(toString(RepairStatus::Infeasible), "Infeasible");
+  EXPECT_STREQ(toString(RepairStatus::SolverFailure), "SolverFailure");
+  EXPECT_STREQ(lp::toString(lp::SolveStatus::Cancelled), "Cancelled");
+  EXPECT_STREQ(toString(RepairPhase::Queued), "Queued");
+  EXPECT_STREQ(toString(RepairPhase::LinRegions), "LinRegions");
+  EXPECT_STREQ(toString(RepairPhase::Jacobian), "Jacobian");
+  EXPECT_STREQ(toString(RepairPhase::Lp), "Lp");
+  EXPECT_STREQ(toString(RepairPhase::Verify), "Verify");
+  EXPECT_STREQ(toString(RepairPhase::Done), "Done");
+}
+
+TEST(RepairEngine, SimplexHonorsPreRaisedCancelFlag) {
+  // The solver must notice a raised flag before doing any pivots.
+  lp::DeltaLp Lp(4, lp::Norm::L1);
+  Lp.addConstraint({1.0, 1.0, 0.0, 0.0}, 1.0, lp::kInfinity);
+  Lp.addConstraint({0.0, 1.0, 1.0, -1.0}, -lp::kInfinity, -2.0);
+  std::atomic<bool> Flag{true};
+  lp::SimplexOptions Options;
+  Options.CancelFlag = &Flag;
+  lp::LpSolution Sol = lp::solveLp(Lp.problem(), Options);
+  EXPECT_EQ(Sol.Status, lp::SolveStatus::Cancelled);
+  EXPECT_TRUE(Sol.X.empty());
+  Flag.store(false);
+  EXPECT_EQ(lp::solveLp(Lp.problem(), Options).Status,
+            lp::SolveStatus::Optimal);
+}
+
+TEST(RepairEngine, RunMatchesWrapperBitForBit) {
+  Rng R(91001);
+  Network Net = makeClassifier(R);
+  PointSpec Spec = makeFlipSpec(Net, R, 30);
+
+  RepairResult Direct = repairPoints(Net, 4, Spec);
+  RepairEngine Engine;
+  RepairReport Report = Engine.run(
+      RepairRequest::points(RepairRequest::borrow(Net), 4, Spec));
+  ASSERT_EQ(Report.Status, Direct.Status);
+  EXPECT_EQ(Report.RepairedLayer, 4);
+  ASSERT_EQ(Report.Sweep.size(), 1u);
+  EXPECT_EQ(Report.Sweep[0].LayerIndex, 4);
+  expectBitIdentical(Report.Result, Direct);
+}
+
+TEST(RepairEngine, RunPolytopeMatchesWrapperBitForBit) {
+  Network Net = makeFigure3Network();
+  PolytopeSpec Spec = makeFigure3PolySpec(-0.8, -0.4);
+  RepairOptions Options;
+  Options.RowMargin = 0.0;
+
+  RepairResult Direct = repairPolytopes(Net, 0, Spec, Options);
+  RepairEngine Engine;
+  RepairReport Report = Engine.run(RepairRequest::polytopes(
+      RepairRequest::borrow(Net), 0, Spec, Options));
+  ASSERT_EQ(Report.Status, Direct.Status);
+  expectBitIdentical(Report.Result, Direct);
+  EXPECT_EQ(Report.Result.Stats.KeyPoints, Direct.Stats.KeyPoints);
+  EXPECT_EQ(Report.Result.Stats.LinearRegions, Direct.Stats.LinearRegions);
+}
+
+TEST(RepairEngine, ConcurrentSubmitsBitIdenticalToSerialRuns) {
+  Rng R(91002);
+  auto Classifier = std::make_shared<Network>(makeClassifier(R));
+  auto Figure3 = std::make_shared<Network>(makeFigure3Network());
+
+  // Eight jobs over two shared networks: three layers x two specs on
+  // the classifier, plus two polytope jobs on Figure 3.
+  struct Case {
+    RepairRequest Request;
+    RepairResult Serial;
+  };
+  std::vector<Case> Cases;
+  std::vector<PointSpec> Specs;
+  Specs.push_back(makeFlipSpec(*Classifier, R, 24));
+  Specs.push_back(makeFlipSpec(*Classifier, R, 36));
+  for (int Layer : {0, 2, 4})
+    for (const PointSpec &Spec : Specs) {
+      Case C;
+      C.Request = RepairRequest::points(Classifier, Layer, Spec);
+      C.Serial = repairPoints(*Classifier, Layer, Spec);
+      Cases.push_back(std::move(C));
+    }
+  for (double Hi : {-0.4, -0.5}) {
+    RepairOptions Options;
+    Options.RowMargin = 0.0;
+    PolytopeSpec PolySpec = makeFigure3PolySpec(-0.8, Hi);
+    Case C;
+    C.Request = RepairRequest::polytopes(Figure3, 0, PolySpec, Options);
+    C.Serial = repairPolytopes(*Figure3, 0, PolySpec, Options);
+    Cases.push_back(std::move(C));
+  }
+
+  EngineOptions Options;
+  Options.NumWorkers = 4;
+  RepairEngine Engine(Options);
+  std::vector<JobHandle> Handles;
+  for (Case &C : Cases)
+    Handles.push_back(Engine.submit(C.Request));
+  ASSERT_EQ(Handles.size(), 8u);
+
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const RepairReport &Report = Handles[I].report();
+    EXPECT_GT(Report.JobId, 0u);
+    expectBitIdentical(Report.Result, Cases[I].Serial);
+    EXPECT_EQ(Handles[I].progress().Phase, RepairPhase::Done);
+  }
+  EXPECT_EQ(Engine.pendingJobs(), 0);
+}
+
+TEST(RepairEngine, CancelWhileQueuedResolvesWithoutRunning) {
+  Rng R(91003);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 24);
+
+  EngineOptions Options;
+  Options.NumWorkers = 1;
+  RepairEngine Engine(Options);
+
+  // Blocker job: its hook parks the single worker until released.
+  std::promise<void> Entered, Release;
+  std::shared_future<void> ReleaseF = Release.get_future().share();
+  std::atomic<bool> EnteredOnce{false};
+  JobHandle Blocker = Engine.submit(
+      RepairRequest::points(Net, 4, Spec), [&](RepairPhase) {
+        if (!EnteredOnce.exchange(true)) {
+          Entered.set_value();
+          ReleaseF.wait();
+        }
+      });
+  Entered.get_future().wait();
+
+  JobHandle Victim = Engine.submit(RepairRequest::points(Net, 2, Spec));
+  EXPECT_FALSE(Victim.done());
+  Victim.cancel();
+  Release.set_value();
+
+  const RepairReport &VictimReport = Victim.report();
+  EXPECT_EQ(VictimReport.Status, RepairStatus::Cancelled);
+  // Cancelled before any phase did real work, but the stats are still
+  // stamped (the TotalSeconds exit-path contract).
+  EXPECT_GE(VictimReport.Result.Stats.TotalSeconds, 0.0);
+  EXPECT_EQ(VictimReport.Result.Stats.SpecRows, 0);
+  EXPECT_TRUE(Victim.progress().CancelRequested);
+  EXPECT_EQ(Blocker.report().Status, RepairStatus::Success);
+}
+
+TEST(RepairEngine, CancelMidJacobianPhase) {
+  Rng R(91004);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  // 600 points -> three 256-point Jacobian chunks on a net this small,
+  // so the 2nd Jacobian checkpoint is a genuine mid-phase boundary.
+  PointSpec Spec = makeFlipSpec(*Net, R, 600);
+
+  RepairEngine Engine;
+  auto State = std::make_shared<CancelAt>();
+  State->Phase = RepairPhase::Jacobian;
+  State->N = 2;
+  JobHandle Handle =
+      Engine.submit(RepairRequest::points(Net, 4, Spec),
+                    State->hook(State));
+  State->Handle = Handle;
+  State->HandleReady.set_value();
+
+  const RepairReport &Report = Handle.report();
+  EXPECT_EQ(Report.Status, RepairStatus::Cancelled);
+  EXPECT_EQ(Report.Result.Status, RepairStatus::Cancelled);
+  // One chunk of Jacobians ran; the timing contract still holds.
+  EXPECT_GT(Report.Result.Stats.TotalSeconds, 0.0);
+  EXPECT_GT(Report.Result.Stats.JacobianSeconds, 0.0);
+  EXPECT_EQ(Report.Result.Stats.LpRowsUsed, 0);
+  ASSERT_EQ(Report.Sweep.size(), 1u);
+  EXPECT_EQ(Report.Sweep[0].Status, RepairStatus::Cancelled);
+  // The hook saw exactly two Jacobian checkpoints and nothing later.
+  EXPECT_EQ(State->Seen.load(), 2);
+  for (RepairPhase P : State->Trace)
+    EXPECT_EQ(P, RepairPhase::Jacobian);
+}
+
+TEST(RepairEngine, CancelInLpPhase) {
+  Rng R(91005);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 60);
+
+  RepairEngine Engine;
+  auto State = std::make_shared<CancelAt>();
+  State->Phase = RepairPhase::Lp;
+  State->N = 2; // phase entry, then the first CG round's checkpoint
+  JobHandle Handle =
+      Engine.submit(RepairRequest::points(Net, 4, Spec),
+                    State->hook(State));
+  State->Handle = Handle;
+  State->HandleReady.set_value();
+
+  const RepairReport &Report = Handle.report();
+  EXPECT_EQ(Report.Status, RepairStatus::Cancelled);
+  // The whole Jacobian phase completed; rows exist, the LP stopped.
+  EXPECT_GT(Report.Result.Stats.JacobianSeconds, 0.0);
+  EXPECT_GT(Report.Result.Stats.SpecRows, 0);
+  EXPECT_GT(Report.Result.Stats.TotalSeconds, 0.0);
+  EXPECT_FALSE(Report.Result.Repaired.has_value());
+}
+
+TEST(RepairEngine, HookSeesPhasesInPipelineOrder) {
+  Network Net = makeFigure3Network();
+  RepairOptions Options;
+  Options.RowMargin = 0.0;
+  RepairEngine Engine;
+  auto State = std::make_shared<CancelAt>();
+  State->Phase = RepairPhase::Done; // never fires: trace only
+  State->N = 1;
+  JobHandle Handle = Engine.submit(
+      RepairRequest::polytopes(RepairRequest::borrow(Net), 0,
+                               makeFigure3PolySpec(-0.8, -0.4), Options),
+      State->hook(State));
+  State->Handle = Handle;
+  State->HandleReady.set_value();
+  ASSERT_EQ(Handle.report().Status, RepairStatus::Success);
+
+  auto Rank = [](RepairPhase P) { return static_cast<int>(P); };
+  ASSERT_FALSE(State->Trace.empty());
+  EXPECT_EQ(State->Trace.front(), RepairPhase::LinRegions);
+  for (size_t I = 1; I < State->Trace.size(); ++I)
+    EXPECT_LE(Rank(State->Trace[I - 1]), Rank(State->Trace[I]));
+}
+
+TEST(RepairEngine, AutoLayerSweepPicksMinimalNormDeterministically) {
+  Rng R(91006);
+  Network Net = makeClassifier(R);
+  PointSpec Spec = makeFlipSpec(Net, R, 24);
+
+  // Serial per-layer baseline; the sweep must match its minimum.
+  std::vector<int> Layers = Net.parameterizedLayerIndices();
+  ASSERT_EQ(Layers.size(), 3u);
+  std::vector<RepairResult> Serial;
+  for (int Layer : Layers)
+    Serial.push_back(repairPoints(Net, Layer, Spec));
+  int ExpectLayer = -1;
+  double ExpectNorm = 1e300;
+  for (size_t I = 0; I < Layers.size(); ++I)
+    if (Serial[I].Status == RepairStatus::Success &&
+        Serial[I].DeltaL1 < ExpectNorm) {
+      ExpectNorm = Serial[I].DeltaL1;
+      ExpectLayer = Layers[I];
+    }
+  ASSERT_GE(ExpectLayer, 0) << "fixture: no layer repaired the spec";
+
+  RepairEngine Engine;
+  RepairRequest Request;
+  Request.Net = RepairRequest::borrow(Net);
+  Request.Spec = Spec;
+  Request.LayerIndex = kAutoLayer;
+  RepairReport Report = Engine.run(Request);
+
+  ASSERT_EQ(Report.Status, RepairStatus::Success);
+  EXPECT_EQ(Report.RepairedLayer, ExpectLayer);
+  ASSERT_EQ(Report.Sweep.size(), Layers.size());
+  for (size_t I = 0; I < Layers.size(); ++I) {
+    EXPECT_EQ(Report.Sweep[I].LayerIndex, Layers[I]);
+    EXPECT_EQ(Report.Sweep[I].Status, Serial[I].Status);
+    EXPECT_EQ(Report.Sweep[I].DeltaL1, Serial[I].DeltaL1);
+  }
+  size_t WinnerIdx = 0;
+  while (Layers[WinnerIdx] != ExpectLayer)
+    ++WinnerIdx;
+  expectBitIdentical(Report.Result, Serial[WinnerIdx]);
+
+  // Restricted candidate lists are honored (and keep determinism).
+  Request.SweepLayers = {4, 2};
+  RepairReport Restricted = Engine.run(Request);
+  ASSERT_EQ(Restricted.Sweep.size(), 2u);
+  EXPECT_EQ(Restricted.Sweep[0].LayerIndex, 4);
+  EXPECT_EQ(Restricted.Sweep[1].LayerIndex, 2);
+}
+
+TEST(RepairEngine, PolytopeSweepSharesKeyPointsAndMatchesSerial) {
+  // A polytope kAutoLayer sweep computes the layer-independent SyReNN
+  // transform once and must still match per-layer serial
+  // repairPolytopes bit-for-bit, winner included.
+  Network Net = makeFigure3Network();
+  PolytopeSpec Spec = makeFigure3PolySpec(-0.8, -0.4);
+  RepairOptions Options;
+  Options.RowMargin = 0.0;
+
+  std::vector<int> Layers = Net.parameterizedLayerIndices();
+  ASSERT_EQ(Layers.size(), 2u);
+  std::vector<RepairResult> Serial;
+  for (int Layer : Layers)
+    Serial.push_back(repairPolytopes(Net, Layer, Spec, Options));
+  int ExpectLayer = -1;
+  double ExpectNorm = 1e300;
+  size_t WinnerIdx = 0;
+  for (size_t I = 0; I < Layers.size(); ++I)
+    if (Serial[I].Status == RepairStatus::Success &&
+        Serial[I].DeltaL1 < ExpectNorm) {
+      ExpectNorm = Serial[I].DeltaL1;
+      ExpectLayer = Layers[I];
+      WinnerIdx = I;
+    }
+  ASSERT_GE(ExpectLayer, 0);
+
+  RepairEngine Engine;
+  RepairRequest Request;
+  Request.Net = RepairRequest::borrow(Net);
+  Request.Spec = Spec;
+  Request.LayerIndex = kAutoLayer;
+  Request.Options = Options;
+  RepairReport Report = Engine.run(Request);
+
+  ASSERT_EQ(Report.Status, RepairStatus::Success);
+  EXPECT_EQ(Report.RepairedLayer, ExpectLayer);
+  ASSERT_EQ(Report.Sweep.size(), Layers.size());
+  for (size_t I = 0; I < Layers.size(); ++I) {
+    EXPECT_EQ(Report.Sweep[I].Status, Serial[I].Status);
+    EXPECT_EQ(Report.Sweep[I].DeltaL1, Serial[I].DeltaL1);
+  }
+  expectBitIdentical(Report.Result, Serial[WinnerIdx]);
+  EXPECT_EQ(Report.Result.Stats.KeyPoints,
+            Serial[WinnerIdx].Stats.KeyPoints);
+  EXPECT_EQ(Report.Result.Stats.LinearRegions,
+            Serial[WinnerIdx].Stats.LinearRegions);
+}
+
+TEST(RepairEngine, BoundedQueueBackpressure) {
+  Rng R(91007);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 12);
+  RepairResult Serial = repairPoints(*Net, 4, Spec);
+
+  EngineOptions Options;
+  Options.NumWorkers = 2;
+  Options.QueueCapacity = 2; // submit() must block-and-drain, not fail
+  RepairEngine Engine(Options);
+  std::vector<JobHandle> Handles;
+  for (int I = 0; I < 10; ++I)
+    Handles.push_back(Engine.submit(RepairRequest::points(Net, 4, Spec)));
+  for (JobHandle &H : Handles)
+    expectBitIdentical(H.report().Result, Serial);
+}
+
+TEST(RepairEngine, DestructorCancelsQueuedJobs) {
+  Rng R(91008);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 12);
+
+  EngineOptions Options;
+  Options.NumWorkers = 1;
+  auto Engine = std::make_unique<RepairEngine>(Options);
+
+  std::promise<void> Entered, Release;
+  std::shared_future<void> ReleaseF = Release.get_future().share();
+  std::atomic<bool> EnteredOnce{false};
+  JobHandle Blocker = Engine->submit(
+      RepairRequest::points(Net, 4, Spec), [&](RepairPhase) {
+        if (!EnteredOnce.exchange(true)) {
+          Entered.set_value();
+          ReleaseF.wait();
+        }
+      });
+  Entered.get_future().wait();
+  JobHandle QueuedA = Engine->submit(RepairRequest::points(Net, 2, Spec));
+  JobHandle QueuedB = Engine->submit(RepairRequest::points(Net, 0, Spec));
+
+  // Destroy the engine while the worker is parked: queued jobs must
+  // resolve as Cancelled (without running), the blocker must finish.
+  std::thread Destroyer([&] { Engine.reset(); });
+  EXPECT_EQ(QueuedA.report().Status, RepairStatus::Cancelled);
+  EXPECT_EQ(QueuedB.report().Status, RepairStatus::Cancelled);
+  Release.set_value();
+  Destroyer.join();
+  EXPECT_EQ(Blocker.report().Status, RepairStatus::Success);
+}
+
+} // namespace

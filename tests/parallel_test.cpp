@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -115,6 +116,34 @@ TEST(Parallel, DefaultThreadCountHonorsEnv) {
   EXPECT_GE(defaultThreadCount(), 1);
   if (Saved)
     ASSERT_EQ(setenv("PRDNN_NUM_THREADS", SavedValue.c_str(), 1), 0);
+}
+
+TEST(Parallel, ResizeRacingParallelForIsSafe) {
+  // Engine jobs resize-racing the pool: threads hammer parallelFor
+  // while another thread resizes the global pool. Every loop must
+  // still cover every index exactly once (in-flight loops finish on
+  // the pool they started with), with no deadlock or crash.
+  const int LoopsPerThread = 40;
+  const std::int64_t N = 4096;
+  std::vector<std::int64_t> Sums(2, 0);
+  std::vector<std::thread> Hammers;
+  for (int T = 0; T < 2; ++T)
+    Hammers.emplace_back([&, T] {
+      for (int L = 0; L < LoopsPerThread; ++L) {
+        std::atomic<std::int64_t> Count{0};
+        parallelFor(0, N, [&](std::int64_t) {
+          Count.fetch_add(1, std::memory_order_relaxed);
+        });
+        Sums[static_cast<size_t>(T)] += Count.load();
+      }
+    });
+  for (int I = 0; I < 25; ++I)
+    setGlobalThreadCount(1 + (I % 4));
+  for (std::thread &H : Hammers)
+    H.join();
+  EXPECT_EQ(Sums[0], LoopsPerThread * N);
+  EXPECT_EQ(Sums[1], LoopsPerThread * N);
+  setGlobalThreadCount(defaultThreadCount());
 }
 
 TEST(Parallel, GlobalPoolResize) {
