@@ -1,0 +1,307 @@
+//===- bench/bench_engine_cache.cpp - warm vs cold engine caching ------------===//
+//
+// The repeated-spec server workload the artifact cache targets: a fixed
+// mix of point- and polytope-repair requests is pushed through one
+// RepairEngine several times over (as a repair service sees the same
+// (network, layer, spec) keys again and again). The first drain is
+// cold (every artifact computed and inserted); subsequent drains are
+// warm (Jacobian row blocks, SyReNN transforms, and pattern batches
+// come from the cache). A cache-off engine provides the baseline.
+//
+// Emits BENCH_engine_cache.json: cold / warm / cache-off jobs-per-sec,
+// warm-over-cold speedup, hit rate, and bytes held at 1, 4, and 8
+// workers, plus the max Delta divergence of every job against the
+// cache-free serial wrappers. Self-checking: exits non-zero if any
+// divergence is not exactly 0 (the cache's determinism contract), so
+// the CI smoke run enforces the contract on this workload mix too.
+// Run with --smoke (CI) for a reduced job mix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "api/RepairEngine.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Parallel.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+namespace {
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+/// 16 -> 48 -> 48 -> 8 ReLU classifier: wide enough that the Jacobian
+/// phase (what warm hits skip) carries real weight.
+Network makeClassifier(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 48, 16, 0.7), randomVector(R, 48, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(48));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 48, 48, 0.6), randomVector(R, 48, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(48));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 8, 48, 0.7), randomVector(R, 8, 0.3)));
+  return Net;
+}
+
+/// 2 -> 16 -> 2 regressor for the polytope (segment) jobs.
+Network makeRegressor(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 2, 0.9), randomVector(R, 16, 0.2)));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 2, 16, 0.8), randomVector(R, 2, 0.2)));
+  return Net;
+}
+
+PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
+  PointSpec Spec;
+  for (int I = 0; I < Count; ++I) {
+    Vector X = randomVector(R, Net.inputSize());
+    Vector Y = Net.evaluate(X);
+    int Top = Y.argmax();
+    int Target = Top;
+    if (I % 3 == 0) {
+      double Best = -1e300;
+      for (int C = 0; C < Y.size(); ++C)
+        if (C != Top && Y[C] > Best) {
+          Best = Y[C];
+          Target = C;
+        }
+    }
+    Spec.push_back({std::move(X),
+                    classificationConstraint(Net.outputSize(), Target, 1e-3),
+                    std::nullopt});
+  }
+  return Spec;
+}
+
+PolytopeSpec makeSegmentSpec(const Network &Net, Rng &R, int Segments) {
+  PolytopeSpec Spec;
+  for (int S = 0; S < Segments; ++S) {
+    Vector A = randomVector(R, Net.inputSize());
+    Vector B = randomVector(R, Net.inputSize());
+    Vector Lo(Net.outputSize()), Hi(Net.outputSize());
+    Vector Ya = Net.evaluate(A), Yb = Net.evaluate(B);
+    for (int O = 0; O < Net.outputSize(); ++O) {
+      double Mid = 0.5 * (Ya[O] + Yb[O]);
+      double Span = std::max(1.0, std::fabs(Ya[O] - Yb[O]));
+      Lo[O] = Mid - 1.2 * Span;
+      Hi[O] = Mid + 1.2 * Span;
+    }
+    Spec.push_back(SpecPolytope{SegmentPolytope{A, B},
+                                boxConstraint(Lo, Hi)});
+  }
+  return Spec;
+}
+
+double maxDeltaDiff(const RepairResult &A, const RepairResult &B) {
+  if (A.Delta.size() != B.Delta.size())
+    return 1e300;
+  double Max = 0.0;
+  for (size_t I = 0; I < A.Delta.size(); ++I)
+    Max = std::max(Max, std::fabs(A.Delta[I] - B.Delta[I]));
+  return Max;
+}
+
+/// Drains \p Requests through \p Engine once; returns wall seconds and
+/// accumulates the divergence from \p Reference.
+double drainOnce(RepairEngine &Engine,
+                 const std::vector<RepairRequest> &Requests,
+                 const std::vector<RepairResult> &Reference,
+                 double &MaxDiff, int &Successes) {
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Requests.size());
+  WallTimer Timer;
+  for (const RepairRequest &Request : Requests)
+    Handles.push_back(Engine.submit(Request));
+  for (JobHandle &Handle : Handles)
+    Handle.wait();
+  double Wall = Timer.seconds();
+  for (size_t I = 0; I < Handles.size(); ++I) {
+    const RepairReport &Report = Handles[I].report();
+    MaxDiff = std::max(MaxDiff, maxDeltaDiff(Report.Result, Reference[I]));
+    Successes += Report.Status == RepairStatus::Success;
+  }
+  return Wall;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    Smoke = Smoke || std::strcmp(argv[I], "--smoke") == 0;
+  const int PointJobs = Smoke ? 6 : 12;
+  const int PointsPerJob = Smoke ? 40 : 80;
+  const int PolyJobs = Smoke ? 2 : 4;
+  const int SegmentsPerJob = Smoke ? 2 : 3;
+  const int WarmRounds = Smoke ? 2 : 4;
+
+  Rng R(88001);
+  auto Classifier = std::make_shared<Network>(makeClassifier(R));
+  auto Regressor = std::make_shared<Network>(makeRegressor(R));
+  std::printf("=== Engine artifact cache: repeated-spec workload "
+              "(%d point + %d polytope jobs, %d warm rounds%s) ===\n",
+              PointJobs, PolyJobs, WarmRounds, Smoke ? ", smoke" : "");
+  std::printf("classifier: %d params; pool threads: %d; hardware "
+              "concurrency: %u\n\n",
+              Classifier->totalParams(), globalThreadCount(),
+              std::thread::hardware_concurrency());
+
+  // The repeated request mix: distinct (layer, spec) keys a server
+  // would see resubmitted every round.
+  const int Layers[] = {0, 2, 4};
+  std::vector<RepairRequest> Requests;
+  for (int J = 0; J < PointJobs; ++J) {
+    Rng SpecR(7000 + J);
+    Requests.push_back(RepairRequest::points(
+        Classifier, Layers[J % 3],
+        makeFlipSpec(*Classifier, SpecR, PointsPerJob)));
+  }
+  for (int J = 0; J < PolyJobs; ++J) {
+    Rng SpecR(7500 + J);
+    Requests.push_back(RepairRequest::polytopes(
+        Regressor, 2, makeSegmentSpec(*Regressor, SpecR, SegmentsPerJob)));
+  }
+  int NumJobs = static_cast<int>(Requests.size());
+
+  // Cache-free serial ground truth (one-shot wrappers).
+  std::vector<RepairResult> Reference;
+  Reference.reserve(Requests.size());
+  for (const RepairRequest &Request : Requests) {
+    if (Request.isPolytope())
+      Reference.push_back(
+          repairPolytopes(*Request.Net, Request.LayerIndex,
+                          std::get<PolytopeSpec>(Request.Spec)));
+    else
+      Reference.push_back(repairPoints(
+          *Request.Net, Request.LayerIndex,
+          std::get<PointSpec>(Request.Spec)));
+  }
+
+  int RefSuccesses = 0;
+  for (const RepairResult &Result : Reference)
+    RefSuccesses += Result.Status == RepairStatus::Success;
+
+  BenchJson Json("engine_cache");
+  TablePrinter Table({"workers", "mode", "wall(s)", "jobs/s", "speedup",
+                      "hit rate", "MiB held", "max |dDelta|"});
+  double WorstDiff = 0.0;
+  bool SuccessesOk = true;
+
+  for (int Workers : {1, 4, 8}) {
+    // Cache-off baseline at this concurrency.
+    EngineOptions OffOptions;
+    OffOptions.NumWorkers = Workers;
+    OffOptions.QueueCapacity = NumJobs;
+    OffOptions.EnableCache = false;
+    RepairEngine OffEngine(OffOptions);
+    double OffDiff = 0.0;
+    int OffSuccesses = 0;
+    double OffWall =
+        drainOnce(OffEngine, Requests, Reference, OffDiff, OffSuccesses);
+
+    // Cache-on: one cold drain, then warm drains on the same engine.
+    EngineOptions Options;
+    Options.NumWorkers = Workers;
+    Options.QueueCapacity = NumJobs;
+    RepairEngine Engine(Options);
+    double MaxDiff = 0.0;
+    int Successes = 0;
+    double ColdWall =
+        drainOnce(Engine, Requests, Reference, MaxDiff, Successes);
+    double WarmWall = 0.0;
+    for (int Round = 1; Round < WarmRounds; ++Round)
+      WarmWall += drainOnce(Engine, Requests, Reference, MaxDiff, Successes);
+    double WarmPerRound = WarmWall / (WarmRounds - 1);
+    CacheStats Stats = Engine.cacheStats();
+    WorstDiff = std::max(WorstDiff, std::max(MaxDiff, OffDiff));
+    SuccessesOk = SuccessesOk && OffSuccesses == RefSuccesses &&
+                  Successes == WarmRounds * RefSuccesses;
+
+    double OffJobsPerSec = NumJobs / OffWall;
+    double ColdJobsPerSec = NumJobs / ColdWall;
+    double WarmJobsPerSec = NumJobs / WarmPerRound;
+
+    Json.beginRecord();
+    Json.add("workers", Workers);
+    Json.add("jobs_per_round", NumJobs);
+    Json.add("warm_rounds", WarmRounds - 1);
+    Json.add("smoke", Smoke ? 1 : 0);
+    Json.add("cache_off_jobs_per_sec", OffJobsPerSec);
+    Json.add("cold_jobs_per_sec", ColdJobsPerSec);
+    Json.add("warm_jobs_per_sec", WarmJobsPerSec);
+    Json.add("warm_speedup_vs_cold", WarmJobsPerSec / ColdJobsPerSec);
+    Json.add("warm_speedup_vs_cache_off", WarmJobsPerSec / OffJobsPerSec);
+    Json.add("hit_rate", Stats.hitRate());
+    Json.add("cache_hits", static_cast<int>(Stats.Hits));
+    Json.add("cache_misses", static_cast<int>(Stats.Misses));
+    Json.add("cache_evictions", static_cast<int>(Stats.Evictions));
+    Json.add("bytes_held", static_cast<double>(Stats.BytesHeld));
+    Json.add("max_delta_diff_vs_serial", std::max(MaxDiff, OffDiff));
+    Json.add("successes_per_round", Successes / WarmRounds);
+    Json.add("pool_threads", globalThreadCount());
+    Json.add("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+
+    auto Mib = [](std::uint64_t Bytes) {
+      return static_cast<double>(Bytes) / (1024.0 * 1024.0);
+    };
+    Table.addRow({std::to_string(Workers), "cache-off",
+                  formatDouble(OffWall, 3), formatDouble(OffJobsPerSec, 2),
+                  "1.00", "-", "-",
+                  OffDiff == 0.0 ? "0" : formatDouble(OffDiff, 12)});
+    Table.addRow({std::to_string(Workers), "cold",
+                  formatDouble(ColdWall, 3), formatDouble(ColdJobsPerSec, 2),
+                  formatDouble(ColdJobsPerSec / OffJobsPerSec, 2), "-", "-",
+                  "-"});
+    Table.addRow({std::to_string(Workers), "warm",
+                  formatDouble(WarmPerRound, 3),
+                  formatDouble(WarmJobsPerSec, 2),
+                  formatDouble(WarmJobsPerSec / OffJobsPerSec, 2),
+                  formatDouble(Stats.hitRate(), 3),
+                  formatDouble(Mib(Stats.BytesHeld), 2),
+                  MaxDiff == 0.0 ? "0" : formatDouble(MaxDiff, 12)});
+  }
+
+  Table.print(std::cout);
+  std::string JsonFile = Json.write();
+  if (!JsonFile.empty())
+    std::printf("\nwrote %s\n", JsonFile.c_str());
+
+  bool Ok = WorstDiff == 0.0 && SuccessesOk;
+  std::printf("%s\n",
+              Ok ? "bench_engine_cache: cold/warm/cache-off bit-identical "
+                   "to serial"
+                 : "bench_engine_cache: DETERMINISM CHECK FAILED");
+  return Ok ? 0 : 1;
+}

@@ -10,10 +10,15 @@
 // per-phase item counters). When everything is done, every async
 // result is compared bit-for-bit against a serial repairPoints /
 // repairPolytopes call of the same request - the engine's determinism
-// contract. A final job demonstrates cooperative cancellation.
+// contract. The same mix is then resubmitted *warm*: the engine's
+// artifact cache turns the Jacobian / LinRegions phases into lookups,
+// and the warm results must still be bit-identical. A final
+// high-priority job demonstrates cooperative cancellation (and the
+// priority-classed queue).
 //
-// Exits non-zero if any job fails, diverges from its serial twin, or
-// the cancelled job doesn't report Cancelled.
+// Exits non-zero if any job fails, diverges from its serial twin, the
+// warm pass misses the cache, or the cancelled job doesn't report
+// Cancelled.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +30,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -165,9 +171,12 @@ int main() {
   }
 
   // --- Serial ground truth ---------------------------------------------------
-  // The same requests through the one-shot wrappers (sweeps through
-  // per-layer wrapper calls), for the bit-identity check.
-  RepairEngine SerialEngine; // run() executes inline, no workers
+  // The same requests run inline with the cache disabled: a genuinely
+  // cache-free reference, so the bit-identity checks below test the
+  // concurrent *and* cached paths against independent recomputation.
+  EngineOptions SerialOptions;
+  SerialOptions.EnableCache = false;
+  RepairEngine SerialEngine(SerialOptions); // run() executes inline
   std::vector<RepairReport> Serial;
   for (const RepairRequest &Request : Requests)
     Serial.push_back(SerialEngine.run(Request));
@@ -221,11 +230,44 @@ int main() {
                 1e3 * Report.TotalSeconds, Match ? "yes" : "NO");
   }
 
-  // --- Cancellation demo -----------------------------------------------------
+  // --- Warm resubmission: the artifact cache at work -------------------------
+  // The same requests again: Jacobian row blocks, SyReNN transforms,
+  // and pattern batches now come from the engine's shared cache, and
+  // the results are still bit-identical (the cache's determinism
+  // contract).
+  std::vector<JobHandle> WarmHandles;
+  WarmHandles.reserve(Requests.size());
+  for (const RepairRequest &Request : Requests)
+    WarmHandles.push_back(Engine.submit(Request));
+  bool WarmMatch = true;
+  std::int64_t WarmHits = 0, WarmMisses = 0;
+  for (size_t I = 0; I < WarmHandles.size(); ++I) {
+    const RepairReport &Report = WarmHandles[I].report();
+    WarmMatch = WarmMatch && bitIdentical(Report.Result, Serial[I].Result) &&
+                Report.Status == Serial[I].Status;
+    WarmHits += Report.CacheHits;
+    WarmMisses += Report.CacheMisses;
+  }
+  CacheStats Stats = Engine.cacheStats();
+  std::printf("\nwarm pass: %lld cache hits / %lld misses across jobs; "
+              "results %s first pass\n",
+              static_cast<long long>(WarmHits),
+              static_cast<long long>(WarmMisses),
+              WarmMatch ? "bit-identical to" : "DIVERGED from");
+  std::printf("engine cache: %.1f%% hit rate, %llu entries, %.2f MiB held "
+              "(budget %.0f MiB), %llu evictions\n",
+              100.0 * Stats.hitRate(),
+              static_cast<unsigned long long>(Stats.Entries),
+              static_cast<double>(Stats.BytesHeld) / (1024.0 * 1024.0),
+              static_cast<double>(Stats.BudgetBytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(Stats.Evictions));
+
+  // --- Cancellation demo (submitted as High priority) ------------------------
   Rng CancelR(4001);
-  JobHandle Doomed = Engine.submit(
-      RepairRequest::points(Classifier, 4,
-                            makeFlipSpec(*Classifier, CancelR, 600)));
+  RepairRequest DoomedRequest = RepairRequest::points(
+      Classifier, 4, makeFlipSpec(*Classifier, CancelR, 600));
+  DoomedRequest.JobPriority = RepairRequest::Priority::High;
+  JobHandle Doomed = Engine.submit(std::move(DoomedRequest));
   Doomed.cancel();
   const RepairReport &DoomedReport = Doomed.report();
   std::printf("\ncancellation demo: job %llu -> %s (%.1fms)\n",
@@ -233,7 +275,7 @@ int main() {
               toString(DoomedReport.Status),
               1e3 * DoomedReport.TotalSeconds);
 
-  bool Ok = AllMatch && Completed >= 8 &&
+  bool Ok = AllMatch && WarmMatch && WarmHits > 0 && Completed >= 8 &&
             DoomedReport.Status == RepairStatus::Cancelled;
   std::printf("\n%d/%zu jobs succeeded; results %s serial runs; "
               "cancellation %s\n",

@@ -2,6 +2,7 @@
 
 #include "api/RepairEngine.h"
 
+#include "cache/Fingerprint.h"
 #include "core/PolytopeRepair.h"
 #include "support/Timer.h"
 
@@ -73,6 +74,29 @@ RepairEngine::RepairEngine(EngineOptions Options) : Opts(Options) {
     Opts.NumWorkers = 1;
   if (Opts.QueueCapacity < 1)
     Opts.QueueCapacity = 1;
+  if (Opts.CacheShards < 1)
+    Opts.CacheShards = 1;
+  if (Opts.EnableCache && Opts.CacheBudgetBytes > 0)
+    Cache = std::make_shared<ArtifactCache>(Opts.CacheBudgetBytes,
+                                            Opts.CacheShards);
+}
+
+int RepairEngine::queuedCount() const {
+  int Count = 0;
+  for (const auto &Q : Queues)
+    Count += static_cast<int>(Q.size());
+  return Count;
+}
+
+std::shared_ptr<detail::EngineJob> RepairEngine::popNext() {
+  for (auto &Q : Queues)
+    if (!Q.empty()) {
+      std::shared_ptr<detail::EngineJob> Job = Q.front();
+      Q.pop_front();
+      return Job;
+    }
+  assert(false && "popNext on an empty queue");
+  return nullptr;
 }
 
 RepairEngine::~RepairEngine() {
@@ -80,7 +104,13 @@ RepairEngine::~RepairEngine() {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Stopping = true;
-    Orphans.swap(Queue);
+    // Drain in priority order: handles resolve in the order the queue
+    // would have served.
+    for (auto &Q : Queues) {
+      for (auto &Job : Q)
+        Orphans.push_back(std::move(Job));
+      Q.clear();
+    }
   }
   WorkCv.notify_all();
   SpaceCv.notify_all();
@@ -130,8 +160,7 @@ JobHandle RepairEngine::submit(RepairRequest Request,
     }
     ++WaitingSubmitters;
     SpaceCv.wait(Lock, [&] {
-      return Stopping ||
-             static_cast<int>(Queue.size()) < Opts.QueueCapacity;
+      return Stopping || queuedCount() < Opts.QueueCapacity;
     });
     --WaitingSubmitters;
     Job->Id = NextJobId++;
@@ -150,7 +179,7 @@ JobHandle RepairEngine::submit(RepairRequest Request,
       Job->resolve(std::move(Report));
       return JobHandle(Job);
     }
-    Queue.push_back(Job);
+    Queues[static_cast<size_t>(Job->Request.JobPriority)].push_back(Job);
   }
   WorkCv.notify_one();
   return JobHandle(Job);
@@ -158,17 +187,16 @@ JobHandle RepairEngine::submit(RepairRequest Request,
 
 int RepairEngine::pendingJobs() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return static_cast<int>(Queue.size()) + Running;
+  return queuedCount() + Running;
 }
 
 void RepairEngine::workerMain() {
   std::unique_lock<std::mutex> Lock(Mutex);
   while (true) {
-    WorkCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
-    if (Queue.empty())
+    WorkCv.wait(Lock, [&] { return Stopping || queuedCount() > 0; });
+    if (queuedCount() == 0)
       return; // Stopping and drained
-    std::shared_ptr<detail::EngineJob> Job = Queue.front();
-    Queue.pop_front();
+    std::shared_ptr<detail::EngineJob> Job = popNext();
     ++Running;
     SpaceCv.notify_one();
     Lock.unlock();
@@ -197,6 +225,12 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   Report.QueueSeconds = QueueSeconds;
 
   const Network &Net = *Request.Net;
+  // Hand the engine's shared artifact cache to the job. The network
+  // fingerprint (content hash of topology + parameter bits) is what
+  // keys this job's artifacts, so jobs on different - or mutated -
+  // networks can never alias each other's entries.
+  if (Cache && Request.Options.UseCache)
+    Ctx.setCache(Cache.get(), fingerprintNetwork(Net));
   std::vector<int> Candidates;
   if (Request.isSweep())
     Candidates = Request.SweepLayers.empty()
@@ -232,11 +266,12 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   // For polytope sweeps, the SyReNN transform is layer-independent:
   // compute the key points once (on the first attempt) and share them
   // across candidates instead of re-running Algorithm 2's LinRegions
-  // phase per layer. Fixed-layer requests keep the exact
-  // repairPolytopesImpl path of the one-shot wrappers.
-  std::optional<PointSpec> SharedKeyPoints;
-  double SharedLinRegionsSeconds = 0.0;
-  int SharedRegions = 0;
+  // phase per layer - and, with the engine cache, across *jobs* too
+  // (the within-sweep sharing generalizes to a SyrennTransform /
+  // PatternBatch artifact hit on the first attempt). Fixed-layer
+  // requests keep the exact repairPolytopesImpl path of the one-shot
+  // wrappers.
+  std::optional<KeyPointsResult> SharedKeyPoints;
 
   auto RunAttempt = [&](int Layer) -> RepairResult {
     if (!Request.isPolytope())
@@ -258,19 +293,28 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
         Cancelled.Stats.TotalSeconds = AttemptTotal.seconds();
         return Cancelled;
       }
-      SharedKeyPoints.emplace(keyPointSpec(
-          Net, PolySpec, &SharedLinRegionsSeconds, &SharedRegions));
+      SharedKeyPoints.emplace(
+          keyPoints(Net, PolySpec, &Ctx, Request.Options.UseCache));
       Ctx.advance(static_cast<std::int64_t>(PolySpec.size()));
       ComputedHere = true;
     }
     RepairResult Attempt = detail::repairPointsImpl(
-        Net, Layer, *SharedKeyPoints, Request.Options, &Ctx);
+        Net, Layer, SharedKeyPoints->Points, Request.Options, &Ctx);
     // Stamp the Algorithm 2 stats as repairPolytopesImpl would; the
-    // transform time lands on the attempt that paid it.
+    // transform time (and its cache lookups) land on the attempt that
+    // paid it.
     Attempt.Stats.LinRegionsSeconds =
-        ComputedHere ? SharedLinRegionsSeconds : 0.0;
-    Attempt.Stats.KeyPoints = static_cast<int>(SharedKeyPoints->size());
-    Attempt.Stats.LinearRegions = SharedRegions;
+        ComputedHere ? SharedKeyPoints->Seconds : 0.0;
+    Attempt.Stats.KeyPoints =
+        static_cast<int>(SharedKeyPoints->Points.size());
+    Attempt.Stats.LinearRegions = SharedKeyPoints->LinearRegions;
+    if (ComputedHere) {
+      Attempt.Stats.LinRegionsCacheHits = SharedKeyPoints->TransformCacheHits;
+      Attempt.Stats.LinRegionsCacheMisses =
+          SharedKeyPoints->TransformCacheMisses;
+      Attempt.Stats.PatternCacheHits = SharedKeyPoints->PatternCacheHits;
+      Attempt.Stats.PatternCacheMisses = SharedKeyPoints->PatternCacheMisses;
+    }
     Attempt.Stats.TotalSeconds = AttemptTotal.seconds();
     Attempt.Stats.OtherSeconds = std::max(
         0.0, Attempt.Stats.TotalSeconds - Attempt.Stats.JacobianSeconds -
@@ -288,7 +332,16 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Entry.Status = Attempt.Status;
     Entry.DeltaL1 = Attempt.DeltaL1;
     Entry.DeltaLInf = Attempt.DeltaLInf;
+    // The phase breakdown rides on RepairStats, which every exit path
+    // of the impls stamps (early Infeasible returns and cancellations
+    // included) - so these are valid for *all* attempts, making
+    // cache-hit vs cache-miss attempts comparable in the sweep log.
     Entry.Seconds = Attempt.Stats.TotalSeconds;
+    Entry.JacobianSeconds = Attempt.Stats.JacobianSeconds;
+    Entry.LpSeconds = Attempt.Stats.LpSeconds;
+    Entry.LinRegionsSeconds = Attempt.Stats.LinRegionsSeconds;
+    Entry.CacheHits = Attempt.Stats.cacheHits();
+    Entry.CacheMisses = Attempt.Stats.cacheMisses();
     Report.Sweep.push_back(Entry);
     Ctx.finishSweepLayer();
 
@@ -336,6 +389,10 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Report.Result = std::move(LastUnsuccessful);
     Report.Result.Status = Report.Status;
   }
+  for (const SweepAttempt &Attempt : Report.Sweep) {
+    Report.CacheHits += Attempt.CacheHits;
+    Report.CacheMisses += Attempt.CacheMisses;
+  }
   Report.TotalSeconds = Total.seconds();
   Ctx.markDone();
   return Report;
@@ -352,7 +409,14 @@ namespace {
 RepairEngine &wrapperEngine() {
   // Function-local static: constructed on first use, threadless (run()
   // never spawns workers), so safe to keep for the process lifetime.
-  static RepairEngine Engine;
+  // Cache disabled: the wrappers document themselves as bit-for-bit
+  // thin wrappers with the seed's memory profile, and the benches rely
+  // on repeated wrapper calls staying cold.
+  static RepairEngine Engine([] {
+    EngineOptions Options;
+    Options.EnableCache = false;
+    return Options;
+  }());
   return Engine;
 }
 

@@ -22,8 +22,10 @@
 ///     the attempt minimizing the objective norm of Delta (ties break
 ///     to the earliest candidate, so sweeps are deterministic).
 ///
-/// Concurrency model: submit() enqueues onto a bounded FIFO (submit
-/// blocks while the queue is full) drained by NumWorkers job threads.
+/// Concurrency model: submit() enqueues onto a bounded, priority-
+/// classed queue (RepairRequest::Priority; strict class order, FIFO
+/// within a class; submit blocks while the queue is full) drained by
+/// NumWorkers job threads.
 /// Jobs run the normal repair pipeline, whose data-parallel loops all
 /// go through the one global thread pool (support/Parallel.h) - the
 /// pool serializes parallel sections across jobs, so N concurrent jobs
@@ -37,6 +39,16 @@
 /// iterations; the job resolves with RepairStatus::Cancelled and
 /// stamped timing stats. Queued jobs cancel without running.
 ///
+/// The engine owns one content-addressed ArtifactCache shared by all
+/// its jobs (EngineOptions::EnableCache / CacheBudgetBytes): repeated
+/// (network, layer, spec-prefix) keys - auto-layer sweeps, repeated-
+/// spec server workloads, iterative patch loops - reuse Jacobian row
+/// blocks, SyReNN transforms, and pattern batches instead of
+/// recomputing them, with single-flight insertion so concurrent jobs
+/// on the same key compute once. Hits are bit-for-bit identical to
+/// recomputation, so warm runs equal cold runs exactly (see
+/// cache/README.md for the determinism contract).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PRDNN_API_REPAIRENGINE_H
@@ -44,8 +56,10 @@
 
 #include "api/RepairReport.h"
 #include "api/RepairRequest.h"
+#include "cache/ArtifactCache.h"
 #include "core/RepairContext.h"
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -66,9 +80,22 @@ struct EngineOptions {
   /// concurrently. Their data-parallel phases share the global pool;
   /// see the file comment.
   int NumWorkers = 1;
-  /// Bounded FIFO capacity; submit() blocks while the queue is full
-  /// (backpressure instead of unbounded memory growth).
+  /// Bounded queue capacity, totalled across priority classes;
+  /// submit() blocks while the queue is full (backpressure instead of
+  /// unbounded memory growth).
   int QueueCapacity = 64;
+  /// Own an ArtifactCache (cache/ArtifactCache.h) shared by every job
+  /// of this engine: repeated (network, layer, spec-prefix) keys turn
+  /// the Jacobian / LinRegions phases into lookups. Hits are
+  /// bit-for-bit identical to recomputation (test-enforced), so the
+  /// default on never changes results - disable only to reclaim the
+  /// memory. Per-request opt-out: RepairOptions::UseCache.
+  bool EnableCache = true;
+  /// Byte budget of the cache's LRU (0 behaves like EnableCache =
+  /// false).
+  std::size_t CacheBudgetBytes = std::size_t(256) << 20;
+  /// Shards of the cache's map (per-shard mutex + LRU slice).
+  int CacheShards = 16;
 };
 
 /// Handle to a submitted job. Copyable (shared state); the default-
@@ -135,16 +162,42 @@ public:
 
   const EngineOptions &options() const { return Opts; }
 
+  /// True when this engine owns an artifact cache (EnableCache with a
+  /// non-zero budget).
+  bool hasCache() const { return Cache != nullptr; }
+
+  /// Aggregate hit/miss/eviction/byte counters of the engine's cache
+  /// (all-zero when hasCache() is false).
+  CacheStats cacheStats() const {
+    return Cache ? Cache->stats() : CacheStats();
+  }
+
+  /// Drops every cached artifact (for memory pressure or ablations);
+  /// in-flight jobs are unaffected beyond recomputing.
+  void clearCache() {
+    if (Cache)
+      Cache->clear();
+  }
+
 private:
   void workerMain();
   RepairReport execute(const RepairRequest &Request, JobContext &Ctx,
                        std::uint64_t JobId, double QueueSeconds);
 
+  /// Queued jobs across all priority classes.
+  int queuedCount() const;
+  /// Pops the front of the highest non-empty priority class (caller
+  /// holds Mutex and guarantees non-emptiness).
+  std::shared_ptr<detail::EngineJob> popNext();
+
   EngineOptions Opts;
+  std::shared_ptr<ArtifactCache> Cache; ///< null when caching is off
   mutable std::mutex Mutex;
   std::condition_variable WorkCv;  ///< workers wait for jobs
   std::condition_variable SpaceCv; ///< submitters wait for queue space
-  std::deque<std::shared_ptr<detail::EngineJob>> Queue;
+  /// One FIFO per RepairRequest::Priority, indexed by the enum value:
+  /// a stable priority queue (strict class order, FIFO within).
+  std::array<std::deque<std::shared_ptr<detail::EngineJob>>, 3> Queues;
   std::vector<std::thread> Workers; ///< spawned lazily on first submit
   int Running = 0;
   int WaitingSubmitters = 0; ///< submit() calls parked in backpressure

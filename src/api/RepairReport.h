@@ -27,6 +27,15 @@ struct SweepAttempt {
   double DeltaL1 = 0.0;
   double DeltaLInf = 0.0;
   double Seconds = 0.0;
+  // Per-attempt phase breakdown, stamped on *every* exit path (early
+  // Infeasible/SolverFailure returns and cancellations included, like
+  // TotalSeconds) so cache-hit and cache-miss attempts are comparable.
+  double JacobianSeconds = 0.0;
+  double LpSeconds = 0.0;
+  double LinRegionsSeconds = 0.0;
+  /// Artifact-cache lookups this attempt performed, all phases.
+  int CacheHits = 0;
+  int CacheMisses = 0;
 };
 
 struct RepairReport {
@@ -62,6 +71,12 @@ struct RepairReport {
 
   /// Engine-side wall time executing the job (all sweep attempts).
   double TotalSeconds = 0.0;
+
+  /// Artifact-cache lookups across every attempt of the job (0 / 0
+  /// when the engine runs without a cache or the request opted out).
+  /// Per-phase breakdowns live in each attempt's RepairStats.
+  std::int64_t CacheHits = 0;
+  std::int64_t CacheMisses = 0;
 
   const RepairStats &stats() const { return Result.Stats; }
   bool succeeded() const { return Status == RepairStatus::Success; }

@@ -33,6 +33,17 @@ namespace prdnn {
 inline constexpr int kAutoLayer = -1;
 
 struct RepairRequest {
+  /// Scheduling class for submitted jobs: the engine's queue serves
+  /// strictly by class (High before Neutral before Low) and FIFO
+  /// within a class, so a high-priority job overtakes every queued
+  /// neutral job but never preempts one already running. run() calls
+  /// ignore the priority (they execute inline).
+  enum class Priority {
+    High = 0,
+    Neutral = 1,
+    Low = 2,
+  };
+
   /// The network to repair; never mutated. Must be non-null and must
   /// stay alive (and unmodified) until the job's report is ready.
   std::shared_ptr<const Network> Net;
@@ -47,6 +58,9 @@ struct RepairRequest {
   /// means Network::parameterizedLayerIndices(). Ignored for fixed
   /// LayerIndex requests.
   std::vector<int> SweepLayers;
+
+  /// Queue class for submit(); see Priority.
+  Priority JobPriority = Priority::Neutral;
 
   RepairOptions Options;
 

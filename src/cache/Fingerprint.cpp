@@ -1,0 +1,56 @@
+//===- cache/Fingerprint.cpp ----------------------------------------------===//
+
+#include "cache/Fingerprint.h"
+
+#include "nn/ActivationPattern.h"
+#include "nn/Layer.h"
+#include "nn/Network.h"
+#include "support/Casting.h"
+
+using namespace prdnn;
+
+NetworkFingerprint prdnn::fingerprintNetwork(const Network &Net) {
+  Hasher H;
+  H.i32(Net.numLayers());
+  std::vector<double> Params;
+  for (int I = 0; I < Net.numLayers(); ++I) {
+    const Layer &L = Net.layer(I);
+    // describe() encodes kind and geometry ("fc 16x6", "conv ...",
+    // "relu 16", ...); sizes guard against describe collisions.
+    H.i32(static_cast<int>(L.getKind()));
+    H.str(L.describe());
+    H.i32(L.inputSize());
+    H.i32(L.outputSize());
+    if (const auto *Lin = dyn_cast<LinearLayer>(&L)) {
+      H.i32(Lin->numParams());
+      if (Lin->numParams() > 0) {
+        Lin->getParams(Params);
+        H.doubles(Params.data(), Params.size());
+      }
+    }
+  }
+  return NetworkFingerprint{H.digest()};
+}
+
+void prdnn::hashVector(Hasher &H, const Vector &V) {
+  H.i32(V.size());
+  H.doubles(V.data(), static_cast<std::size_t>(V.size()));
+}
+
+void prdnn::hashMatrix(Hasher &H, const Matrix &M) {
+  H.i32(M.rows());
+  H.i32(M.cols());
+  if (M.rows() > 0)
+    H.doubles(M.rowData(0),
+              static_cast<std::size_t>(M.rows()) *
+                  static_cast<std::size_t>(M.cols()));
+}
+
+void prdnn::hashPattern(Hasher &H, const NetworkPattern &Pattern) {
+  H.i32(static_cast<int>(Pattern.Patterns.size()));
+  for (const std::vector<int> &LayerPattern : Pattern.Patterns) {
+    H.i32(static_cast<int>(LayerPattern.size()));
+    for (int P : LayerPattern)
+      H.i32(P);
+  }
+}

@@ -1,0 +1,50 @@
+//===- cache/Fingerprint.h - content addresses for cache keys --*- C++ -*-===//
+///
+/// \file
+/// Content addressing for the repair-artifact cache: a stable
+/// NetworkFingerprint over a network's full topology *and* parameter
+/// bits, plus hashing helpers for the value types that appear in cache
+/// keys (vectors, matrices, activation patterns).
+///
+/// Two networks share a fingerprint iff they have the same layer
+/// sequence (kinds and geometry, via each layer's describe() string and
+/// sizes) and bit-for-bit equal parameters - so any parameter edit,
+/// however small, changes the address and can never alias a cached
+/// artifact computed from the old network. This is what makes it safe
+/// for one engine-wide cache to serve jobs on *different* networks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_CACHE_FINGERPRINT_H
+#define PRDNN_CACHE_FINGERPRINT_H
+
+#include "support/Hash.h"
+
+namespace prdnn {
+
+class Network;
+class Vector;
+class Matrix;
+struct NetworkPattern;
+
+/// Content address of one immutable network; see the file comment.
+struct NetworkFingerprint {
+  Digest128 Digest;
+
+  bool operator==(const NetworkFingerprint &Other) const = default;
+};
+
+/// Hashes topology (layer count, kinds, geometry) and every parameter's
+/// bit pattern. Cost is one linear pass over the parameters - trivial
+/// next to a single Jacobian chunk - so engines recompute it per job
+/// rather than trusting object identity.
+NetworkFingerprint fingerprintNetwork(const Network &Net);
+
+/// Key-building helpers: absorb a value's dimensions and exact bits.
+void hashVector(Hasher &H, const Vector &V);
+void hashMatrix(Hasher &H, const Matrix &M);
+void hashPattern(Hasher &H, const NetworkPattern &Pattern);
+
+} // namespace prdnn
+
+#endif // PRDNN_CACHE_FINGERPRINT_H

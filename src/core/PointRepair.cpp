@@ -2,6 +2,7 @@
 
 #include "core/PointRepair.h"
 
+#include "cache/ArtifactCache.h"
 #include "core/RepairContext.h"
 #include "nn/Jacobian.h"
 #include "nn/LinearLayers.h"
@@ -164,27 +165,37 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
     auto StampJacobian = [&] {
       Result.Stats.JacobianSeconds = JacobianTimer.seconds();
     };
-    // Assembles point Base+I's constraint rows from its Jacobian into
-    // the preallocated slots; bits match the seed per-point loop.
-    auto AssembleRows = [&](int PointIndex, const JacobianResult &Jr) {
-      const SpecPoint &P = Spec[static_cast<size_t>(PointIndex)];
-      const OutputConstraint &C = P.Constraint;
+    // Assembles constraint row K of one point from its Jacobian into
+    // (CoefOut, HiOut); bits match the seed per-point loop. Shared by
+    // the in-place path and the cached-block path, so both produce
+    // identical rows.
+    auto AssembleRow = [&](int PointIndex, int K, const JacobianResult &Jr,
+                           std::vector<double> &CoefOut, double &HiOut) {
+      const OutputConstraint &C =
+          Spec[static_cast<size_t>(PointIndex)].Constraint;
       // Row k: (A_k J) Delta <= b_k - A_k N(x) - RowMargin.
+      CoefOut.assign(static_cast<size_t>(NumEff), 0.0);
+      double Activity = 0.0;
+      for (int O = 0; O < C.A.cols(); ++O) {
+        double AKo = C.A(K, O);
+        if (AKo == 0.0)
+          continue;
+        Activity += AKo * Jr.Output[O];
+        const double *JRow = Jr.J.rowData(O);
+        for (int E = 0; E < NumEff; ++E)
+          CoefOut[static_cast<size_t>(E)] += AKo * JRow[Effective[E]];
+      }
+      HiOut = C.B[K] - Activity - Options.RowMargin;
+    };
+    // Assembles all of point PointIndex's rows into their preallocated
+    // Rows slots.
+    auto AssembleRows = [&](int PointIndex, const JacobianResult &Jr) {
+      const OutputConstraint &C =
+          Spec[static_cast<size_t>(PointIndex)].Constraint;
       for (int K = 0; K < C.numRows(); ++K) {
         SpecRow &Row = Rows[static_cast<size_t>(
             RowOffset[static_cast<size_t>(PointIndex)] + K)];
-        Row.Coef.assign(static_cast<size_t>(NumEff), 0.0);
-        double Activity = 0.0;
-        for (int O = 0; O < C.A.cols(); ++O) {
-          double AKo = C.A(K, O);
-          if (AKo == 0.0)
-            continue;
-          Activity += AKo * Jr.Output[O];
-          const double *JRow = Jr.J.rowData(O);
-          for (int E = 0; E < NumEff; ++E)
-            Row.Coef[static_cast<size_t>(E)] += AKo * JRow[Effective[E]];
-        }
-        Row.Hi = C.B[K] - Activity - Options.RowMargin;
+        AssembleRow(PointIndex, K, Jr, Row.Coef, Row.Hi);
       }
     };
 
@@ -218,12 +229,40 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
            Net.outputSize() * MaxWidth + SumWidths);
       int ChunkPoints = static_cast<int>(std::clamp<std::int64_t>(
           (64 << 20) / std::max<std::int64_t>(1, BytesPerPoint), 1, 256));
-      for (int Base = 0; Base < NumPoints; Base += ChunkPoints) {
-        if (Ctx && Ctx->checkpoint(RepairPhase::Jacobian)) {
-          StampJacobian();
-          return Cancelled();
+
+      // The engine's shared artifact cache, when this job carries one:
+      // each chunk's assembled rows are addressed by the network
+      // fingerprint, the layer, the row margin, the effective-parameter
+      // map, and the chunk's points (inputs, pinned patterns, and
+      // output constraints) - everything the rows depend on - so a hit
+      // is bit-for-bit the block this chunk would assemble.
+      ArtifactCache *Cache =
+          (Ctx && Options.UseCache) ? Ctx->cache() : nullptr;
+      auto ChunkKey = [&](int Base, int Count) {
+        Hasher H;
+        const NetworkFingerprint &Fp = Ctx->networkFingerprint();
+        H.u64(Fp.Digest.Hi);
+        H.u64(Fp.Digest.Lo);
+        H.i32(LayerIndex);
+        H.f64(Options.RowMargin);
+        H.i32(NumEff);
+        for (int E : Effective)
+          H.i32(E);
+        H.i32(Count);
+        for (int I = 0; I < Count; ++I) {
+          const SpecPoint &P = Spec[static_cast<size_t>(Base + I)];
+          hashVector(H, P.X);
+          H.i32(P.Pattern ? 1 : 0);
+          if (P.Pattern)
+            hashPattern(H, *P.Pattern);
+          hashMatrix(H, P.Constraint.A);
+          hashVector(H, P.Constraint.B);
         }
-        int Count = std::min(ChunkPoints, NumPoints - Base);
+        return CacheKey{ArtifactKind::JacobianRows, H.digest()};
+      };
+      // One chunk's Jacobians, exactly as the uncached path computes
+      // them.
+      auto ComputeChunkJacobians = [&](int Base, int Count) {
         std::vector<Vector> Xs;
         std::vector<const NetworkPattern *> Pinned;
         Xs.reserve(static_cast<size_t>(Count));
@@ -237,12 +276,70 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
         }
         if (!AnyPinned)
           Pinned.clear(); // pure batched forward, no per-row dispatch
-        std::vector<JacobianResult> Jrs =
-            paramJacobianBatch(Net, LayerIndex, Xs, Pinned);
-        parallelFor(0, Count, [&](std::int64_t I) {
-          AssembleRows(Base + static_cast<int>(I),
-                       Jrs[static_cast<size_t>(I)]);
-        });
+        return paramJacobianBatch(Net, LayerIndex, Xs, Pinned);
+      };
+
+      for (int Base = 0; Base < NumPoints; Base += ChunkPoints) {
+        if (Ctx && Ctx->checkpoint(RepairPhase::Jacobian)) {
+          StampJacobian();
+          return Cancelled();
+        }
+        int Count = std::min(ChunkPoints, NumPoints - Base);
+        if (!Cache) {
+          std::vector<JacobianResult> Jrs = ComputeChunkJacobians(Base, Count);
+          parallelFor(0, Count, [&](std::int64_t I) {
+            AssembleRows(Base + static_cast<int>(I),
+                         Jrs[static_cast<size_t>(I)]);
+          });
+        } else {
+          int ChunkRowBase = RowOffset[static_cast<size_t>(Base)];
+          int ChunkRows =
+              RowOffset[static_cast<size_t>(Base + Count)] - ChunkRowBase;
+          bool Hit = false;
+          auto Artifact = std::static_pointer_cast<const JacobianRowsArtifact>(
+              Cache->getOrCompute(
+                  ChunkKey(Base, Count),
+                  [&]() -> std::shared_ptr<const CacheArtifact> {
+                    auto Block = std::make_shared<JacobianRowsArtifact>();
+                    Block->Coef.resize(static_cast<size_t>(ChunkRows));
+                    Block->Hi.resize(static_cast<size_t>(ChunkRows));
+                    std::vector<JacobianResult> Jrs =
+                        ComputeChunkJacobians(Base, Count);
+                    parallelFor(0, Count, [&](std::int64_t I) {
+                      int PointIndex = Base + static_cast<int>(I);
+                      const OutputConstraint &C =
+                          Spec[static_cast<size_t>(PointIndex)].Constraint;
+                      for (int K = 0; K < C.numRows(); ++K) {
+                        size_t Slot = static_cast<size_t>(
+                            RowOffset[static_cast<size_t>(PointIndex)] + K -
+                            ChunkRowBase);
+                        AssembleRow(PointIndex, K,
+                                    Jrs[static_cast<size_t>(I)],
+                                    Block->Coef[Slot], Block->Hi[Slot]);
+                      }
+                    });
+                    return Block;
+                  },
+                  &Hit));
+          // Copy the (shared, immutable) block into this repair's row
+          // slots; copies cannot perturb bits.
+          parallelForRanges(0, ChunkRows, [&](std::int64_t BeginR,
+                                              std::int64_t EndR) {
+            for (std::int64_t RI = BeginR; RI < EndR; ++RI) {
+              SpecRow &Row =
+                  Rows[static_cast<size_t>(ChunkRowBase + RI)];
+              Row.Coef = Artifact->Coef[static_cast<size_t>(RI)];
+              Row.Hi = Artifact->Hi[static_cast<size_t>(RI)];
+            }
+          });
+          if (Hit) {
+            ++Result.Stats.JacobianCacheHits;
+            Ctx->noteCacheHits(1);
+          } else {
+            ++Result.Stats.JacobianCacheMisses;
+            Ctx->noteCacheMisses(1);
+          }
+        }
         if (Ctx)
           Ctx->advance(Count);
       }

@@ -83,6 +83,14 @@ struct RepairOptions {
   /// to the original per-point loop - kept as the ablation baseline for
   /// benchmarks; both paths produce bit-for-bit identical rows.
   bool BatchedJacobians = true;
+  /// Consult the engine's shared artifact cache (cache/ArtifactCache.h)
+  /// for Jacobian row blocks, SyReNN transforms, and pattern batches.
+  /// Only effective when the job carries a cache (RepairEngine with
+  /// EngineOptions::EnableCache); hits are bit-for-bit identical to
+  /// recomputation, so the default on never changes results. The
+  /// per-point ablation path (BatchedJacobians = false) always
+  /// recomputes.
+  bool UseCache = true;
   lp::SimplexOptions Lp;
 };
 
@@ -105,6 +113,25 @@ struct RepairStats {
   int KeyPoints = 0;
   /// Linear regions across all specification polytopes.
   int LinearRegions = 0;
+  // Artifact-cache lookups, by phase (all zero when the repair runs
+  // without a cache). Hits are bit-identical to recomputation; the
+  // counters only explain where the time went.
+  /// Jacobian row-block lookups (one per chunk of the Jacobian phase).
+  int JacobianCacheHits = 0;
+  int JacobianCacheMisses = 0;
+  /// SyReNN transform lookups (one per polytope spec).
+  int LinRegionsCacheHits = 0;
+  int LinRegionsCacheMisses = 0;
+  /// Activation-pattern batch lookups (one per polytope spec).
+  int PatternCacheHits = 0;
+  int PatternCacheMisses = 0;
+
+  int cacheHits() const {
+    return JacobianCacheHits + LinRegionsCacheHits + PatternCacheHits;
+  }
+  int cacheMisses() const {
+    return JacobianCacheMisses + LinRegionsCacheMisses + PatternCacheMisses;
+  }
 };
 
 struct RepairResult {

@@ -2,81 +2,185 @@
 
 #include "core/PolytopeRepair.h"
 
+#include "cache/ArtifactCache.h"
 #include "core/RepairContext.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
 #include "syrenn/LineTransform.h"
 #include "syrenn/PlaneTransform.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace prdnn;
 
-PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
-                              double *LinRegionsSeconds, int *NumRegions) {
+KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
+                                 JobContext *Ctx, bool UseCache) {
   assert(Net.isPiecewiseLinear() &&
          "polytope repair requires a piecewise-linear network (§6)");
   int NumPolytopes = static_cast<int>(Spec.size());
-  // Each polytope's SyReNN transform and key-point construction is
-  // independent; transform the whole spec in parallel and concatenate
-  // the per-polytope results in spec order (so point order - and, per
-  // the thread-pool contract, every point's bits - match the
-  // sequential loop).
-  std::vector<PointSpec> PerPolytope(static_cast<size_t>(NumPolytopes));
-  std::vector<int> PerPolytopeRegions(static_cast<size_t>(NumPolytopes), 0);
-  // Wall time of the whole parallel transform phase, measured on the
+  KeyPointsResult Result;
+  // Wall time of the whole key-point construction, measured on the
   // calling thread (summing per-task timers would overstate elapsed
   // time by up to the thread count). Includes the per-region pattern
   // capture, which is part of producing the key points.
   WallTimer TransformTimer;
+  ArtifactCache *Cache = (Ctx && UseCache) ? Ctx->cache() : nullptr;
 
-  parallelFor(0, NumPolytopes, [&](std::int64_t PIdx) {
-    const SpecPolytope &P = Spec[static_cast<size_t>(PIdx)];
-    PointSpec &Points = PerPolytope[static_cast<size_t>(PIdx)];
-    int &Regions = PerPolytopeRegions[static_cast<size_t>(PIdx)];
-    if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape)) {
-      LinePartition Partition = lineRegions(Net, Segment->A, Segment->B);
-      Regions = Partition.numPieces();
-      for (int Piece = 0; Piece < Partition.numPieces(); ++Piece) {
-        // The region's pattern, sampled at an interior point; both piece
-        // endpoints are repaired *as members of this region*
-        // (Appendix B), so interior breakpoints appear twice with
-        // different patterns.
-        NetworkPattern Pattern = computePattern(
-            Net, Partition.pointAt(Partition.midpoint(Piece)));
-        for (double T2 : {Partition.Ts[static_cast<size_t>(Piece)],
-                          Partition.Ts[static_cast<size_t>(Piece) + 1]})
-          Points.push_back(
-              SpecPoint{Partition.pointAt(T2), P.Constraint, Pattern});
-      }
-    } else {
-      const auto &Plane = std::get<PlanePolytope>(P.Shape);
-      std::vector<PlaneRegion> PlaneRegions =
-          planeRegions(Net, Plane.Vertices);
-      Regions = static_cast<int>(PlaneRegions.size());
-      for (const PlaneRegion &Region : PlaneRegions) {
-        NetworkPattern Pattern = computePattern(Net, Region.centroid());
-        for (const Vector &V : Region.InputVertices)
-          Points.push_back(SpecPoint{V, P.Constraint, Pattern});
+  // --- Partitions (the SyReNN transform proper, Algorithm 2 line 2) --------
+  // Each polytope's transform is independent; the whole spec runs in
+  // parallel, and per the thread-pool contract every partition's bits
+  // match the sequential loop. Cached by (network fingerprint, shape
+  // bits): output constraints are attached later, so specs differing
+  // only in constraints share the artifact.
+  auto ComputePartitions = [&]() -> std::shared_ptr<const CacheArtifact> {
+    auto Artifact = std::make_shared<SyrennTransformArtifact>();
+    Artifact->Partitions.resize(static_cast<size_t>(NumPolytopes));
+    parallelFor(0, NumPolytopes, [&](std::int64_t PIdx) {
+      const SpecPolytope &P = Spec[static_cast<size_t>(PIdx)];
+      if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape))
+        Artifact->Partitions[static_cast<size_t>(PIdx)] =
+            lineRegions(Net, Segment->A, Segment->B);
+      else
+        Artifact->Partitions[static_cast<size_t>(PIdx)] =
+            planeRegions(Net, std::get<PlanePolytope>(P.Shape).Vertices);
+    });
+    return Artifact;
+  };
+  std::shared_ptr<const SyrennTransformArtifact> Transform;
+  if (Cache) {
+    Hasher H;
+    const NetworkFingerprint &Fp = Ctx->networkFingerprint();
+    H.u64(Fp.Digest.Hi);
+    H.u64(Fp.Digest.Lo);
+    H.i32(NumPolytopes);
+    for (const SpecPolytope &P : Spec) {
+      if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape)) {
+        H.i32(0);
+        hashVector(H, Segment->A);
+        hashVector(H, Segment->B);
+      } else {
+        const auto &Plane = std::get<PlanePolytope>(P.Shape);
+        H.i32(1);
+        H.i32(static_cast<int>(Plane.Vertices.size()));
+        for (const Vector &V : Plane.Vertices)
+          hashVector(H, V);
       }
     }
-  });
-  double TransformSeconds = TransformTimer.seconds();
-
-  PointSpec Points;
-  int Regions = 0;
-  for (int P = 0; P < NumPolytopes; ++P) {
-    Regions += PerPolytopeRegions[static_cast<size_t>(P)];
-    auto &Local = PerPolytope[static_cast<size_t>(P)];
-    Points.insert(Points.end(), std::make_move_iterator(Local.begin()),
-                  std::make_move_iterator(Local.end()));
+    bool Hit = false;
+    Transform = std::static_pointer_cast<const SyrennTransformArtifact>(
+        Cache->getOrCompute({ArtifactKind::SyrennTransform, H.digest()},
+                            ComputePartitions, &Hit));
+    if (Hit) {
+      ++Result.TransformCacheHits;
+      Ctx->noteCacheHits(1);
+    } else {
+      ++Result.TransformCacheMisses;
+      Ctx->noteCacheMisses(1);
+    }
+  } else {
+    Transform = std::static_pointer_cast<const SyrennTransformArtifact>(
+        ComputePartitions());
   }
 
+  // --- Region representatives, polytope-major ------------------------------
+  // One interior point per linear region: the pattern sample the key
+  // points of that region are pinned to (Appendix B).
+  std::vector<Vector> Reps;
+  std::vector<int> RepOffset(static_cast<size_t>(NumPolytopes) + 1, 0);
+  for (int P = 0; P < NumPolytopes; ++P) {
+    const SyrennTransformArtifact::Partition &Partition =
+        Transform->Partitions[static_cast<size_t>(P)];
+    if (const auto *Line = std::get_if<LinePartition>(&Partition)) {
+      Result.LinearRegions += Line->numPieces();
+      for (int Piece = 0; Piece < Line->numPieces(); ++Piece)
+        Reps.push_back(Line->pointAt(Line->midpoint(Piece)));
+    } else {
+      const auto &Regions = std::get<std::vector<PlaneRegion>>(Partition);
+      Result.LinearRegions += static_cast<int>(Regions.size());
+      for (const PlaneRegion &Region : Regions)
+        Reps.push_back(Region.centroid());
+    }
+    RepOffset[static_cast<size_t>(P) + 1] = static_cast<int>(Reps.size());
+  }
+
+  // --- Patterns at the representatives (batched) ---------------------------
+  // computePatternBatch is bit-for-bit the per-point computePattern of
+  // the seed loop; caching the batch shares the capture across jobs
+  // whose transforms already matched.
+  auto ComputePatterns = [&]() -> std::shared_ptr<const CacheArtifact> {
+    auto Artifact = std::make_shared<PatternBatchArtifact>();
+    Artifact->Patterns = computePatternBatch(Net, Reps);
+    return Artifact;
+  };
+  std::shared_ptr<const PatternBatchArtifact> Patterns;
+  if (Cache && !Reps.empty()) {
+    Hasher H;
+    const NetworkFingerprint &Fp = Ctx->networkFingerprint();
+    H.u64(Fp.Digest.Hi);
+    H.u64(Fp.Digest.Lo);
+    H.i32(static_cast<int>(Reps.size()));
+    for (const Vector &V : Reps)
+      hashVector(H, V);
+    bool Hit = false;
+    Patterns = std::static_pointer_cast<const PatternBatchArtifact>(
+        Cache->getOrCompute({ArtifactKind::PatternBatch, H.digest()},
+                            ComputePatterns, &Hit));
+    if (Hit) {
+      ++Result.PatternCacheHits;
+      Ctx->noteCacheHits(1);
+    } else {
+      ++Result.PatternCacheMisses;
+      Ctx->noteCacheMisses(1);
+    }
+  } else {
+    Patterns = std::static_pointer_cast<const PatternBatchArtifact>(
+        ComputePatterns());
+  }
+
+  // --- Assemble key points with constraints attached ------------------------
+  // Same point and pattern order as the seed loop: polytope-major,
+  // piece/region order, both piece endpoints (or all region vertices)
+  // repaired *as members of their region* - interior breakpoints appear
+  // twice with different patterns.
+  for (int P = 0; P < NumPolytopes; ++P) {
+    const SpecPolytope &SpecP = Spec[static_cast<size_t>(P)];
+    const SyrennTransformArtifact::Partition &Partition =
+        Transform->Partitions[static_cast<size_t>(P)];
+    int Rep = RepOffset[static_cast<size_t>(P)];
+    if (const auto *Line = std::get_if<LinePartition>(&Partition)) {
+      for (int Piece = 0; Piece < Line->numPieces(); ++Piece) {
+        const NetworkPattern &Pattern =
+            Patterns->Patterns[static_cast<size_t>(Rep + Piece)];
+        for (double T2 : {Line->Ts[static_cast<size_t>(Piece)],
+                          Line->Ts[static_cast<size_t>(Piece) + 1]})
+          Result.Points.push_back(
+              SpecPoint{Line->pointAt(T2), SpecP.Constraint, Pattern});
+      }
+    } else {
+      const auto &Regions = std::get<std::vector<PlaneRegion>>(Partition);
+      for (size_t R = 0; R < Regions.size(); ++R) {
+        const NetworkPattern &Pattern =
+            Patterns->Patterns[static_cast<size_t>(Rep) + R];
+        for (const Vector &V : Regions[R].InputVertices)
+          Result.Points.push_back(SpecPoint{V, SpecP.Constraint, Pattern});
+      }
+    }
+  }
+
+  Result.Seconds = TransformTimer.seconds();
+  return Result;
+}
+
+PointSpec prdnn::keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
+                              double *LinRegionsSeconds, int *NumRegions) {
+  KeyPointsResult Result = keyPoints(Net, Spec, /*Ctx=*/nullptr,
+                                     /*UseCache=*/false);
   if (LinRegionsSeconds)
-    *LinRegionsSeconds = TransformSeconds;
+    *LinRegionsSeconds = Result.Seconds;
   if (NumRegions)
-    *NumRegions = Regions;
-  return Points;
+    *NumRegions = Result.LinearRegions;
+  return std::move(Result.Points);
 }
 
 RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
@@ -85,8 +189,6 @@ RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
                                                 const RepairOptions &Options,
                                                 JobContext *Ctx) {
   WallTimer Total;
-  double LinRegionsSeconds = 0.0;
-  int NumRegions = 0;
 
   // --- LinRegions phase (Algorithm 2, line 2) -------------------------------
   // The SyReNN transform runs to completion once started; cancellation
@@ -101,18 +203,22 @@ RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
       return Result;
     }
   }
-  PointSpec Points = keyPointSpec(Net, Spec, &LinRegionsSeconds, &NumRegions);
+  KeyPointsResult KeyPts = keyPoints(Net, Spec, Ctx, Options.UseCache);
   if (Ctx)
     Ctx->advance(static_cast<std::int64_t>(Spec.size()));
 
   RepairResult Result =
-      repairPointsImpl(Net, LayerIndex, Points, Options, Ctx);
-  Result.Stats.LinRegionsSeconds = LinRegionsSeconds;
-  Result.Stats.KeyPoints = static_cast<int>(Points.size());
-  Result.Stats.LinearRegions = NumRegions;
+      repairPointsImpl(Net, LayerIndex, KeyPts.Points, Options, Ctx);
+  Result.Stats.LinRegionsSeconds = KeyPts.Seconds;
+  Result.Stats.KeyPoints = static_cast<int>(KeyPts.Points.size());
+  Result.Stats.LinearRegions = KeyPts.LinearRegions;
+  Result.Stats.LinRegionsCacheHits = KeyPts.TransformCacheHits;
+  Result.Stats.LinRegionsCacheMisses = KeyPts.TransformCacheMisses;
+  Result.Stats.PatternCacheHits = KeyPts.PatternCacheHits;
+  Result.Stats.PatternCacheMisses = KeyPts.PatternCacheMisses;
   Result.Stats.TotalSeconds = Total.seconds();
   Result.Stats.OtherSeconds =
       std::max(0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -
-                        Result.Stats.LpSeconds - LinRegionsSeconds);
+                        Result.Stats.LpSeconds - KeyPts.Seconds);
   return Result;
 }

@@ -50,6 +50,30 @@ PointSpec keyPointSpec(const Network &Net, const PolytopeSpec &Spec,
                        double *LinRegionsSeconds = nullptr,
                        int *NumRegions = nullptr);
 
+/// keyPointSpec's output plus its cost accounting: transform wall time
+/// and the artifact-cache lookups the construction performed (zero
+/// when run without a cache).
+struct KeyPointsResult {
+  PointSpec Points;
+  int LinearRegions = 0;
+  double Seconds = 0.0;
+  /// SyReNN transform artifact (the partitions of the spec's shapes).
+  int TransformCacheHits = 0;
+  int TransformCacheMisses = 0;
+  /// Activation-pattern batch artifact (per-region representatives).
+  int PatternCacheHits = 0;
+  int PatternCacheMisses = 0;
+};
+
+/// Cache-aware keyPointSpec: when \p Ctx carries an artifact cache and
+/// \p UseCache is set, the SyReNN partitions (keyed by the network
+/// fingerprint and the polytope *shapes*, so specs differing only in
+/// output constraints share them) and the per-region pattern batch are
+/// cached artifacts. Bit-for-bit identical to keyPointSpec for every
+/// cache state.
+KeyPointsResult keyPoints(const Network &Net, const PolytopeSpec &Spec,
+                          JobContext *Ctx = nullptr, bool UseCache = true);
+
 namespace detail {
 
 /// Algorithm 2 proper; see repairPointsImpl for the \p Ctx contract

@@ -36,6 +36,8 @@ ProgressSnapshot JobContext::snapshot() const {
   S.SweepDone = SweepDoneV.load(std::memory_order_relaxed);
   S.SweepTotal = SweepTotalV.load(std::memory_order_relaxed);
   S.CancelRequested = cancelRequested();
+  S.CacheHits = CacheHitsV.load(std::memory_order_relaxed);
+  S.CacheMisses = CacheMissesV.load(std::memory_order_relaxed);
   return S;
 }
 

@@ -27,11 +27,15 @@
 #ifndef PRDNN_CORE_REPAIRCONTEXT_H
 #define PRDNN_CORE_REPAIRCONTEXT_H
 
+#include "cache/Fingerprint.h"
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
 
 namespace prdnn {
+
+class ArtifactCache;
 
 /// Phases of an engine repair job, in execution order. LinRegions only
 /// occurs for polytope requests (Algorithm 2's SyReNN transform);
@@ -61,6 +65,11 @@ struct ProgressSnapshot {
   int SweepDone = 0;
   int SweepTotal = 0;
   bool CancelRequested = false;
+  /// Artifact-cache lookups so far, across all phases of the job (0 /
+  /// 0 when the job runs without a cache). Monotonic over the whole
+  /// job, unlike the per-phase item counters.
+  std::int64_t CacheHits = 0;
+  std::int64_t CacheMisses = 0;
 };
 
 /// Shared state of one repair job; see the file comment.
@@ -114,6 +123,31 @@ public:
 
   void markDone() { beginPhase(RepairPhase::Done, 0); }
 
+  // --- Artifact cache (cache/ArtifactCache.h) -------------------------------
+
+  /// Installs the engine's shared artifact cache for this job, with
+  /// the request network's content fingerprint. Must be called before
+  /// the job runs (the engine does, when caching is enabled for the
+  /// request); the repair algorithms read it from the job thread.
+  void setCache(ArtifactCache *NewCache, NetworkFingerprint Fingerprint) {
+    CacheV = NewCache;
+    NetFp = Fingerprint;
+  }
+
+  /// The cache the job's repairs should consult, or null.
+  ArtifactCache *cache() const { return CacheV; }
+
+  /// Fingerprint of the request's network (meaningful iff cache() is
+  /// non-null).
+  const NetworkFingerprint &networkFingerprint() const { return NetFp; }
+
+  void noteCacheHits(std::int64_t Count) {
+    CacheHitsV.fetch_add(Count, std::memory_order_relaxed);
+  }
+  void noteCacheMisses(std::int64_t Count) {
+    CacheMissesV.fetch_add(Count, std::memory_order_relaxed);
+  }
+
   /// Installs a hook invoked (on the job thread) at every checkpoint
   /// with the checkpoint's phase - the deterministic way for tests to
   /// cancel "mid-Jacobian" or "mid-LP". Must be installed before the
@@ -130,6 +164,11 @@ private:
   std::atomic<int> SweepLayerV{-1};
   std::atomic<int> SweepDoneV{0};
   std::atomic<int> SweepTotalV{0};
+  std::atomic<std::int64_t> CacheHitsV{0};
+  std::atomic<std::int64_t> CacheMissesV{0};
+  /// Written before the job runs, read only from the job thread.
+  ArtifactCache *CacheV = nullptr;
+  NetworkFingerprint NetFp;
   /// Written before the job runs, read only from the job thread.
   std::function<void(RepairPhase)> Hook;
 };

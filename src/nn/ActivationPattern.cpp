@@ -45,6 +45,14 @@ std::vector<NetworkPattern> prdnn::computePatternBatch(const Network &Net,
   return Result;
 }
 
+std::vector<NetworkPattern>
+prdnn::computePatternBatch(const Network &Net,
+                           const std::vector<Vector> &Xs) {
+  if (Xs.empty())
+    return {};
+  return computePatternBatch(Net, Matrix::fromRowVectors(Xs));
+}
+
 std::vector<Matrix> prdnn::intermediatesBatchWithPatterns(
     const Network &Net, const Matrix &Xs,
     const std::vector<const NetworkPattern *> &Pinned) {

@@ -35,6 +35,12 @@ NetworkPattern computePattern(const Network &Net, const Vector &X);
 std::vector<NetworkPattern> computePatternBatch(const Network &Net,
                                                 const Matrix &Xs);
 
+/// Convenience overload for callers holding their points in a vector
+/// (the key-point pipeline): result[p] == computePattern(Net, Xs[p]),
+/// bit-for-bit.
+std::vector<NetworkPattern>
+computePatternBatch(const Network &Net, const std::vector<Vector> &Xs);
+
 /// Evaluates \p Net at \p X with every PWL activation pinned to
 /// \p Pattern instead of its input-derived region. For X inside the
 /// pattern's linear region this equals evaluate(X); elsewhere it

@@ -1,0 +1,116 @@
+//===- support/Hash.h - streaming 128-bit content hashing -----*- C++ -*-===//
+///
+/// \file
+/// The hashing primitive behind the content-addressed artifact cache
+/// (cache/ArtifactCache.h): a streaming 128-bit digest built from two
+/// independent 64-bit lanes (FNV-1a over 64-bit words, and a
+/// hash_combine-style accumulator), each finalized with a splitmix64
+/// avalanche mixed with the stream length.
+///
+/// The digest is a pure function of the byte stream: the same bytes in
+/// the same order always produce the same Digest128, across runs,
+/// threads, and platforms of equal endianness. Cache correctness relies
+/// on 128-bit collisions being negligible: two different streams would
+/// have to collide in both lanes simultaneously.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SUPPORT_HASH_H
+#define PRDNN_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace prdnn {
+
+/// 128-bit content digest; see Hasher.
+struct Digest128 {
+  std::uint64_t Hi = 0;
+  std::uint64_t Lo = 0;
+
+  bool operator==(const Digest128 &Other) const = default;
+};
+
+/// Streaming hasher producing a Digest128; see the file comment.
+class Hasher {
+public:
+  Hasher() = default;
+
+  /// Absorbs one 64-bit word into both lanes.
+  void u64(std::uint64_t V) {
+    // Lane A: FNV-1a over 64-bit words.
+    A = (A ^ V) * 0x100000001b3ull;
+    // Lane B: boost-style hash_combine with the golden-ratio constant.
+    B ^= V + 0x9e3779b97f4a7c15ull + (B << 6) + (B >> 2);
+    Len += 8;
+  }
+
+  void i64(std::int64_t V) { u64(static_cast<std::uint64_t>(V)); }
+  void i32(int V) {
+    u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(V)));
+  }
+
+  /// Absorbs the IEEE-754 bit pattern (so -0.0 != 0.0 and every NaN
+  /// payload is distinguished: "same bits" is exactly the cache's
+  /// determinism contract).
+  void f64(double V) {
+    std::uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+
+  void doubles(const double *Data, std::size_t Count) {
+    for (std::size_t I = 0; I < Count; ++I)
+      f64(Data[I]);
+  }
+
+  /// Absorbs raw bytes, 8 at a time with a zero-padded tail (the
+  /// stream length disambiguates paddings).
+  void bytes(const void *Data, std::size_t Size) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    while (Size >= 8) {
+      std::uint64_t W;
+      std::memcpy(&W, P, 8);
+      u64(W);
+      P += 8;
+      Size -= 8;
+    }
+    if (Size > 0) {
+      std::uint64_t W = 0;
+      std::memcpy(&W, P, Size);
+      u64(W);
+      Len -= 8 - static_cast<std::uint64_t>(Size); // count actual bytes
+    }
+  }
+
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  /// Finalizes (without consuming the hasher state; more input may be
+  /// absorbed and digest() taken again).
+  Digest128 digest() const {
+    return {mix(A ^ Len), mix(B + 0x632be59bd9b4e019ull * (Len + 1))};
+  }
+
+private:
+  /// splitmix64 finalizer: full avalanche over one word.
+  static std::uint64_t mix(std::uint64_t X) {
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ull;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    X ^= X >> 31;
+    return X;
+  }
+
+  std::uint64_t A = 0xcbf29ce484222325ull; ///< FNV-1a offset basis
+  std::uint64_t B = 0x9e3779b97f4a7c15ull;
+  std::uint64_t Len = 0; ///< bytes absorbed, mixed into the digest
+};
+
+} // namespace prdnn
+
+#endif // PRDNN_SUPPORT_HASH_H

@@ -9,6 +9,13 @@
 
 using namespace prdnn;
 
+std::size_t LinePartition::approxBytes() const {
+  return sizeof(*this) + Ts.size() * sizeof(double) +
+         (static_cast<std::size_t>(A.size()) +
+          static_cast<std::size_t>(B.size())) *
+             sizeof(double);
+}
+
 Vector LinePartition::pointAt(double T) const {
   Vector P = B;
   P -= A;

@@ -41,6 +41,9 @@ struct LinePartition {
     return 0.5 * (Ts[static_cast<size_t>(Piece)] +
                   Ts[static_cast<size_t>(Piece) + 1]);
   }
+
+  /// Approximate heap footprint, for the artifact cache's byte budget.
+  std::size_t approxBytes() const;
 };
 
 /// LinRegions(Net, [A, B]); Net must be piecewise-linear.

@@ -11,6 +11,15 @@
 
 using namespace prdnn;
 
+std::size_t PlaneRegion::approxBytes() const {
+  std::size_t Total = sizeof(*this) +
+                      PlaneVertices.size() * sizeof(std::pair<double, double>);
+  for (const Vector &V : InputVertices)
+    Total += sizeof(Vector) +
+             static_cast<std::size_t>(V.size()) * sizeof(double);
+  return Total;
+}
+
 Vector PlaneRegion::centroid() const {
   assert(!InputVertices.empty() && "centroid of empty polygon");
   Vector Sum(InputVertices.front().size());

@@ -36,6 +36,9 @@ struct PlaneRegion {
 
   /// Polygon area in the plane frame (shoelace).
   double area() const;
+
+  /// Approximate heap footprint, for the artifact cache's byte budget.
+  std::size_t approxBytes() const;
 };
 
 /// LinRegions(Net, conv(PolygonVertices)). The vertices must be in

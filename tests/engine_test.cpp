@@ -459,6 +459,114 @@ TEST(RepairEngine, PolytopeSweepSharesKeyPointsAndMatchesSerial) {
             Serial[WinnerIdx].Stats.LinearRegions);
 }
 
+TEST(RepairEngine, HighPriorityOvertakesQueuedNeutralJobs) {
+  Rng R(91010);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 12);
+
+  EngineOptions Options;
+  Options.NumWorkers = 1; // strictly serial execution order
+  RepairEngine Engine(Options);
+
+  // Blocker job parks the single worker so subsequent submissions pile
+  // up in the queue before anything else can start.
+  std::promise<void> Entered, Release;
+  std::shared_future<void> ReleaseF = Release.get_future().share();
+  std::atomic<bool> EnteredOnce{false};
+  JobHandle Blocker = Engine.submit(
+      RepairRequest::points(Net, 4, Spec), [&](RepairPhase) {
+        if (!EnteredOnce.exchange(true)) {
+          Entered.set_value();
+          ReleaseF.wait();
+        }
+      });
+  Entered.get_future().wait();
+
+  // Execution order, recorded at each job's first checkpoint (single
+  // worker, so the order is deterministic).
+  std::mutex OrderMutex;
+  std::vector<std::string> Order;
+  auto Tracking = [&](std::string Tag) {
+    auto First = std::make_shared<std::atomic<bool>>(false);
+    return [&, Tag, First](RepairPhase) {
+      if (!First->exchange(true)) {
+        std::lock_guard<std::mutex> Lock(OrderMutex);
+        Order.push_back(Tag);
+      }
+    };
+  };
+
+  RepairRequest Low = RepairRequest::points(Net, 0, Spec);
+  Low.JobPriority = RepairRequest::Priority::Low;
+  RepairRequest High = RepairRequest::points(Net, 4, Spec);
+  High.JobPriority = RepairRequest::Priority::High;
+
+  // Queue order: low, neutral A, neutral B, then high - which must be
+  // served high, A, B, low (strict classes, FIFO inside each).
+  JobHandle LowJob = Engine.submit(Low, Tracking("low"));
+  JobHandle NeutralA =
+      Engine.submit(RepairRequest::points(Net, 2, Spec), Tracking("A"));
+  JobHandle NeutralB =
+      Engine.submit(RepairRequest::points(Net, 2, Spec), Tracking("B"));
+  JobHandle HighJob = Engine.submit(High, Tracking("high"));
+  Release.set_value();
+
+  for (JobHandle *Handle : {&Blocker, &LowJob, &NeutralA, &NeutralB,
+                            &HighJob})
+    Handle->wait();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order[0], "high");
+  EXPECT_EQ(Order[1], "A");
+  EXPECT_EQ(Order[2], "B");
+  EXPECT_EQ(Order[3], "low");
+  EXPECT_EQ(HighJob.report().Status, RepairStatus::Success);
+}
+
+TEST(RepairEngine, SweepAttemptsCarryPhaseTimingsOnAllExitPaths) {
+  Rng R(91011);
+  Network Net = makeClassifier(R);
+
+  // Contradictory box (Lo > Hi): every layer attempt exits early as
+  // Infeasible, which must still stamp the per-attempt phase timings.
+  PointSpec Impossible;
+  Vector X = randomVector(R, Net.inputSize());
+  Vector Lo = Vector::constant(Net.outputSize(), 1.0);
+  Vector Hi = Vector::constant(Net.outputSize(), -1.0);
+  Impossible.push_back({X, boxConstraint(Lo, Hi), std::nullopt});
+
+  RepairEngine Engine;
+  RepairRequest Request;
+  Request.Net = RepairRequest::borrow(Net);
+  Request.Spec = Impossible;
+  Request.LayerIndex = kAutoLayer;
+  RepairReport Report = Engine.run(Request);
+
+  ASSERT_EQ(Report.Status, RepairStatus::Infeasible);
+  ASSERT_EQ(Report.Sweep.size(), 3u);
+  for (const SweepAttempt &Attempt : Report.Sweep) {
+    EXPECT_EQ(Attempt.Status, RepairStatus::Infeasible);
+    // Jacobians were assembled before the LP proved infeasibility, and
+    // the early exit stamped both phase timers.
+    EXPECT_GT(Attempt.JacobianSeconds, 0.0);
+    EXPECT_GT(Attempt.LpSeconds, 0.0);
+    EXPECT_GT(Attempt.Seconds, 0.0);
+    EXPECT_GE(Attempt.Seconds,
+              Attempt.JacobianSeconds + Attempt.LpSeconds);
+  }
+
+  // Successful sweeps carry them too, consistent with the winner's
+  // RepairStats.
+  PointSpec Flips = makeFlipSpec(Net, R, 18);
+  Request.Spec = Flips;
+  RepairReport Success = Engine.run(Request);
+  ASSERT_EQ(Success.Status, RepairStatus::Success);
+  for (const SweepAttempt &Attempt : Success.Sweep) {
+    EXPECT_GT(Attempt.JacobianSeconds, 0.0);
+    EXPECT_GT(Attempt.LpSeconds, 0.0);
+    EXPECT_EQ(Attempt.CacheHits + Attempt.CacheMisses, 1); // one chunk
+  }
+}
+
 TEST(RepairEngine, BoundedQueueBackpressure) {
   Rng R(91007);
   auto Net = std::make_shared<Network>(makeClassifier(R));
