@@ -4,6 +4,7 @@
 
 #include "cache/Fingerprint.h"
 #include "core/PolytopeRepair.h"
+#include "persist/ArtifactStore.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -76,9 +77,27 @@ RepairEngine::RepairEngine(EngineOptions Options) : Opts(Options) {
     Opts.QueueCapacity = 1;
   if (Opts.CacheShards < 1)
     Opts.CacheShards = 1;
-  if (Opts.EnableCache && Opts.CacheBudgetBytes > 0)
+  if (Opts.EnableCache && Opts.CacheBudgetBytes > 0) {
+    if (!Opts.StoreDirectory.empty()) {
+      persist::StoreOptions StoreOpts;
+      StoreOpts.Directory = Opts.StoreDirectory;
+      StoreOpts.BudgetBytes = Opts.StoreBudgetBytes;
+      Store = std::make_shared<persist::ArtifactStore>(std::move(StoreOpts));
+    }
     Cache = std::make_shared<ArtifactCache>(Opts.CacheBudgetBytes,
-                                            Opts.CacheShards);
+                                            Opts.CacheShards, Store);
+  }
+}
+
+bool RepairEngine::hasStore() const { return Store != nullptr; }
+
+persist::StoreStats RepairEngine::storeStats() const {
+  return Store ? Store->stats() : persist::StoreStats();
+}
+
+void RepairEngine::flushStore() {
+  if (Store)
+    Store->flush();
 }
 
 int RepairEngine::queuedCount() const {
@@ -89,14 +108,50 @@ int RepairEngine::queuedCount() const {
 }
 
 std::shared_ptr<detail::EngineJob> RepairEngine::popNext() {
-  for (auto &Q : Queues)
-    if (!Q.empty()) {
-      std::shared_ptr<detail::EngineJob> Job = Q.front();
-      Q.pop_front();
-      return Job;
+  if (Opts.AgingSeconds <= 0.0) {
+    // Strict class order, FIFO within a class.
+    for (auto &Q : Queues)
+      if (!Q.empty()) {
+        std::shared_ptr<detail::EngineJob> Job = Q.front();
+        Q.pop_front();
+        return Job;
+      }
+    assert(false && "popNext on an empty queue");
+    return nullptr;
+  }
+
+  // Queue aging (EngineOptions::AgingSeconds): serve the job with the
+  // best *effective* class - the requested class minus one promotion
+  // per AgingSeconds waited - breaking ties on submission order. Only
+  // queue fronts need inspecting: within one queue the front is the
+  // oldest, so no job behind it has a better effective class or an
+  // earlier id. Promotion is evaluated here, at pop time, which is the
+  // only moment ordering matters (a job can only wait while every
+  // worker is busy, and each worker re-pops as it frees).
+  std::size_t BestQ = Queues.size();
+  int BestClass = 0;
+  std::uint64_t BestId = 0;
+  for (std::size_t Q = 0; Q < Queues.size(); ++Q) {
+    if (Queues[Q].empty())
+      continue;
+    const detail::EngineJob &Front = *Queues[Q].front();
+    double Promotions = Front.Submitted.seconds() / Opts.AgingSeconds;
+    int Class = static_cast<int>(Q);
+    if (Promotions >= static_cast<double>(Class))
+      Class = 0;
+    else
+      Class -= static_cast<int>(Promotions);
+    if (BestQ == Queues.size() || Class < BestClass ||
+        (Class == BestClass && Front.Id < BestId)) {
+      BestQ = Q;
+      BestClass = Class;
+      BestId = Front.Id;
     }
-  assert(false && "popNext on an empty queue");
-  return nullptr;
+  }
+  assert(BestQ < Queues.size() && "popNext on an empty queue");
+  std::shared_ptr<detail::EngineJob> Job = Queues[BestQ].front();
+  Queues[BestQ].pop_front();
+  return Job;
 }
 
 RepairEngine::~RepairEngine() {
@@ -314,6 +369,8 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
           SharedKeyPoints->TransformCacheMisses;
       Attempt.Stats.PatternCacheHits = SharedKeyPoints->PatternCacheHits;
       Attempt.Stats.PatternCacheMisses = SharedKeyPoints->PatternCacheMisses;
+      Attempt.Stats.LinRegionsStoreHits = SharedKeyPoints->TransformStoreHits;
+      Attempt.Stats.PatternStoreHits = SharedKeyPoints->PatternStoreHits;
     }
     Attempt.Stats.TotalSeconds = AttemptTotal.seconds();
     Attempt.Stats.OtherSeconds = std::max(
@@ -342,6 +399,7 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Entry.LinRegionsSeconds = Attempt.Stats.LinRegionsSeconds;
     Entry.CacheHits = Attempt.Stats.cacheHits();
     Entry.CacheMisses = Attempt.Stats.cacheMisses();
+    Entry.StoreHits = Attempt.Stats.storeHits();
     Report.Sweep.push_back(Entry);
     Ctx.finishSweepLayer();
 
@@ -392,6 +450,7 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   for (const SweepAttempt &Attempt : Report.Sweep) {
     Report.CacheHits += Attempt.CacheHits;
     Report.CacheMisses += Attempt.CacheMisses;
+    Report.StoreHits += Attempt.StoreHits;
   }
   Report.TotalSeconds = Total.seconds();
   Ctx.markDone();

@@ -47,7 +47,12 @@
 /// recomputing them, with single-flight insertion so concurrent jobs
 /// on the same key compute once. Hits are bit-for-bit identical to
 /// recomputation, so warm runs equal cold runs exactly (see
-/// cache/README.md for the determinism contract).
+/// cache/README.md for the determinism contract). With
+/// EngineOptions::StoreDirectory set, the cache is additionally backed
+/// by a persistent on-disk store (persist/ArtifactStore.h): a *fresh*
+/// engine on the same directory starts warm, and engines in other
+/// processes share the same artifacts - same determinism contract,
+/// enforced by tests/persist_test.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -96,6 +101,26 @@ struct EngineOptions {
   std::size_t CacheBudgetBytes = std::size_t(256) << 20;
   /// Shards of the cache's map (per-shard mutex + LRU slice).
   int CacheShards = 16;
+  /// Directory of a persistent artifact store (persist/ArtifactStore.h)
+  /// backing the cache as an L2 tier: misses read through to disk,
+  /// inserts write behind asynchronously, so a fresh engine pointed at
+  /// the same directory starts warm (server restarts), and concurrent
+  /// engines / processes share one store safely (atomic
+  /// write-temp-then-rename publication). Empty = no store. Requires
+  /// the cache (EnableCache with a non-zero budget); L2 hits are
+  /// bit-for-bit identical to recomputation, and a corrupted entry
+  /// degrades to a recompute, never a wrong answer.
+  std::string StoreDirectory;
+  /// On-disk byte budget of the store (LRU-by-mtime GC).
+  std::size_t StoreBudgetBytes = std::size_t(1) << 30;
+  /// Queue aging, bounding the starvation the strict-class priority
+  /// queue designs in: a queued job is *served* as if promoted one
+  /// priority class per AgingSeconds waited (a Low job becomes
+  /// Neutral-equivalent after AgingSeconds and High-equivalent after
+  /// 2x), with ties between equal effective classes breaking to the
+  /// earlier submission. 0 (the default) disables aging, preserving
+  /// strict class order. Scheduling only - results are unaffected.
+  double AgingSeconds = 0.0;
 };
 
 /// Handle to a submitted job. Copyable (shared state); the default-
@@ -167,17 +192,46 @@ public:
   bool hasCache() const { return Cache != nullptr; }
 
   /// Aggregate hit/miss/eviction/byte counters of the engine's cache
-  /// (all-zero when hasCache() is false).
+  /// (all-zero when hasCache() is false). When a persistent store is
+  /// attached, its counters ride along in CacheStats::Store.
   CacheStats cacheStats() const {
     return Cache ? Cache->stats() : CacheStats();
   }
 
-  /// Drops every cached artifact (for memory pressure or ablations);
-  /// in-flight jobs are unaffected beyond recomputing.
+  /// Drops every cached artifact *and zeroes the hit/miss/eviction
+  /// counters* (cache and store alike), so a measurement phase after
+  /// clearCache() starts both cold and clean - see cache/README.md.
+  /// The persistent store's on-disk entries are kept (they address
+  /// immutable content); in-flight jobs are unaffected beyond
+  /// recomputing (or re-loading from the store).
   void clearCache() {
-    if (Cache)
+    if (Cache) {
       Cache->clear();
+      Cache->resetStats();
+    }
   }
+
+  /// Zeroes the cache's (and store's) monotonic counters without
+  /// dropping entries: for benches that want clean counters over a
+  /// *warm* phase.
+  void resetCacheStats() {
+    if (Cache)
+      Cache->resetStats();
+  }
+
+  /// True when this engine's cache is backed by a persistent store
+  /// (EngineOptions::StoreDirectory).
+  bool hasStore() const;
+
+  /// Counters of the persistent store (all-zero when hasStore() is
+  /// false).
+  persist::StoreStats storeStats() const;
+
+  /// Blocks until every queued write-behind store write has been
+  /// published to disk - call before tearing an engine down when a
+  /// successor (or another process) should find the store fully warm.
+  /// No-op without a store.
+  void flushStore();
 
 private:
   void workerMain();
@@ -191,6 +245,7 @@ private:
   std::shared_ptr<detail::EngineJob> popNext();
 
   EngineOptions Opts;
+  std::shared_ptr<persist::ArtifactStore> Store; ///< null without L2
   std::shared_ptr<ArtifactCache> Cache; ///< null when caching is off
   mutable std::mutex Mutex;
   std::condition_variable WorkCv;  ///< workers wait for jobs

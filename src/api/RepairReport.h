@@ -36,6 +36,9 @@ struct SweepAttempt {
   /// Artifact-cache lookups this attempt performed, all phases.
   int CacheHits = 0;
   int CacheMisses = 0;
+  /// Of CacheHits, those the persistent L2 store served (0 without a
+  /// store).
+  int StoreHits = 0;
 };
 
 struct RepairReport {
@@ -77,6 +80,10 @@ struct RepairReport {
   /// Per-phase breakdowns live in each attempt's RepairStats.
   std::int64_t CacheHits = 0;
   std::int64_t CacheMisses = 0;
+  /// Of CacheHits, those served by the engine's persistent L2 store
+  /// (persist/ArtifactStore.h) rather than memory: the warm-restart
+  /// signal. 0 when the engine has no store.
+  std::int64_t StoreHits = 0;
 
   const RepairStats &stats() const { return Result.Stats; }
   bool succeeded() const { return Status == RepairStatus::Success; }

@@ -2,6 +2,7 @@
 
 #include "cache/ArtifactCache.h"
 
+#include "persist/ArtifactStore.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -66,8 +67,9 @@ std::size_t PatternBatchArtifact::bytes() const {
   return Total;
 }
 
-ArtifactCache::ArtifactCache(std::size_t BudgetBytes, int NumShards)
-    : Budget(BudgetBytes) {
+ArtifactCache::ArtifactCache(std::size_t BudgetBytes, int NumShards,
+                             std::shared_ptr<persist::ArtifactStore> Store)
+    : Budget(BudgetBytes), StoreV(std::move(Store)) {
   if (NumShards < 1)
     NumShards = 1;
   Shards.reserve(static_cast<std::size_t>(NumShards));
@@ -75,6 +77,8 @@ ArtifactCache::ArtifactCache(std::size_t BudgetBytes, int NumShards)
     Shards.push_back(std::make_unique<Shard>());
   ShardBudget = Budget / Shards.size();
 }
+
+ArtifactCache::~ArtifactCache() = default;
 
 void ArtifactCache::evictOverBudget(Shard &S) {
   while (S.BytesHeld > ShardBudget && !S.Lru.empty()) {
@@ -93,7 +97,13 @@ void ArtifactCache::evictOverBudget(Shard &S) {
 
 std::shared_ptr<const CacheArtifact>
 ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
-                            bool *WasHit) {
+                            bool *WasHit, CacheTier *Tier) {
+  auto Report = [&](bool Hit, CacheTier From) {
+    if (WasHit)
+      *WasHit = Hit;
+    if (Tier)
+      *Tier = From;
+  };
   Shard &S = shardFor(Key);
   std::unique_lock<std::mutex> Lock(S.Mutex);
   while (true) {
@@ -101,12 +111,23 @@ ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
       // Known not to fit the shard's budget slice: compute without
       // claiming the single-flight entry, so concurrent callers of an
       // unretainable key overlap instead of serializing through the
-      // claim/erase cycle. Each call is a genuine miss.
+      // claim/erase cycle. Each call is a genuine L1 miss; the store,
+      // when present, may still serve it (unretainable in memory is
+      // not unretainable on disk).
       MissCount.fetch_add(1, std::memory_order_relaxed);
-      if (WasHit)
-        *WasHit = false;
       Lock.unlock();
-      return Compute();
+      if (StoreV) {
+        if (std::shared_ptr<const CacheArtifact> Loaded =
+                StoreV->load(Key)) {
+          Report(true, CacheTier::L2);
+          return Loaded;
+        }
+      }
+      Report(false, CacheTier::None);
+      std::shared_ptr<const CacheArtifact> Computed = Compute();
+      if (StoreV)
+        StoreV->storeAsync(Key, Computed);
+      return Computed;
     }
     auto It = S.Map.find(Key);
     if (It == S.Map.end())
@@ -115,8 +136,7 @@ ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
       // Hit: refresh recency and share the artifact.
       S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruIt);
       HitCount.fetch_add(1, std::memory_order_relaxed);
-      if (WasHit)
-        *WasHit = true;
+      Report(true, CacheTier::L1);
       return It->second.Value;
     }
     // Another caller is computing this key: wait for it to publish
@@ -126,16 +146,26 @@ ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
     S.Cv.wait(Lock);
   }
 
-  // Miss: claim the key with an in-flight entry, compute unlocked.
+  // L1 miss: claim the key with an in-flight entry, then - unlocked -
+  // read through to the store before computing. The claim covers the
+  // L2 load too, so concurrent callers of one key deserialize once.
   S.Map.emplace(Key, Entry{});
   MissCount.fetch_add(1, std::memory_order_relaxed);
-  if (WasHit)
-    *WasHit = false;
   Lock.unlock();
 
   std::shared_ptr<const CacheArtifact> Value;
+  bool FromStore = false;
   try {
-    Value = Compute();
+    // The L2 load shares the compute path's cleanup: if either throws
+    // (deserialization allocations included), the claim must be
+    // released and waiters woken, or every later caller of this key
+    // would block forever on a never-ready entry.
+    if (StoreV) {
+      Value = StoreV->load(Key);
+      FromStore = Value != nullptr;
+    }
+    if (!Value)
+      Value = Compute();
   } catch (...) {
     Lock.lock();
     S.Map.erase(Key);
@@ -143,6 +173,7 @@ ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
     S.Cv.notify_all();
     throw;
   }
+  Report(FromStore, FromStore ? CacheTier::L2 : CacheTier::None);
   assert(Value && "cache compute returned null artifact");
   std::size_t Bytes = Value->bytes();
 
@@ -176,6 +207,11 @@ ArtifactCache::getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
   }
   Lock.unlock();
   S.Cv.notify_all();
+  // Write-behind: persist freshly computed artifacts asynchronously,
+  // after waiters were released - the disk never gates a repair. An
+  // L2 load is not re-written (the entry is already on disk).
+  if (StoreV && !FromStore)
+    StoreV->storeAsync(Key, Value);
   return Value;
 }
 
@@ -195,6 +231,15 @@ void ArtifactCache::clear() {
   }
 }
 
+void ArtifactCache::resetStats() {
+  HitCount.store(0, std::memory_order_relaxed);
+  MissCount.store(0, std::memory_order_relaxed);
+  EvictionCount.store(0, std::memory_order_relaxed);
+  InsertionCount.store(0, std::memory_order_relaxed);
+  if (StoreV)
+    StoreV->resetStats();
+}
+
 CacheStats ArtifactCache::stats() const {
   CacheStats Stats;
   Stats.Hits = HitCount.load(std::memory_order_relaxed);
@@ -204,5 +249,9 @@ CacheStats ArtifactCache::stats() const {
   Stats.BytesHeld = TotalBytes.load(std::memory_order_relaxed);
   Stats.Entries = EntryCount.load(std::memory_order_relaxed);
   Stats.BudgetBytes = Budget;
+  if (StoreV) {
+    Stats.HasStore = true;
+    Stats.Store = StoreV->stats();
+  }
   return Stats;
 }

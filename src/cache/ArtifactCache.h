@@ -34,6 +34,19 @@
 /// through the single-flight claim. Hit / miss / eviction / byte
 /// statistics are aggregated across shards (stats()).
 ///
+/// L2 tier: an optional persist::ArtifactStore backs the cache on
+/// disk. An L1 miss reads through to the store *inside* the
+/// single-flight claim (so concurrent callers of one key deserialize
+/// once) and publishes the loaded artifact to L1; a computed artifact
+/// is published to L1 and queued for asynchronous write-behind to the
+/// store, off the caller's critical path. Serialization is bit-exact
+/// (persist/Serialize.h), so an L2 hit returns exactly the bytes a
+/// recomputation would produce and the determinism contract is
+/// unchanged; a corrupt store entry is skipped (and deleted) and the
+/// artifact recomputed. The Hits/Misses counters remain L1-tier
+/// counters (an L2 hit is an L1 miss); store counters live in
+/// CacheStats::Store.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PRDNN_CACHE_ARTIFACTCACHE_H
@@ -41,6 +54,7 @@
 
 #include "cache/Fingerprint.h"
 #include "nn/ActivationPattern.h"
+#include "persist/StoreStats.h"
 #include "syrenn/LineTransform.h"
 #include "syrenn/PlaneTransform.h"
 
@@ -57,6 +71,10 @@
 #include <vector>
 
 namespace prdnn {
+
+namespace persist {
+class ArtifactStore;
+} // namespace persist
 
 /// What a cache entry holds; see the file comment.
 enum class ArtifactKind : std::uint8_t {
@@ -111,7 +129,9 @@ struct PatternBatchArtifact final : CacheArtifact {
   std::size_t bytes() const override;
 };
 
-/// Aggregate counters; monotonic except BytesHeld / Entries.
+/// Aggregate counters; monotonic except BytesHeld / Entries. Hits and
+/// Misses are L1 (in-memory) counters: an artifact served from the
+/// backing store counts as an L1 miss plus a Store.Hits increment.
 struct CacheStats {
   std::uint64_t Hits = 0;
   std::uint64_t Misses = 0;
@@ -120,6 +140,10 @@ struct CacheStats {
   std::uint64_t BytesHeld = 0;
   std::uint64_t Entries = 0;
   std::uint64_t BudgetBytes = 0;
+  /// Counters of the L2 backing store; all-zero when HasStore is
+  /// false.
+  bool HasStore = false;
+  persist::StoreStats Store;
 
   double hitRate() const {
     std::uint64_t Total = Hits + Misses;
@@ -128,14 +152,30 @@ struct CacheStats {
   }
 };
 
+/// Where getOrCompute() found the artifact: None = this caller
+/// computed it; L1 = served from memory (a prior insert or a shared
+/// in-flight compute); L2 = deserialized from the backing store (and
+/// promoted to L1).
+enum class CacheTier : std::uint8_t {
+  None,
+  L1,
+  L2,
+};
+
 /// See the file comment.
 class ArtifactCache {
 public:
   using ComputeFn = std::function<std::shared_ptr<const CacheArtifact>()>;
 
   /// \p BudgetBytes bounds retained artifact bytes (split evenly across
-  /// \p NumShards); 0 disables retention (every call computes).
-  explicit ArtifactCache(std::size_t BudgetBytes, int NumShards = 16);
+  /// \p NumShards); 0 disables retention (every call computes). \p
+  /// Store, when non-null, backs the cache as an L2 tier (see the file
+  /// comment).
+  explicit ArtifactCache(
+      std::size_t BudgetBytes, int NumShards = 16,
+      std::shared_ptr<persist::ArtifactStore> Store = nullptr);
+
+  ~ArtifactCache();
 
   ArtifactCache(const ArtifactCache &) = delete;
   ArtifactCache &operator=(const ArtifactCache &) = delete;
@@ -144,19 +184,31 @@ public:
   /// miss (single-flight: concurrent callers of the same key compute
   /// once and share the result). \p WasHit, when non-null, reports
   /// whether this caller got a previously-computed artifact (waiters on
-  /// an in-flight compute count as hits). If \p Compute throws, the
-  /// in-flight entry is abandoned and the exception propagates; waiting
-  /// callers retry the compute themselves.
+  /// an in-flight compute count as hits, as do L2 loads); \p Tier, when
+  /// non-null, additionally says which tier served it. If \p Compute
+  /// throws, the in-flight entry is abandoned and the exception
+  /// propagates; waiting callers retry the compute themselves.
   std::shared_ptr<const CacheArtifact>
   getOrCompute(const CacheKey &Key, const ComputeFn &Compute,
-               bool *WasHit = nullptr);
+               bool *WasHit = nullptr, CacheTier *Tier = nullptr);
 
   /// Drops every retained entry (in-flight computes are unaffected and
-  /// publish into the emptied map).
+  /// publish into the emptied map). The backing store's entries are
+  /// *kept* (they address content, which has not changed); only the
+  /// in-memory tier empties.
   void clear();
+
+  /// Zeroes the monotonic hit/miss/eviction/insertion counters (and
+  /// the store's, when one is attached) without touching retained
+  /// entries, so warm-vs-cold measurement phases start from clean
+  /// counters. BytesHeld / Entries reflect state and are kept.
+  void resetStats();
 
   CacheStats stats() const;
   std::size_t budgetBytes() const { return Budget; }
+
+  /// The L2 backing store, or null.
+  persist::ArtifactStore *store() const { return StoreV.get(); }
 
 private:
   struct KeyHash {
@@ -204,6 +256,7 @@ private:
   std::size_t Budget;
   std::size_t ShardBudget;
   std::vector<std::unique_ptr<Shard>> Shards;
+  std::shared_ptr<persist::ArtifactStore> StoreV; ///< null without L2
 
   mutable std::atomic<std::uint64_t> HitCount{0};
   mutable std::atomic<std::uint64_t> MissCount{0};

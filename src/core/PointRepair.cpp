@@ -296,6 +296,7 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
           int ChunkRows =
               RowOffset[static_cast<size_t>(Base + Count)] - ChunkRowBase;
           bool Hit = false;
+          CacheTier Tier = CacheTier::None;
           auto Artifact = std::static_pointer_cast<const JacobianRowsArtifact>(
               Cache->getOrCompute(
                   ChunkKey(Base, Count),
@@ -320,7 +321,7 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
                     });
                     return Block;
                   },
-                  &Hit));
+                  &Hit, &Tier));
           // Copy the (shared, immutable) block into this repair's row
           // slots; copies cannot perturb bits.
           parallelForRanges(0, ChunkRows, [&](std::int64_t BeginR,
@@ -335,6 +336,10 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
           if (Hit) {
             ++Result.Stats.JacobianCacheHits;
             Ctx->noteCacheHits(1);
+            if (Tier == CacheTier::L2) {
+              ++Result.Stats.JacobianStoreHits;
+              Ctx->noteStoreHits(1);
+            }
           } else {
             ++Result.Stats.JacobianCacheMisses;
             Ctx->noteCacheMisses(1);

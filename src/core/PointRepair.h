@@ -125,12 +125,22 @@ struct RepairStats {
   /// Activation-pattern batch lookups (one per polytope spec).
   int PatternCacheHits = 0;
   int PatternCacheMisses = 0;
+  // Of the cache hits above, how many were served by the persistent L2
+  // store (persist/ArtifactStore.h) rather than engine memory - the
+  // warm-restart signal. Always <= the matching CacheHits counter;
+  // zero when the engine runs without a store.
+  int JacobianStoreHits = 0;
+  int LinRegionsStoreHits = 0;
+  int PatternStoreHits = 0;
 
   int cacheHits() const {
     return JacobianCacheHits + LinRegionsCacheHits + PatternCacheHits;
   }
   int cacheMisses() const {
     return JacobianCacheMisses + LinRegionsCacheMisses + PatternCacheMisses;
+  }
+  int storeHits() const {
+    return JacobianStoreHits + LinRegionsStoreHits + PatternStoreHits;
   }
 };
 

@@ -68,12 +68,17 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
       }
     }
     bool Hit = false;
+    CacheTier Tier = CacheTier::None;
     Transform = std::static_pointer_cast<const SyrennTransformArtifact>(
         Cache->getOrCompute({ArtifactKind::SyrennTransform, H.digest()},
-                            ComputePartitions, &Hit));
+                            ComputePartitions, &Hit, &Tier));
     if (Hit) {
       ++Result.TransformCacheHits;
       Ctx->noteCacheHits(1);
+      if (Tier == CacheTier::L2) {
+        ++Result.TransformStoreHits;
+        Ctx->noteStoreHits(1);
+      }
     } else {
       ++Result.TransformCacheMisses;
       Ctx->noteCacheMisses(1);
@@ -123,12 +128,17 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
     for (const Vector &V : Reps)
       hashVector(H, V);
     bool Hit = false;
+    CacheTier Tier = CacheTier::None;
     Patterns = std::static_pointer_cast<const PatternBatchArtifact>(
         Cache->getOrCompute({ArtifactKind::PatternBatch, H.digest()},
-                            ComputePatterns, &Hit));
+                            ComputePatterns, &Hit, &Tier));
     if (Hit) {
       ++Result.PatternCacheHits;
       Ctx->noteCacheHits(1);
+      if (Tier == CacheTier::L2) {
+        ++Result.PatternStoreHits;
+        Ctx->noteStoreHits(1);
+      }
     } else {
       ++Result.PatternCacheMisses;
       Ctx->noteCacheMisses(1);
@@ -216,6 +226,8 @@ RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
   Result.Stats.LinRegionsCacheMisses = KeyPts.TransformCacheMisses;
   Result.Stats.PatternCacheHits = KeyPts.PatternCacheHits;
   Result.Stats.PatternCacheMisses = KeyPts.PatternCacheMisses;
+  Result.Stats.LinRegionsStoreHits = KeyPts.TransformStoreHits;
+  Result.Stats.PatternStoreHits = KeyPts.PatternStoreHits;
   Result.Stats.TotalSeconds = Total.seconds();
   Result.Stats.OtherSeconds =
       std::max(0.0, Result.Stats.TotalSeconds - Result.Stats.JacobianSeconds -

@@ -63,6 +63,9 @@ struct KeyPointsResult {
   /// Activation-pattern batch artifact (per-region representatives).
   int PatternCacheHits = 0;
   int PatternCacheMisses = 0;
+  /// Of the hits above, those served by the persistent L2 store.
+  int TransformStoreHits = 0;
+  int PatternStoreHits = 0;
 };
 
 /// Cache-aware keyPointSpec: when \p Ctx carries an artifact cache and

@@ -38,6 +38,7 @@ ProgressSnapshot JobContext::snapshot() const {
   S.CancelRequested = cancelRequested();
   S.CacheHits = CacheHitsV.load(std::memory_order_relaxed);
   S.CacheMisses = CacheMissesV.load(std::memory_order_relaxed);
+  S.StoreHits = StoreHitsV.load(std::memory_order_relaxed);
   return S;
 }
 

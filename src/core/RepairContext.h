@@ -70,6 +70,9 @@ struct ProgressSnapshot {
   /// job, unlike the per-phase item counters.
   std::int64_t CacheHits = 0;
   std::int64_t CacheMisses = 0;
+  /// Of CacheHits, those served by the persistent L2 store (0 when the
+  /// engine has no store).
+  std::int64_t StoreHits = 0;
 };
 
 /// Shared state of one repair job; see the file comment.
@@ -147,6 +150,9 @@ public:
   void noteCacheMisses(std::int64_t Count) {
     CacheMissesV.fetch_add(Count, std::memory_order_relaxed);
   }
+  void noteStoreHits(std::int64_t Count) {
+    StoreHitsV.fetch_add(Count, std::memory_order_relaxed);
+  }
 
   /// Installs a hook invoked (on the job thread) at every checkpoint
   /// with the checkpoint's phase - the deterministic way for tests to
@@ -166,6 +172,7 @@ private:
   std::atomic<int> SweepTotalV{0};
   std::atomic<std::int64_t> CacheHitsV{0};
   std::atomic<std::int64_t> CacheMissesV{0};
+  std::atomic<std::int64_t> StoreHitsV{0};
   /// Written before the job runs, read only from the job thread.
   ArtifactCache *CacheV = nullptr;
   NetworkFingerprint NetFp;

@@ -5,9 +5,11 @@
 #include "nn/ActivationLayers.h"
 #include "nn/LinearLayers.h"
 #include "nn/PoolLayers.h"
+#include "persist/Serialize.h"
 #include "support/Casting.h"
 #include "support/Error.h"
 
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -90,6 +92,33 @@ bool readDoubles(std::istream &Is, size_t N, std::vector<double> &Out) {
   return true;
 }
 
+// Dimension sanity bounds, mirroring persist/Serialize.cpp: hostile or
+// bit-rotted input must fail validation, not trigger huge allocations,
+// signed overflow, or constructor asserts that vanish in Release.
+constexpr int kMaxDim = 1 << 22;
+constexpr long long kMaxParams = 1ll << 28;
+
+bool validDim(int V) { return V > 0 && V <= kMaxDim; }
+
+/// A*B*C as a flat activation size: every partial product is checked
+/// before multiplying, so dimensions that each pass validDim cannot
+/// overflow (or merely explode) the product.
+bool validSize3(int A, int B, int C) {
+  long long AB = static_cast<long long>(A) * B;
+  return AB <= kMaxDim && AB * C <= kMaxDim;
+}
+
+/// OutC*InC*KH*KW + OutC without intermediate overflow; -1 when over
+/// the kMaxParams bound.
+long long convParamCount(int OutC, int InC, int KH, int KW) {
+  long long A = static_cast<long long>(OutC) * InC; // <= 2^44
+  long long B = static_cast<long long>(KH) * KW;    // <= 2^44
+  if (A > kMaxParams || B > kMaxParams || A > kMaxParams / B)
+    return -1;
+  long long Total = A * B + OutC;
+  return Total > kMaxParams ? -1 : Total;
+}
+
 } // namespace
 
 std::optional<Network> prdnn::readNetwork(std::istream &Is) {
@@ -99,17 +128,29 @@ std::optional<Network> prdnn::readNetwork(std::istream &Is) {
     return std::nullopt;
   std::string Token;
   int NumLayers = 0;
-  if (!(Is >> Token >> NumLayers) || Token != "layers" || NumLayers < 0)
+  if (!(Is >> Token >> NumLayers) || Token != "layers" || NumLayers < 0 ||
+      NumLayers > kMaxDim)
     return std::nullopt;
 
   Network Net;
+  /// Appends \p L after validating the size chain Network::addLayer
+  /// only asserts (asserts are compiled out in Release; malformed
+  /// input must yield nullopt, never an inconsistent network).
+  auto Append = [&](std::unique_ptr<Layer> L) {
+    if (Net.numLayers() > 0 &&
+        Net.layer(Net.numLayers() - 1).outputSize() != L->inputSize())
+      return false;
+    Net.addLayer(std::move(L));
+    return true;
+  };
   for (int I = 0; I < NumLayers; ++I) {
     std::string Kind;
     if (!(Is >> Kind))
       return std::nullopt;
     if (Kind == "fc") {
       int Out = 0, In = 0;
-      if (!(Is >> Out >> In) || Out <= 0 || In <= 0)
+      if (!(Is >> Out >> In) || !validDim(Out) || !validDim(In) ||
+          static_cast<long long>(Out) * In + Out > kMaxParams)
         return std::nullopt;
       std::vector<double> Params;
       if (!readDoubles(Is, static_cast<size_t>(Out) * In + Out, Params))
@@ -122,63 +163,77 @@ std::optional<Network> prdnn::readNetwork(std::istream &Is) {
       Vector B(Out);
       for (int R = 0; R < Out; ++R)
         B[R] = Params[P++];
-      Net.addLayer(std::make_unique<FullyConnectedLayer>(std::move(W),
-                                                         std::move(B)));
+      if (!Append(std::make_unique<FullyConnectedLayer>(std::move(W),
+                                                        std::move(B))))
+        return std::nullopt;
     } else if (Kind == "conv") {
       int InC, InH, InW, OutC, KH, KW, Stride, Pad;
       if (!(Is >> InC >> InH >> InW >> OutC >> KH >> KW >> Stride >> Pad))
         return std::nullopt;
+      if (!validDim(InC) || !validDim(InH) || !validDim(InW) ||
+          !validDim(OutC) || !validDim(KH) || !validDim(KW) || Stride < 1 ||
+          Pad < 0 || Pad > kMaxDim || InH + 2 * Pad < KH ||
+          InW + 2 * Pad < KW || !validSize3(InC, InH, InW))
+        return std::nullopt;
+      int OutH = (InH + 2 * Pad - KH) / Stride + 1;
+      int OutW = (InW + 2 * Pad - KW) / Stride + 1;
+      if (!validSize3(OutC, OutH, OutW))
+        return std::nullopt;
+      long long TotalParams = convParamCount(OutC, InC, KH, KW);
+      if (TotalParams < 0)
+        return std::nullopt;
       std::vector<double> Params;
-      size_t KernelCount =
-          static_cast<size_t>(OutC) * InC * KH * KW;
+      size_t KernelCount = static_cast<size_t>(TotalParams - OutC);
       if (!readDoubles(Is, KernelCount + static_cast<size_t>(OutC), Params))
         return std::nullopt;
       std::vector<double> Kernels(Params.begin(),
                                   Params.begin() + KernelCount);
       std::vector<double> Bias(Params.begin() + KernelCount, Params.end());
-      Net.addLayer(std::make_unique<Conv2DLayer>(InC, InH, InW, OutC, KH, KW,
-                                                 Stride, Pad,
-                                                 std::move(Kernels),
-                                                 std::move(Bias)));
+      if (!Append(std::make_unique<Conv2DLayer>(InC, InH, InW, OutC, KH, KW,
+                                                Stride, Pad,
+                                                std::move(Kernels),
+                                                std::move(Bias))))
+        return std::nullopt;
     } else if (Kind == "avgpool" || Kind == "maxpool") {
       int C, H, W, WH, WW, S;
       if (!(Is >> C >> H >> W >> WH >> WW >> S))
         return std::nullopt;
+      if (!validDim(C) || !validDim(H) || !validDim(W) || !validDim(WH) ||
+          !validDim(WW) || S < 1 || WH > H || WW > W || (H - WH) % S != 0 ||
+          (W - WW) % S != 0 || !validSize3(C, H, W))
+        return std::nullopt;
+      std::unique_ptr<Layer> L;
       if (Kind == "avgpool")
-        Net.addLayer(std::make_unique<AvgPool2DLayer>(C, H, W, WH, WW, S));
+        L = std::make_unique<AvgPool2DLayer>(C, H, W, WH, WW, S);
       else
-        Net.addLayer(std::make_unique<MaxPool2DLayer>(C, H, W, WH, WW, S));
-    } else if (Kind == "flatten") {
-      int N;
-      if (!(Is >> N))
+        L = std::make_unique<MaxPool2DLayer>(C, H, W, WH, WW, S);
+      if (!Append(std::move(L)))
         return std::nullopt;
-      Net.addLayer(std::make_unique<FlattenLayer>(N));
-    } else if (Kind == "relu") {
-      int N;
-      if (!(Is >> N))
-        return std::nullopt;
-      Net.addLayer(std::make_unique<ReLULayer>(N));
     } else if (Kind == "leakyrelu") {
       int N;
       double Alpha;
-      if (!(Is >> N >> Alpha))
+      if (!(Is >> N >> Alpha) || !validDim(N))
         return std::nullopt;
-      Net.addLayer(std::make_unique<LeakyReLULayer>(N, Alpha));
-    } else if (Kind == "hardtanh") {
+      if (!Append(std::make_unique<LeakyReLULayer>(N, Alpha)))
+        return std::nullopt;
+    } else if (Kind == "flatten" || Kind == "relu" || Kind == "hardtanh" ||
+               Kind == "tanh" || Kind == "sigmoid") {
       int N;
-      if (!(Is >> N))
+      if (!(Is >> N) || !validDim(N))
         return std::nullopt;
-      Net.addLayer(std::make_unique<HardTanhLayer>(N));
-    } else if (Kind == "tanh") {
-      int N;
-      if (!(Is >> N))
+      std::unique_ptr<Layer> L;
+      if (Kind == "flatten")
+        L = std::make_unique<FlattenLayer>(N);
+      else if (Kind == "relu")
+        L = std::make_unique<ReLULayer>(N);
+      else if (Kind == "hardtanh")
+        L = std::make_unique<HardTanhLayer>(N);
+      else if (Kind == "tanh")
+        L = std::make_unique<TanhLayer>(N);
+      else
+        L = std::make_unique<SigmoidLayer>(N);
+      if (!Append(std::move(L)))
         return std::nullopt;
-      Net.addLayer(std::make_unique<TanhLayer>(N));
-    } else if (Kind == "sigmoid") {
-      int N;
-      if (!(Is >> N))
-        return std::nullopt;
-      Net.addLayer(std::make_unique<SigmoidLayer>(N));
     } else {
       return std::nullopt;
     }
@@ -195,6 +250,18 @@ bool prdnn::saveNetwork(const Network &Net, const std::string &Path) {
 }
 
 std::optional<Network> prdnn::loadNetwork(const std::string &Path) {
+  {
+    // Binary blobs (persist/Codec.h frames) are detected by magic and
+    // load through the bounds-checked binary reader.
+    std::ifstream Probe(Path, std::ios::binary);
+    if (!Probe)
+      return std::nullopt;
+    char Magic[4] = {};
+    Probe.read(Magic, sizeof(Magic));
+    if (Probe.gcount() == sizeof(Magic) &&
+        std::memcmp(Magic, "PRDA", sizeof(Magic)) == 0)
+      return persist::loadNetworkBinary(Path);
+  }
   std::ifstream Is(Path);
   if (!Is)
     return std::nullopt;

@@ -4,7 +4,17 @@
 /// A small self-describing text format for networks (the repo-local
 /// stand-in for the ONNX plumbing the paper's artifact used). Full
 /// double precision round-trips; loading returns std::nullopt on any
-/// malformed input (no exceptions).
+/// malformed input (no exceptions). The reader validates every
+/// dimension (positive, bounded, pool/conv geometry consistent, layer
+/// sizes chained) before constructing layers, so truncated or garbage
+/// input can never abort or fabricate a partial network - the same
+/// hardening contract as the binary persist::Codec path.
+///
+/// loadNetwork() auto-detects format: files beginning with the
+/// persist/Codec.h frame magic load through the bounds-checked binary
+/// reader (persist::loadNetworkBinary, bit-exact parameters); anything
+/// else parses as text. persist::saveNetworkBinary is the matching
+/// writer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +36,8 @@ void writeNetwork(const Network &Net, std::ostream &Os);
 std::optional<Network> readNetwork(std::istream &Is);
 
 /// File-based convenience wrappers; return false / nullopt on I/O error.
+/// loadNetwork reads both the text format and persist::Codec binary
+/// blobs (detected by magic).
 bool saveNetwork(const Network &Net, const std::string &Path);
 std::optional<Network> loadNetwork(const std::string &Path);
 

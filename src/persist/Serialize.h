@@ -1,0 +1,78 @@
+//===- persist/Serialize.h - artifact & network serializers ----*- C++ -*-===//
+///
+/// \file
+/// Binary (de)serializers over persist/Codec.h for everything the
+/// persistent artifact store holds:
+///
+///   - the three cache artifact kinds (Jacobian row blocks, SyReNN
+///     transform sets, activation-pattern batches), bit-exact so an L2
+///     hit returns exactly the bytes a recomputation would produce;
+///   - whole Networks (every layer kind), the binary sibling of
+///     nn/Serialization's text format - same information, but doubles
+///     travel as IEEE-754 bit patterns, so parameters round-trip
+///     bit-exactly and loading is bounds-checked end to end.
+///
+/// Deserializers validate structure (dimensions positive and bounded,
+/// layer sizes chained, element counts consistent with the remaining
+/// byte budget) before allocating, so truncated or garbage input fails
+/// with a typed CodecError instead of aborting or fabricating a
+/// partial object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_PERSIST_SERIALIZE_H
+#define PRDNN_PERSIST_SERIALIZE_H
+
+#include "cache/ArtifactCache.h"
+#include "persist/Codec.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace prdnn {
+
+class Network;
+
+namespace persist {
+
+/// Frame kind byte for serialized whole networks (artifact blobs use
+/// their ArtifactKind value; keep this outside that enum's range).
+inline constexpr std::uint8_t kNetworkBlobKind = 0x40;
+
+/// Frame kind byte of an artifact blob.
+inline std::uint8_t blobKindOf(ArtifactKind Kind) {
+  return static_cast<std::uint8_t>(Kind);
+}
+
+/// Appends \p Artifact's payload encoding to \p W. \p Kind must match
+/// the artifact's dynamic type.
+void serializeArtifact(const CacheArtifact &Artifact, ArtifactKind Kind,
+                       ByteWriter &W);
+
+/// Decodes one \p Kind artifact from \p R; null on malformed input
+/// (R.error() says why). The whole remaining payload must be consumed.
+std::shared_ptr<const CacheArtifact> deserializeArtifact(ArtifactKind Kind,
+                                                         ByteReader &R);
+
+/// Appends \p Net's payload encoding to \p W (bit-exact parameters).
+void serializeNetwork(const Network &Net, ByteWriter &W);
+
+/// Decodes a network from \p R; nullopt on malformed input.
+std::optional<Network> deserializeNetwork(ByteReader &R);
+
+/// Writes \p Net to \p Path as a framed binary blob (kNetworkBlobKind);
+/// false on I/O error.
+bool saveNetworkBinary(const Network &Net, const std::string &Path);
+
+/// Loads a framed binary network. On failure returns nullopt and (when
+/// \p Error is non-null) the typed reason - including Truncated /
+/// Corrupt for cut-short or bit-rotted files and BadMagic for files
+/// that are not binary networks at all.
+std::optional<Network> loadNetworkBinary(const std::string &Path,
+                                         CodecError *Error = nullptr);
+
+} // namespace persist
+} // namespace prdnn
+
+#endif // PRDNN_PERSIST_SERIALIZE_H

@@ -1,0 +1,55 @@
+//===- persist/StoreStats.h - persistent-store counters --------*- C++ -*-===//
+///
+/// \file
+/// Counters of one persist::ArtifactStore. A standalone header (no
+/// dependencies) so cache/ArtifactCache.h can embed it in CacheStats
+/// without pulling the store - which itself depends on the cache's
+/// artifact types - into every cache consumer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_PERSIST_STORESTATS_H
+#define PRDNN_PERSIST_STORESTATS_H
+
+#include <cstdint>
+
+namespace prdnn {
+namespace persist {
+
+/// Aggregate counters; monotonic except BytesHeld / Entries /
+/// PendingWrites.
+struct StoreStats {
+  /// load() found and decoded an entry.
+  std::uint64_t Hits = 0;
+  /// load() found nothing usable (absent or corrupt).
+  std::uint64_t Misses = 0;
+  /// Entries published (temp-write + rename completed).
+  std::uint64_t Writes = 0;
+  /// Write-behind requests skipped: entry already on disk, blob larger
+  /// than the whole budget, or the write queue was full.
+  std::uint64_t WriteSkips = 0;
+  /// Entries deleted by the byte-budget GC (LRU by mtime).
+  std::uint64_t Evictions = 0;
+  /// Entries that failed frame/payload validation on load; each is
+  /// deleted and counted as a miss, so corruption degrades to a
+  /// recompute, never a wrong answer.
+  std::uint64_t CorruptSkips = 0;
+  /// Approximate on-disk footprint (exact after the last GC scan).
+  std::uint64_t BytesHeld = 0;
+  std::uint64_t Entries = 0;
+  std::uint64_t BudgetBytes = 0;
+  /// Write-behind requests queued but not yet published.
+  std::uint64_t PendingWrites = 0;
+
+  double hitRate() const {
+    std::uint64_t Total = Hits + Misses;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Hits) /
+                            static_cast<double>(Total);
+  }
+};
+
+} // namespace persist
+} // namespace prdnn
+
+#endif // PRDNN_PERSIST_STORESTATS_H

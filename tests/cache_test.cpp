@@ -452,6 +452,50 @@ TEST(EngineCache, ParameterEditInvalidatesAddresses) {
   expectBitIdentical(EditedReport.Result, repairPoints(*Edited, 4, Spec));
 }
 
+TEST(EngineCache, ClearCacheResetsCountersForCleanMeasurementPhases) {
+  Rng R(4408);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 24);
+  RepairRequest Request = RepairRequest::points(Net, 0, Spec);
+
+  RepairEngine Engine;
+  Engine.run(Request);
+  Engine.run(Request);
+  CacheStats Before = Engine.cacheStats();
+  EXPECT_GT(Before.Hits, 0u);
+  EXPECT_GT(Before.Misses, 0u);
+  EXPECT_GT(Before.Entries, 0u);
+
+  // clearCache drops entries *and* zeroes the counters, so a bench
+  // phase after it measures only itself (documented in
+  // cache/README.md).
+  Engine.clearCache();
+  CacheStats Cleared = Engine.cacheStats();
+  EXPECT_EQ(Cleared.Hits, 0u);
+  EXPECT_EQ(Cleared.Misses, 0u);
+  EXPECT_EQ(Cleared.Evictions, 0u);
+  EXPECT_EQ(Cleared.Insertions, 0u);
+  EXPECT_EQ(Cleared.Entries, 0u);
+  EXPECT_EQ(Cleared.BytesHeld, 0u);
+
+  // The next run is cold again - and its counters start from zero.
+  Engine.run(Request);
+  CacheStats After = Engine.cacheStats();
+  EXPECT_EQ(After.Hits, 0u);
+  EXPECT_GT(After.Misses, 0u);
+
+  // resetCacheStats zeroes counters but keeps the warm entries.
+  Engine.run(Request);
+  Engine.resetCacheStats();
+  CacheStats Reset = Engine.cacheStats();
+  EXPECT_EQ(Reset.Hits, 0u);
+  EXPECT_EQ(Reset.Misses, 0u);
+  EXPECT_GT(Reset.Entries, 0u);
+  RepairReport StillWarm = Engine.run(Request);
+  EXPECT_GT(StillWarm.CacheHits, 0);
+  EXPECT_EQ(Engine.cacheStats().Misses, 0u);
+}
+
 TEST(EngineCache, ProgressSnapshotSurfacesCacheCounters) {
   Rng R(4407);
   auto Net = std::make_shared<Network>(makeClassifier(R));

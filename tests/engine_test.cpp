@@ -21,8 +21,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -520,6 +522,70 @@ TEST(RepairEngine, HighPriorityOvertakesQueuedNeutralJobs) {
   EXPECT_EQ(Order[2], "B");
   EXPECT_EQ(Order[3], "low");
   EXPECT_EQ(HighJob.report().Status, RepairStatus::Success);
+}
+
+TEST(RepairEngine, QueueAgingPromotesStarvedLowJob) {
+  Rng R(91015);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 12);
+
+  EngineOptions Options;
+  Options.NumWorkers = 1;      // strictly serial execution order
+  Options.AgingSeconds = 0.05; // one class promotion per 50ms waited
+  RepairEngine Engine(Options);
+
+  std::promise<void> Entered, Release;
+  std::shared_future<void> ReleaseF = Release.get_future().share();
+  std::atomic<bool> EnteredOnce{false};
+  JobHandle Blocker = Engine.submit(
+      RepairRequest::points(Net, 4, Spec), [&](RepairPhase) {
+        if (!EnteredOnce.exchange(true)) {
+          Entered.set_value();
+          ReleaseF.wait();
+        }
+      });
+  Entered.get_future().wait();
+
+  std::mutex OrderMutex;
+  std::vector<std::string> Order;
+  auto Tracking = [&](std::string Tag) {
+    auto First = std::make_shared<std::atomic<bool>>(false);
+    return [&, Tag, First](RepairPhase) {
+      if (!First->exchange(true)) {
+        std::lock_guard<std::mutex> Lock(OrderMutex);
+        Order.push_back(Tag);
+      }
+    };
+  };
+
+  // A Low job queues first, then waits out at least one aging period
+  // while a stream of fresh Neutral submissions piles up behind the
+  // blocker. Under strict classes the Low job would run dead last
+  // (HighPriorityOvertakesQueuedNeutralJobs pins that); with aging its
+  // effective class reaches Neutral (and later High), and the
+  // earliest-submission tie-break puts it ahead of every fresher
+  // Neutral - the starvation bound this option exists for.
+  RepairRequest Low = RepairRequest::points(Net, 0, Spec);
+  Low.JobPriority = RepairRequest::Priority::Low;
+  JobHandle LowJob = Engine.submit(Low, Tracking("low"));
+  JobHandle NeutralA =
+      Engine.submit(RepairRequest::points(Net, 2, Spec), Tracking("A"));
+  JobHandle NeutralB =
+      Engine.submit(RepairRequest::points(Net, 2, Spec), Tracking("B"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  JobHandle NeutralC =
+      Engine.submit(RepairRequest::points(Net, 2, Spec), Tracking("C"));
+  Release.set_value();
+
+  for (JobHandle *Handle : {&Blocker, &LowJob, &NeutralA, &NeutralB,
+                            &NeutralC})
+    Handle->wait();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order[0], "low") << "aged Low job did not overtake";
+  EXPECT_EQ(Order[1], "A");
+  EXPECT_EQ(Order[2], "B");
+  EXPECT_EQ(Order[3], "C");
+  EXPECT_EQ(LowJob.report().Status, RepairStatus::Success);
 }
 
 TEST(RepairEngine, SweepAttemptsCarryPhaseTimingsOnAllExitPaths) {

@@ -1,0 +1,864 @@
+//===- tests/persist_test.cpp - persistent artifact store tests --------------===//
+//
+// Covers the persist/ subsystem end to end: codec round-trips for every
+// artifact kind and every layer type (bit-exact doubles, NaN payloads
+// and -0.0 included); typed rejection of truncated / corrupt /
+// version-mismatched frames; the hardened nn/Serialization negative
+// paths; atomic store publication under concurrent writers; LRU-by-
+// mtime GC at the byte budget; and the L2 determinism contract - cold,
+// L1-warm, L2-warm-after-an-engine-restart, and store-off runs are
+// bit-for-bit identical at 1/4/8 threads, with a corrupted store entry
+// degrading to a recompute. Runs under the CI ThreadSanitizer job next
+// to parallel_test, engine_test, and cache_test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/ArtifactStore.h"
+#include "persist/Codec.h"
+#include "persist/Serialize.h"
+
+#include "api/RepairEngine.h"
+#include "cache/Fingerprint.h"
+#include "core/PolytopeRepair.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "nn/PoolLayers.h"
+#include "nn/Serialization.h"
+#include "support/Parallel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace prdnn;
+using persist::ArtifactStore;
+using persist::ByteReader;
+using persist::ByteWriter;
+using persist::CodecError;
+using persist::FrameView;
+using persist::StoreOptions;
+using persist::StoreStats;
+
+/// Unique directory under the system temp dir, removed on destruction.
+struct TempDir {
+  fs::path Path;
+
+  explicit TempDir(const std::string &Tag) {
+    static std::atomic<int> Counter{0};
+    auto Stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+    Path = fs::temp_directory_path() /
+           ("prdnn-" + Tag + "-" + std::to_string(Stamp) + "-" +
+            std::to_string(Counter.fetch_add(1)));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+/// 6 -> 16 -> 16 -> 4 ReLU classifier; parameterized layers 0, 2, 4.
+Network makeClassifier(Rng &R) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 6, 0.9), randomVector(R, 16, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 16, 16, 0.9), randomVector(R, 16, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(16));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 4, 16, 0.9), randomVector(R, 4, 0.3)));
+  return Net;
+}
+
+PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
+  PointSpec Spec;
+  for (int I = 0; I < Count; ++I) {
+    Vector X = randomVector(R, Net.inputSize());
+    Vector Y = Net.evaluate(X);
+    int Top = Y.argmax();
+    int Target = Top;
+    if (I % 3 == 0) {
+      double Best = -1e300;
+      for (int C = 0; C < Y.size(); ++C)
+        if (C != Top && Y[C] > Best) {
+          Best = Y[C];
+          Target = C;
+        }
+    }
+    Spec.push_back({std::move(X),
+                    classificationConstraint(Net.outputSize(), Target, 1e-3),
+                    std::nullopt});
+  }
+  return Spec;
+}
+
+Network makeFigure3Network() {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0}, {1.0}, {1.0}}), Vector{0.0, 0.0, -1.0}));
+  Net.addLayer(std::make_unique<ReLULayer>(3));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      Matrix::fromRows({{-1.0, -1.0, 1.0}}), Vector{0.0}));
+  return Net;
+}
+
+void expectBitIdentical(const RepairResult &A, const RepairResult &B) {
+  ASSERT_EQ(A.Status, B.Status);
+  ASSERT_EQ(A.Delta.size(), B.Delta.size());
+  for (size_t I = 0; I < A.Delta.size(); ++I)
+    EXPECT_EQ(A.Delta[I], B.Delta[I]) << "Delta[" << I << "]";
+  EXPECT_EQ(A.DeltaL1, B.DeltaL1);
+  EXPECT_EQ(A.DeltaLInf, B.DeltaLInf);
+  EXPECT_EQ(A.Stats.SpecRows, B.Stats.SpecRows);
+  EXPECT_EQ(A.Stats.LpRowsUsed, B.Stats.LpRowsUsed);
+}
+
+CacheKey keyOf(std::uint64_t Tag, ArtifactKind Kind =
+                                      ArtifactKind::JacobianRows) {
+  Hasher H;
+  H.u64(Tag);
+  return CacheKey{Kind, H.digest()};
+}
+
+std::shared_ptr<JacobianRowsArtifact> makeRowsArtifact(int Rows, int Cols,
+                                                       double Seed) {
+  auto A = std::make_shared<JacobianRowsArtifact>();
+  A->Coef.resize(static_cast<size_t>(Rows));
+  A->Hi.resize(static_cast<size_t>(Rows));
+  double V = Seed;
+  for (int R = 0; R < Rows; ++R) {
+    A->Coef[static_cast<size_t>(R)].resize(static_cast<size_t>(Cols));
+    for (int C = 0; C < Cols; ++C) {
+      A->Coef[static_cast<size_t>(R)][static_cast<size_t>(C)] = V;
+      V = V * 1.000001 + 0.5;
+    }
+    A->Hi[static_cast<size_t>(R)] = -V;
+  }
+  return A;
+}
+
+// --- Codec ------------------------------------------------------------------
+
+TEST(Codec, PrimitiveRoundTrip) {
+  ByteWriter W;
+  W.u8(0xab);
+  W.u32(0xdeadbeefu);
+  W.u64(0x0123456789abcdefull);
+  W.i32(-7);
+  W.i64(-1234567890123ll);
+  W.f64(-0.0);
+  W.f64(std::numeric_limits<double>::quiet_NaN());
+  W.str("prdnn");
+  const double Doubles[3] = {1.5, -2.25, 1e-300};
+  W.doubles(Doubles, 3);
+
+  ByteReader R(W.buffer().data(), W.buffer().size());
+  std::uint8_t U8;
+  std::uint32_t U32;
+  std::uint64_t U64;
+  int I32;
+  std::int64_t I64;
+  double NegZero, Nan;
+  std::string S;
+  double Out[3];
+  EXPECT_TRUE(R.u8(U8));
+  EXPECT_TRUE(R.u32(U32));
+  EXPECT_TRUE(R.u64(U64));
+  EXPECT_TRUE(R.i32(I32));
+  EXPECT_TRUE(R.i64(I64));
+  EXPECT_TRUE(R.f64(NegZero));
+  EXPECT_TRUE(R.f64(Nan));
+  EXPECT_TRUE(R.str(S));
+  EXPECT_TRUE(R.doubles(Out, 3));
+  EXPECT_EQ(R.remaining(), 0u);
+  EXPECT_TRUE(R.ok());
+
+  EXPECT_EQ(U8, 0xab);
+  EXPECT_EQ(U32, 0xdeadbeefu);
+  EXPECT_EQ(U64, 0x0123456789abcdefull);
+  EXPECT_EQ(I32, -7);
+  EXPECT_EQ(I64, -1234567890123ll);
+  EXPECT_TRUE(std::signbit(NegZero) && NegZero == 0.0);
+  EXPECT_TRUE(std::isnan(Nan));
+  EXPECT_EQ(S, "prdnn");
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Out[I], Doubles[I]);
+
+  // Over-reading fails sticky with Truncated.
+  EXPECT_FALSE(R.u8(U8));
+  EXPECT_EQ(R.error(), CodecError::Truncated);
+  EXPECT_FALSE(R.u64(U64));
+}
+
+TEST(Codec, FrameRoundTripAndTypedRejection) {
+  ByteWriter W;
+  W.str("payload bytes of some artifact");
+  W.f64(-0.0);
+  std::vector<std::uint8_t> Blob = persist::frame(7, W.buffer());
+
+  FrameView View;
+  ASSERT_EQ(persist::unframe(Blob.data(), Blob.size(), View),
+            CodecError::None);
+  EXPECT_EQ(View.BlobKind, 7);
+  EXPECT_EQ(View.PayloadSize, W.buffer().size());
+  EXPECT_EQ(std::memcmp(View.Payload, W.buffer().data(), View.PayloadSize),
+            0);
+
+  // Truncation anywhere - header, payload, trailer - is typed.
+  for (std::size_t Cut : {std::size_t(0), std::size_t(3), std::size_t(12),
+                          Blob.size() - 17, Blob.size() - 1})
+    EXPECT_EQ(persist::unframe(Blob.data(), Cut, View),
+              CodecError::Truncated)
+        << "cut at " << Cut;
+
+  // Foreign magic.
+  std::vector<std::uint8_t> Foreign = Blob;
+  Foreign[0] = 'X';
+  EXPECT_EQ(persist::unframe(Foreign.data(), Foreign.size(), View),
+            CodecError::BadMagic);
+
+  // Future format version.
+  std::vector<std::uint8_t> Versioned = Blob;
+  Versioned[4] = static_cast<std::uint8_t>(persist::kFormatVersion + 1);
+  EXPECT_EQ(persist::unframe(Versioned.data(), Versioned.size(), View),
+            CodecError::BadVersion);
+
+  // Byte-swapped endian tag reads as a foreign-endian producer.
+  std::vector<std::uint8_t> Swapped = Blob;
+  std::swap(Swapped[8], Swapped[11]);
+  std::swap(Swapped[9], Swapped[10]);
+  EXPECT_EQ(persist::unframe(Swapped.data(), Swapped.size(), View),
+            CodecError::ForeignEndian);
+
+  // A flipped payload bit fails the digest trailer.
+  std::vector<std::uint8_t> Flipped = Blob;
+  Flipped[21] ^= 0x40;
+  EXPECT_EQ(persist::unframe(Flipped.data(), Flipped.size(), View),
+            CodecError::Corrupt);
+
+  // Trailing garbage after the trailer is rejected, not ignored.
+  std::vector<std::uint8_t> Padded = Blob;
+  Padded.push_back(0);
+  EXPECT_EQ(persist::unframe(Padded.data(), Padded.size(), View),
+            CodecError::Corrupt);
+}
+
+// --- Artifact serializers ---------------------------------------------------
+
+TEST(Serialize, JacobianRowsRoundTripBitExact) {
+  auto A = makeRowsArtifact(5, 9, 0.125);
+  // Adversarial values the "same bits" contract must preserve.
+  A->Coef[0][0] = -0.0;
+  A->Coef[1][2] = std::numeric_limits<double>::quiet_NaN();
+  A->Hi[4] = std::numeric_limits<double>::infinity();
+
+  ByteWriter W;
+  persist::serializeArtifact(*A, ArtifactKind::JacobianRows, W);
+  ByteReader R(W.buffer().data(), W.buffer().size());
+  auto Back = std::static_pointer_cast<const JacobianRowsArtifact>(
+      persist::deserializeArtifact(ArtifactKind::JacobianRows, R));
+  ASSERT_NE(Back, nullptr);
+  ASSERT_EQ(Back->Coef.size(), A->Coef.size());
+  for (size_t I = 0; I < A->Coef.size(); ++I) {
+    ASSERT_EQ(Back->Coef[I].size(), A->Coef[I].size());
+    for (size_t J = 0; J < A->Coef[I].size(); ++J) {
+      std::uint64_t Want, Got;
+      std::memcpy(&Want, &A->Coef[I][J], 8);
+      std::memcpy(&Got, &Back->Coef[I][J], 8);
+      EXPECT_EQ(Got, Want) << "Coef[" << I << "][" << J << "]";
+    }
+  }
+  for (size_t I = 0; I < A->Hi.size(); ++I) {
+    std::uint64_t Want, Got;
+    std::memcpy(&Want, &A->Hi[I], 8);
+    std::memcpy(&Got, &Back->Hi[I], 8);
+    EXPECT_EQ(Got, Want);
+  }
+
+  // Truncated payload: typed failure, no partial artifact. (The exact
+  // code depends on where the cut lands - a count whose data is gone
+  // reads as Corrupt via the plausibility guard, a cut mid-field as
+  // Truncated - but it is never None.)
+  ByteReader Short(W.buffer().data(), W.buffer().size() - 3);
+  EXPECT_EQ(persist::deserializeArtifact(ArtifactKind::JacobianRows, Short),
+            nullptr);
+  EXPECT_NE(Short.error(), CodecError::None);
+}
+
+TEST(Serialize, SyrennTransformRoundTrip) {
+  auto A = std::make_shared<SyrennTransformArtifact>();
+  LinePartition Line;
+  Line.A = Vector{0.25, -1.5};
+  Line.B = Vector{2.0, 3.5};
+  Line.Ts = {0.0, 0.125, 0.875, 1.0};
+  A->Partitions.push_back(Line);
+  PlaneRegion Region;
+  Region.InputVertices = {Vector{0.0, 0.0, 1.0}, Vector{1.0, 0.0, -0.0},
+                          Vector{0.0, 1.0, 2.5}};
+  Region.PlaneVertices = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  A->Partitions.push_back(std::vector<PlaneRegion>{Region});
+
+  ByteWriter W;
+  persist::serializeArtifact(*A, ArtifactKind::SyrennTransform, W);
+  ByteReader R(W.buffer().data(), W.buffer().size());
+  auto Back = std::static_pointer_cast<const SyrennTransformArtifact>(
+      persist::deserializeArtifact(ArtifactKind::SyrennTransform, R));
+  ASSERT_NE(Back, nullptr);
+  ASSERT_EQ(Back->Partitions.size(), 2u);
+
+  const auto &BackLine = std::get<LinePartition>(Back->Partitions[0]);
+  EXPECT_EQ(BackLine.Ts, Line.Ts);
+  for (int I = 0; I < Line.A.size(); ++I) {
+    EXPECT_EQ(BackLine.A[I], Line.A[I]);
+    EXPECT_EQ(BackLine.B[I], Line.B[I]);
+  }
+  const auto &BackRegions =
+      std::get<std::vector<PlaneRegion>>(Back->Partitions[1]);
+  ASSERT_EQ(BackRegions.size(), 1u);
+  ASSERT_EQ(BackRegions[0].InputVertices.size(), 3u);
+  for (size_t V = 0; V < 3; ++V) {
+    for (int I = 0; I < 3; ++I)
+      EXPECT_EQ(BackRegions[0].InputVertices[V][I],
+                Region.InputVertices[V][I]);
+    EXPECT_EQ(BackRegions[0].PlaneVertices[V], Region.PlaneVertices[V]);
+  }
+
+  // An unknown partition tag is Corrupt, not UB.
+  std::vector<std::uint8_t> Bad(W.buffer());
+  Bad[8] = 9; // the first partition's tag byte (after the u64 count)
+  ByteReader BadR(Bad.data(), Bad.size());
+  EXPECT_EQ(persist::deserializeArtifact(ArtifactKind::SyrennTransform, BadR),
+            nullptr);
+}
+
+TEST(Serialize, PatternBatchRoundTrip) {
+  auto A = std::make_shared<PatternBatchArtifact>();
+  NetworkPattern P1;
+  P1.Patterns = {{}, {1, 0, 1}, {}, {-1, 0, 1, 2}};
+  NetworkPattern P2;
+  P2.Patterns = {{0}, {}};
+  A->Patterns = {P1, P2};
+
+  ByteWriter W;
+  persist::serializeArtifact(*A, ArtifactKind::PatternBatch, W);
+  ByteReader R(W.buffer().data(), W.buffer().size());
+  auto Back = std::static_pointer_cast<const PatternBatchArtifact>(
+      persist::deserializeArtifact(ArtifactKind::PatternBatch, R));
+  ASSERT_NE(Back, nullptr);
+  ASSERT_EQ(Back->Patterns.size(), 2u);
+  EXPECT_TRUE(Back->Patterns[0] == P1);
+  EXPECT_TRUE(Back->Patterns[1] == P2);
+}
+
+// --- Network serialization --------------------------------------------------
+
+/// A network exercising every PWL layer kind the library has.
+Network makeEveryPwlLayerNetwork(Rng &R) {
+  Network Net;
+  // 2ch 4x4 input.
+  Net.addLayer(std::make_unique<Conv2DLayer>(
+      2, 4, 4, 3, 3, 3, 1, 1,
+      [&] {
+        std::vector<double> K(2 * 3 * 3 * 3);
+        for (double &V : K)
+          V = 0.3 * R.normal();
+        return K;
+      }(),
+      std::vector<double>{0.1, -0.2, 0.05}));
+  Net.addLayer(std::make_unique<ReLULayer>(3 * 4 * 4));
+  Net.addLayer(std::make_unique<MaxPool2DLayer>(3, 4, 4, 2, 2, 2));
+  Net.addLayer(std::make_unique<AvgPool2DLayer>(3, 2, 2, 2, 2, 2));
+  Net.addLayer(std::make_unique<FlattenLayer>(3));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 5, 3, 0.8), randomVector(R, 5, 0.2)));
+  Net.addLayer(std::make_unique<LeakyReLULayer>(5, 0.01));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 4, 5, 0.8), randomVector(R, 4, 0.2)));
+  Net.addLayer(std::make_unique<HardTanhLayer>(4));
+  return Net;
+}
+
+TEST(Serialize, NetworkRoundTripEveryLayerKind) {
+  Rng R(5501);
+  Network Net = makeEveryPwlLayerNetwork(R);
+
+  ByteWriter W;
+  persist::serializeNetwork(Net, W);
+  ByteReader Reader(W.buffer().data(), W.buffer().size());
+  std::optional<Network> Back = persist::deserializeNetwork(Reader);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Reader.remaining(), 0u);
+  // The fingerprint hashes topology, geometry, and every parameter's
+  // bit pattern: equality is bit-exactness of the whole network.
+  EXPECT_EQ(fingerprintNetwork(*Back), fingerprintNetwork(Net));
+  Vector X = randomVector(R, Net.inputSize());
+  Vector Want = Net.evaluate(X);
+  Vector Got = Back->evaluate(X);
+  for (int I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(Got[I], Want[I]);
+
+  // Smooth activations round-trip too.
+  Network Smooth;
+  Smooth.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 3, 2, 0.9), randomVector(R, 3, 0.1)));
+  Smooth.addLayer(std::make_unique<TanhLayer>(3));
+  Smooth.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, 2, 3, 0.9), randomVector(R, 2, 0.1)));
+  Smooth.addLayer(std::make_unique<SigmoidLayer>(2));
+  ByteWriter W2;
+  persist::serializeNetwork(Smooth, W2);
+  ByteReader Reader2(W2.buffer().data(), W2.buffer().size());
+  std::optional<Network> Back2 = persist::deserializeNetwork(Reader2);
+  ASSERT_TRUE(Back2.has_value());
+  EXPECT_EQ(fingerprintNetwork(*Back2), fingerprintNetwork(Smooth));
+}
+
+TEST(Serialize, NetworkBinaryFileRoundTripAndTypedErrors) {
+  TempDir Dir("netbin");
+  Rng R(5502);
+  Network Net = makeEveryPwlLayerNetwork(R);
+  const std::string Path = (Dir.Path / "net.bin").string();
+  ASSERT_TRUE(persist::saveNetworkBinary(Net, Path));
+
+  CodecError Error = CodecError::Corrupt;
+  std::optional<Network> Back = persist::loadNetworkBinary(Path, &Error);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Error, CodecError::None);
+  EXPECT_EQ(fingerprintNetwork(*Back), fingerprintNetwork(Net));
+
+  // loadNetwork auto-detects the binary magic.
+  std::optional<Network> Auto = loadNetwork(Path);
+  ASSERT_TRUE(Auto.has_value());
+  EXPECT_EQ(fingerprintNetwork(*Auto), fingerprintNetwork(Net));
+
+  // Truncated file: typed error, no partial network.
+  std::vector<char> Bytes;
+  {
+    std::ifstream Is(Path, std::ios::binary);
+    Bytes.assign((std::istreambuf_iterator<char>(Is)),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string Cut = (Dir.Path / "cut.bin").string();
+  {
+    std::ofstream Os(Cut, std::ios::binary);
+    Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+  EXPECT_FALSE(persist::loadNetworkBinary(Cut, &Error).has_value());
+  EXPECT_EQ(Error, CodecError::Truncated);
+  EXPECT_FALSE(loadNetwork(Cut).has_value());
+
+  // A flipped parameter byte fails the digest: Corrupt.
+  const std::string Rot = (Dir.Path / "rot.bin").string();
+  {
+    std::vector<char> Bad = Bytes;
+    Bad[Bad.size() / 2] ^= 0x10;
+    std::ofstream Os(Rot, std::ios::binary);
+    Os.write(Bad.data(), static_cast<std::streamsize>(Bad.size()));
+  }
+  EXPECT_FALSE(persist::loadNetworkBinary(Rot, &Error).has_value());
+  EXPECT_EQ(Error, CodecError::Corrupt);
+
+  // Not a frame at all.
+  const std::string Text = (Dir.Path / "text.bin").string();
+  {
+    std::ofstream Os(Text);
+    Os << "prdnn-network v1\nlayers 0\n";
+  }
+  EXPECT_FALSE(persist::loadNetworkBinary(Text, &Error).has_value());
+  EXPECT_EQ(Error, CodecError::BadMagic);
+  // ...but loadNetwork happily parses it as text.
+  EXPECT_TRUE(loadNetwork(Text).has_value());
+}
+
+TEST(Serialize, TextReaderRejectsMalformedInput) {
+  auto Parse = [](const std::string &Text) {
+    std::istringstream Is(Text);
+    return readNetwork(Is);
+  };
+  // Truncated parameter list.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nfc 2 2\n1 2 3\n"));
+  // Negative / zero dimensions.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nfc -2 2\n"));
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nrelu 0\n"));
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nflatten -5\n"));
+  // Absurd dimensions must fail validation, not allocate.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nfc 2000000000 2000000000\n"));
+  // Dimensions that each pass the per-axis bound but whose *product*
+  // would overflow 64-bit (65536^4 = 2^64) or explode the activation
+  // size must be rejected by the overflow-safe product checks.
+  EXPECT_FALSE(Parse(
+      "prdnn-network v1\nlayers 1\nconv 65536 65536 65536 65536 65536 "
+      "65536 1 0\n"));
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\navgpool 4194304 4194304 "
+                     "4194304 4194304 4194304 1\n"));
+  // Conv geometry: kernel larger than padded input; negative stride.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nconv 1 2 2 1 5 5 1 0\n"));
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nconv 1 4 4 1 2 2 -1 0\n"));
+  // Pool windows must tile the input exactly (the constructor only
+  // asserts this; the reader must validate it).
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nmaxpool 1 5 5 2 2 2\n"));
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\navgpool 1 4 4 8 8 2\n"));
+  // Adjacent layer sizes must chain.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 2\nrelu 4\nrelu 5\n"));
+  // Unknown layer kind.
+  EXPECT_FALSE(Parse("prdnn-network v1\nlayers 1\nsoftmax 4\n"));
+  // Sane input still parses.
+  EXPECT_TRUE(Parse("prdnn-network v1\nlayers 2\nfc 2 3\n1 2 3 4 5 6 7 8\n"
+                    "relu 2\n"));
+}
+
+// --- ArtifactStore ----------------------------------------------------------
+
+TEST(ArtifactStore, StoreLoadRoundTripAndMiss) {
+  TempDir Dir("store");
+  StoreOptions Options;
+  Options.Directory = Dir.str();
+  ArtifactStore Store(Options);
+
+  auto A = makeRowsArtifact(4, 6, 1.5);
+  Store.storeSync(keyOf(1), *A);
+  EXPECT_EQ(Store.stats().Writes, 1u);
+  EXPECT_EQ(Store.stats().Entries, 1u);
+  EXPECT_GT(Store.stats().BytesHeld, 0u);
+
+  auto Loaded = std::static_pointer_cast<const JacobianRowsArtifact>(
+      Store.load(keyOf(1)));
+  ASSERT_NE(Loaded, nullptr);
+  EXPECT_EQ(Loaded->Coef, A->Coef);
+  EXPECT_EQ(Loaded->Hi, A->Hi);
+  EXPECT_EQ(Store.stats().Hits, 1u);
+
+  EXPECT_EQ(Store.load(keyOf(2)), nullptr);
+  EXPECT_EQ(Store.stats().Misses, 1u);
+
+  // Re-storing an existing key is a dedupe skip, not a second write.
+  Store.storeSync(keyOf(1), *A);
+  EXPECT_EQ(Store.stats().Writes, 1u);
+  EXPECT_EQ(Store.stats().WriteSkips, 1u);
+
+  // A second store on the same directory sees the entry (restart /
+  // cross-process sharing).
+  ArtifactStore Second(Options);
+  EXPECT_EQ(Second.stats().Entries, 1u);
+  EXPECT_NE(Second.load(keyOf(1)), nullptr);
+}
+
+TEST(ArtifactStore, WriteBehindFlushAndKindMismatch) {
+  TempDir Dir("async");
+  StoreOptions Options;
+  Options.Directory = Dir.str();
+  ArtifactStore Store(Options);
+
+  auto A = makeRowsArtifact(3, 3, -2.0);
+  Store.storeAsync(keyOf(7), A);
+  Store.flush();
+  EXPECT_EQ(Store.stats().Writes, 1u);
+  EXPECT_EQ(Store.stats().PendingWrites, 0u);
+  EXPECT_NE(Store.load(keyOf(7)), nullptr);
+
+  // The same digest under a different kind is a different entry.
+  EXPECT_EQ(Store.load(keyOf(7, ArtifactKind::PatternBatch)), nullptr);
+}
+
+TEST(ArtifactStore, CorruptEntryIsSkippedAndDeleted) {
+  TempDir Dir("corrupt");
+  StoreOptions Options;
+  Options.Directory = Dir.str();
+  ArtifactStore Store(Options);
+
+  auto A = makeRowsArtifact(4, 4, 3.0);
+  Store.storeSync(keyOf(3), *A);
+  const std::string Path = Store.entryPath(keyOf(3));
+  ASSERT_TRUE(fs::exists(Path));
+
+  // Flip one payload byte: the digest trailer must catch it.
+  {
+    std::fstream F(Path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    F.seekp(30);
+    char C;
+    F.seekg(30);
+    F.get(C);
+    F.seekp(30);
+    F.put(static_cast<char>(C ^ 0x20));
+  }
+  EXPECT_EQ(Store.load(keyOf(3)), nullptr);
+  EXPECT_EQ(Store.stats().CorruptSkips, 1u);
+  EXPECT_FALSE(fs::exists(Path)) << "corrupt entry not deleted";
+
+  // Truncated entry likewise.
+  Store.storeSync(keyOf(4), *A);
+  const std::string Path4 = Store.entryPath(keyOf(4));
+  fs::resize_file(Path4, fs::file_size(Path4) / 2);
+  EXPECT_EQ(Store.load(keyOf(4)), nullptr);
+  EXPECT_EQ(Store.stats().CorruptSkips, 2u);
+}
+
+TEST(ArtifactStore, GcEvictsOldestAtBudget) {
+  TempDir Dir("gc");
+  auto A = makeRowsArtifact(8, 32, 0.75); // ~2.3 KiB serialized
+  std::uint64_t EntryBytes;
+  {
+    StoreOptions Options;
+    Options.Directory = Dir.str();
+    ArtifactStore Store(Options);
+    for (std::uint64_t K = 0; K < 5; ++K)
+      Store.storeSync(keyOf(100 + K), *A);
+    EXPECT_EQ(Store.stats().Entries, 5u);
+    EntryBytes = Store.stats().BytesHeld / 5;
+
+    // Backdate entries 100..102 so mtime order is deterministic.
+    for (std::uint64_t K = 0; K < 3; ++K)
+      fs::last_write_time(Store.entryPath(keyOf(100 + K)),
+                          fs::file_time_type::clock::now() -
+                              std::chrono::hours(1 + (2 - K)));
+  }
+
+  // A store with room for ~2 entries GCs the stale ones on startup.
+  StoreOptions Tight;
+  Tight.Directory = Dir.str();
+  Tight.BudgetBytes = EntryBytes * 2 + EntryBytes / 2;
+  ArtifactStore Store(Tight);
+  EXPECT_EQ(Store.stats().Evictions, 3u);
+  EXPECT_EQ(Store.stats().Entries, 2u);
+  EXPECT_LE(Store.stats().BytesHeld, Tight.BudgetBytes);
+  // The backdated (oldest) entries went; the fresh ones survived.
+  EXPECT_EQ(Store.load(keyOf(100)), nullptr);
+  EXPECT_EQ(Store.load(keyOf(101)), nullptr);
+  EXPECT_EQ(Store.load(keyOf(102)), nullptr);
+  EXPECT_NE(Store.load(keyOf(103)), nullptr);
+  EXPECT_NE(Store.load(keyOf(104)), nullptr);
+}
+
+TEST(ArtifactStore, AtomicPublicationUnderConcurrentWriters) {
+  TempDir Dir("race");
+  StoreOptions Options;
+  Options.Directory = Dir.str();
+  ArtifactStore Store(Options);
+
+  // 8 writers race on one key while 8 more spray distinct keys; every
+  // concurrent load must see either nothing or a fully valid entry -
+  // never a torn write (CorruptSkips == 0).
+  auto Shared = makeRowsArtifact(6, 24, 0.5);
+  std::vector<std::thread> Threads;
+  std::atomic<int> LoadedOk{0};
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&, T] {
+      ArtifactStore Mine(Options); // own store handle: cross-"process"
+      auto Private = makeRowsArtifact(3 + T, 8, 0.25 * T);
+      for (int Round = 0; Round < 8; ++Round) {
+        Mine.storeSync(keyOf(4242), *Shared);
+        Mine.storeSync(keyOf(5000 + static_cast<std::uint64_t>(T)),
+                       *Private);
+        if (auto Loaded = std::static_pointer_cast<const JacobianRowsArtifact>(
+                Mine.load(keyOf(4242)))) {
+          ++LoadedOk;
+          EXPECT_EQ(Loaded->Coef, Shared->Coef);
+        }
+      }
+      EXPECT_EQ(Mine.stats().CorruptSkips, 0u);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_GT(LoadedOk.load(), 0);
+  EXPECT_EQ(Store.stats().CorruptSkips, 0u);
+
+  auto Final = std::static_pointer_cast<const JacobianRowsArtifact>(
+      Store.load(keyOf(4242)));
+  ASSERT_NE(Final, nullptr);
+  EXPECT_EQ(Final->Coef, Shared->Coef);
+  for (int T = 0; T < 8; ++T)
+    EXPECT_NE(Store.load(keyOf(5000 + static_cast<std::uint64_t>(T))),
+              nullptr);
+}
+
+// --- Engine integration: the L2 determinism contract ------------------------
+
+TEST(EngineStore, L2WarmRestartBitIdenticalAtAnyThreadCount) {
+  TempDir Dir("engine-l2");
+  Rng R(6601);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 30);
+  RepairRequest Request = RepairRequest::points(Net, 2, Spec);
+
+  // Store-off reference.
+  EngineOptions Off;
+  Off.EnableCache = false;
+  RepairEngine OffEngine(Off);
+  RepairReport OffReport = OffEngine.run(Request);
+
+  for (int Threads : {1, 4, 8}) {
+    setGlobalThreadCount(Threads);
+    // One store directory per thread count, so each iteration's first
+    // engine is genuinely cold (content addresses don't depend on the
+    // thread count, so a shared directory would already be warm).
+    EngineOptions WithStore;
+    WithStore.StoreDirectory =
+        (Dir.Path / std::to_string(Threads)).string();
+    RepairRequest ThreadRequest = Request;
+    {
+      RepairEngine Cold(WithStore);
+      ASSERT_TRUE(Cold.hasStore());
+      RepairReport ColdReport = Cold.run(ThreadRequest);
+      RepairReport L1Warm = Cold.run(ThreadRequest);
+      expectBitIdentical(ColdReport.Result, OffReport.Result);
+      expectBitIdentical(L1Warm.Result, OffReport.Result);
+      EXPECT_EQ(ColdReport.StoreHits, 0);
+      EXPECT_GT(L1Warm.CacheHits, 0);
+      EXPECT_EQ(L1Warm.StoreHits, 0); // served from memory, not disk
+      Cold.flushStore();
+      EXPECT_GT(Cold.storeStats().Writes, 0u);
+    } // engine dies; the store directory survives
+
+    // A *fresh* engine on the same directory starts L2-warm: all
+    // lookups hit the store, results stay bit-identical.
+    RepairEngine Warm(WithStore);
+    RepairReport L2Warm = Warm.run(ThreadRequest);
+    expectBitIdentical(L2Warm.Result, OffReport.Result);
+    EXPECT_GT(L2Warm.StoreHits, 0);
+    EXPECT_EQ(L2Warm.CacheHits, L2Warm.StoreHits);
+    EXPECT_EQ(L2Warm.CacheMisses, 0);
+    EXPECT_GT(L2Warm.Result.Stats.JacobianStoreHits, 0);
+    EXPECT_GT(Warm.storeStats().Hits, 0u);
+
+    // And the promoted artifacts serve the next run from L1.
+    RepairReport Promoted = Warm.run(ThreadRequest);
+    expectBitIdentical(Promoted.Result, OffReport.Result);
+    EXPECT_EQ(Promoted.StoreHits, 0);
+    EXPECT_GT(Promoted.CacheHits, 0);
+  }
+  setGlobalThreadCount(defaultThreadCount());
+}
+
+TEST(EngineStore, CorruptedEntryDegradesToRecompute) {
+  TempDir Dir("engine-corrupt");
+  Rng R(6602);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 24);
+  RepairRequest Request = RepairRequest::points(Net, 4, Spec);
+  RepairResult Serial = repairPoints(*Net, 4, Spec);
+
+  EngineOptions WithStore;
+  WithStore.StoreDirectory = Dir.str();
+  {
+    RepairEngine Cold(WithStore);
+    expectBitIdentical(Cold.run(Request).Result, Serial);
+    Cold.flushStore();
+  }
+
+  // Vandalize every stored entry (truncate to a prefix).
+  int Vandalized = 0;
+  for (const auto &Entry : fs::recursive_directory_iterator(Dir.Path))
+    if (Entry.is_regular_file() &&
+        Entry.path().extension() == ".art") {
+      fs::resize_file(Entry.path(), fs::file_size(Entry.path()) * 2 / 3);
+      ++Vandalized;
+    }
+  ASSERT_GT(Vandalized, 0);
+
+  RepairEngine Warm(WithStore);
+  RepairReport Report = Warm.run(Request);
+  expectBitIdentical(Report.Result, Serial); // recomputed, not wrong
+  EXPECT_EQ(Report.StoreHits, 0);
+  EXPECT_GE(Warm.storeStats().CorruptSkips, 1u);
+
+  // The recompute re-published good bytes: a third engine is warm.
+  Warm.flushStore();
+  RepairEngine Healed(WithStore);
+  RepairReport HealedReport = Healed.run(Request);
+  expectBitIdentical(HealedReport.Result, Serial);
+  EXPECT_GT(HealedReport.StoreHits, 0);
+}
+
+TEST(EngineStore, PolytopeTransformsWarmAcrossRestart) {
+  TempDir Dir("engine-poly");
+  Network Net = makeFigure3Network();
+  PolytopeSpec Spec;
+  Spec.push_back(SpecPolytope{SegmentPolytope{Vector{0.5}, Vector{1.5}},
+                              boxConstraint(Vector{-0.8}, Vector{-0.4})});
+  RepairOptions Options;
+  Options.RowMargin = 0.0;
+  RepairRequest Request = RepairRequest::polytopes(
+      RepairRequest::borrow(Net), 0, Spec, Options);
+  RepairResult Serial = repairPolytopes(Net, 0, Spec, Options);
+
+  EngineOptions WithStore;
+  WithStore.StoreDirectory = Dir.str();
+  {
+    RepairEngine Cold(WithStore);
+    expectBitIdentical(Cold.run(Request).Result, Serial);
+    Cold.flushStore();
+  }
+  RepairEngine Warm(WithStore);
+  RepairReport Report = Warm.run(Request);
+  expectBitIdentical(Report.Result, Serial);
+  EXPECT_EQ(Report.Result.Stats.LinRegionsStoreHits, 1);
+  EXPECT_EQ(Report.Result.Stats.PatternStoreHits, 1);
+  EXPECT_GT(Report.Result.Stats.JacobianStoreHits, 0);
+}
+
+TEST(EngineStore, EightConcurrentJobsShareOneL2Load) {
+  TempDir Dir("engine-race");
+  Rng R(6603);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 24);
+  RepairResult Serial = repairPoints(*Net, 4, Spec);
+
+  EngineOptions WithStore;
+  WithStore.StoreDirectory = Dir.str();
+  {
+    RepairEngine Cold(WithStore);
+    Cold.run(RepairRequest::points(Net, 4, Spec));
+    Cold.flushStore();
+  }
+
+  EngineOptions Concurrent = WithStore;
+  Concurrent.NumWorkers = 8;
+  RepairEngine Engine(Concurrent);
+  std::vector<JobHandle> Handles;
+  for (int J = 0; J < 8; ++J)
+    Handles.push_back(Engine.submit(RepairRequest::points(Net, 4, Spec)));
+  std::int64_t StoreHits = 0;
+  for (JobHandle &Handle : Handles) {
+    expectBitIdentical(Handle.report().Result, Serial);
+    StoreHits += Handle.report().StoreHits;
+  }
+  // One job deserialized from disk inside the single-flight claim; the
+  // other seven shared the promoted L1 entry.
+  EXPECT_EQ(StoreHits, 1);
+  EXPECT_EQ(Engine.storeStats().Hits, 1u);
+  EXPECT_EQ(Engine.cacheStats().Hits, 7u);
+}
+
+} // namespace
