@@ -397,6 +397,8 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Entry.JacobianSeconds = Attempt.Stats.JacobianSeconds;
     Entry.LpSeconds = Attempt.Stats.LpSeconds;
     Entry.LinRegionsSeconds = Attempt.Stats.LinRegionsSeconds;
+    Entry.LpIterations = Attempt.Stats.LpIterations;
+    Entry.LpRefactors = Attempt.Stats.LpKernels.Refactors;
     Entry.CacheHits = Attempt.Stats.cacheHits();
     Entry.CacheMisses = Attempt.Stats.cacheMisses();
     Entry.StoreHits = Attempt.Stats.storeHits();

@@ -33,6 +33,12 @@ struct SweepAttempt {
   double JacobianSeconds = 0.0;
   double LpSeconds = 0.0;
   double LinRegionsSeconds = 0.0;
+  /// Simplex work this attempt's LP phase did (all CG rounds): total
+  /// iterations and basis refactorizations. The full per-kernel
+  /// breakdown (SimplexStats) rides on the attempt's RepairStats
+  /// (`RepairResult::Stats::LpKernels`) for the winning attempt.
+  int LpIterations = 0;
+  int LpRefactors = 0;
   /// Artifact-cache lookups this attempt performed, all phases.
   int CacheHits = 0;
   int CacheMisses = 0;

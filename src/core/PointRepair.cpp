@@ -382,6 +382,7 @@ RepairResult prdnn::detail::repairPointsImpl(const Network &Net,
     lp::LpSolution Sol = lp::solveLp(Lp.problem(), LpOptions);
     LpSeconds += LpTimer.seconds();
     LpIterations += Sol.Iterations;
+    Result.Stats.LpKernels.accumulate(Sol.Stats);
     if (Sol.Status == lp::SolveStatus::Optimal)
       Out = Lp.extractDelta(Sol.X);
     if (Sol.Status == lp::SolveStatus::Cancelled)

@@ -104,6 +104,13 @@ struct RepairStats {
   int LpRowsUsed = 0;
   int CgRounds = 0;
   int LpIterations = 0;
+  /// Simplex kernel counters and timings accumulated over every LP
+  /// solve of this repair (all constraint-generation rounds): pivot /
+  /// bound-flip / refactorization counts, the pivot-sequence hash, and
+  /// per-kernel seconds (pricing, FTRAN/BTRAN, ratio test, eta update,
+  /// refactorization). ParallelKernels records whether any solve ran
+  /// the blocked parallel path.
+  lp::SimplexStats LpKernels;
   /// Post-repair max spec violation measured on the network itself.
   double VerifiedViolation = 0.0;
   // Filled by polytope repair (Algorithm 2) only:

@@ -17,12 +17,42 @@
 // and before any terminal status is reported, so returned solutions are
 // always re-verified against a freshly factorized basis.
 //
+// Kernel parallelism. Once M >= SimplexOptions::ParallelMinDim (and
+// ParallelKernels is on), the dense inner kernels run blocked on the
+// shared support/Parallel.h pool under the library-wide determinism
+// contract - every output element keeps the exact accumulation order of
+// the scalar kernel, and block merges are deterministic - so the
+// parallel path is bit-for-bit identical to the scalar path at any
+// thread count (same pivot sequence, same LpSolution bits; enforced by
+// tests/lp_test.cpp). Per-kernel notes:
+//  - pricing: one batched reduced-cost pass rc = c - A~^T y over
+//    column-blocked ColA (slack columns are the -I block); per-block
+//    Dantzig candidates merge in ascending block order with the scalar
+//    scan's strict-> rule, so the chosen column matches the scalar
+//    earliest-max exactly. Bland's rule sweeps fixed groups of blocks
+//    with an early exit, returning the globally first improving index.
+//  - FTRAN/BTRAN: row-blocked (resp. column-blocked) matvecs; each
+//    output element is one sequential dot / accumulation in the scalar
+//    order.
+//  - refactorization / eta update: the O(M^2)-per-step row-elimination
+//    updates parallelize over rows; each row's arithmetic is
+//    independent of the partitioning.
+//  - ratio test: blocking rows are preselected per row block (the
+//    per-row limit computation is order-free), then merged by a serial
+//    replay of the scalar scan. The merge must be serial: the tie
+//    window tracks the incumbent ratio, so candidate selection is
+//    genuinely order-dependent and per-block winners would diverge.
+// See src/lp/README.md for the full contract.
+//
 //===----------------------------------------------------------------------===//
 
 #include "lp/Simplex.h"
 
 #include "support/Error.h"
+#include "support/Parallel.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -52,6 +82,21 @@ namespace {
 
 enum class VarStatus : uint8_t { Basic, AtLower, AtUpper, FreeNb };
 
+/// Accumulates the enclosing scope's wall time into a SimplexStats
+/// field; timing never feeds back into any computed value, so the
+/// instrumentation cannot perturb determinism.
+class KernelTimer {
+public:
+  explicit KernelTimer(double &Accumulator) : Accumulator(Accumulator) {}
+  ~KernelTimer() { Accumulator += Timer.seconds(); }
+  KernelTimer(const KernelTimer &) = delete;
+  KernelTimer &operator=(const KernelTimer &) = delete;
+
+private:
+  double &Accumulator;
+  WallTimer Timer;
+};
+
 /// One simplex solve; owns all scaled problem data and factorizations.
 class Worker {
 public:
@@ -77,6 +122,33 @@ private:
   std::vector<double> Binv;         // dense M*M, row-major
   std::vector<double> W, Y, Cb, Rhs;
 
+  // Parallel-kernel state. All scratch lives on the Worker and is
+  // sized once in initialBasis(), so the iteration hot loop allocates
+  // nothing (asserted in debug builds via the capacity watermark).
+  bool Par = false; // parallel kernels active for this solve
+  static constexpr int PriceGrain = 64;  // columns per pricing block
+  static constexpr int RatioGrain = 256; // rows per ratio block
+  /// Blocks swept together (with one deterministic merge) per early-
+  /// exit round of parallel Bland pricing. A fixed constant: the merge
+  /// result is group-size independent, but a fixed value keeps the
+  /// work profile reproducible too.
+  static constexpr int BlandGroupBlocks = 16;
+  int NumPriceBlocks = 0, NumRatioBlocks = 0;
+  std::vector<double> Rc;              // NT reduced costs (batched pass)
+  std::vector<double> PriceBlockScore; // per pricing block: Dantzig best
+  std::vector<int> PriceBlockJ, PriceBlockSigma;
+  std::vector<int> PriceBlockFirst; // per block: Bland first-improving
+  struct RatioCand {
+    double Limit;
+    double WAbs;
+    int Row;
+    bool AtUpper;
+  };
+  std::vector<std::vector<RatioCand>> RatioBlocks; // preselected rows
+  std::vector<double> RefB, RefInv;                // refactor scratch
+
+  SimplexStats Stats;
+
   int Iterations = 0;
   int Phase1Iterations = 0;
   int PivotsSinceRefactor = 0;
@@ -84,6 +156,16 @@ private:
   int Stall = 0;
   double PrevObj = 0.0;
   bool HavePrevObj = false;
+
+#ifndef NDEBUG
+  // Per-iteration-allocation guard: capacities of every hot-loop
+  // buffer, snapshotted after setup; iterate() asserts the counter of
+  // capacity changes stays zero.
+  std::vector<size_t> ScratchWatermark, ScratchCapsNow;
+  void collectScratchCaps(std::vector<size_t> &Out) const;
+  void snapshotScratch();
+  int scratchGrowths();
+#endif
 
   bool buildProblem(LpSolution &Out); // false => Out holds final status
   void initialBasis();
@@ -96,7 +178,36 @@ private:
   void computeDuals();
   bool isFixed(int J) const { return Hi[J] - Lo[J] <= 1e-30; }
 
+  /// The one pricing rule, shared by every kernel path (scalar scan,
+  /// parallel Dantzig blocks, Bland sweeps, batched verification):
+  /// prices column \p J against the current duals Y and returns the
+  /// improving direction (+1 rising from lower / free, -1 falling from
+  /// upper / free) or 0. Skips basic and fixed columns, leaving
+  /// \p RcOut untouched; otherwise stores the reduced cost there.
+  int priceColumn(int J, bool Phase1, double &RcOut) const {
+    VarStatus S = Stat[static_cast<size_t>(J)];
+    if (S == VarStatus::Basic || isFixed(J))
+      return 0;
+    double RcJ = (Phase1 ? 0.0 : Cost[static_cast<size_t>(J)]) -
+                 columnDot(Y, J);
+    RcOut = RcJ;
+    if ((S == VarStatus::AtLower || S == VarStatus::FreeNb) &&
+        RcJ < -Opt.OptTol)
+      return 1;
+    if ((S == VarStatus::AtUpper || S == VarStatus::FreeNb) &&
+        RcJ > Opt.OptTol)
+      return -1;
+    return 0;
+  }
+
   int chooseEntering(bool Phase1, int &SigmaOut);
+  int chooseEnteringScalar(bool Phase1, int &SigmaOut);
+  int chooseEnteringDantzigPar(bool Phase1, int &SigmaOut);
+  int chooseEnteringBlandPar(bool Phase1, int &SigmaOut);
+  /// Parallel reduced-cost pass over every nonbasic, unfixed column
+  /// into Rc (no candidate selection); used by the dual-feasibility
+  /// verification in run().
+  void batchReducedCosts(bool Phase1);
 
   struct RatioResult {
     double T = 0.0;
@@ -106,12 +217,127 @@ private:
     bool Unbounded = false;
   };
   RatioResult ratioTest(int J, int Sigma, bool Phase1);
+  RatioResult ratioTestScalar(int J, int Sigma, bool Phase1);
+  RatioResult ratioTestParallel(int J, int Sigma, bool Phase1);
+
+  /// The one per-row blocking computation, shared by the scalar scan
+  /// and the parallel preselection: how far the entering step travels
+  /// before basic row \p R blocks it (Blocking false if it never does).
+  struct RowLimit {
+    double Limit = 0.0;
+    double WAbs = 0.0;
+    bool AtUpper = false;
+    bool Blocking = false;
+  };
+  RowLimit rowLimit(int R, int Sigma, bool Phase1) const {
+    RowLimit Out;
+    double Wr = W[static_cast<size_t>(R)];
+    if (std::fabs(Wr) <= Opt.PivotTol)
+      return Out;
+    double Delta = -Sigma * Wr; // d X[Basis[R]] / d t
+    int K = Basis[static_cast<size_t>(R)];
+    double V = X[static_cast<size_t>(K)];
+    double FeasEps = Opt.FeasTol;
+
+    double Limit = kInfinity;
+    bool AtUpper = false;
+    if (Phase1 && V < Lo[K] - FeasEps) {
+      // Infeasible below its lower bound: blocks only when rising back
+      // to that bound.
+      if (Delta > 0.0) {
+        Limit = (Lo[K] - V) / Delta;
+        AtUpper = false;
+      }
+    } else if (Phase1 && V > Hi[K] + FeasEps) {
+      if (Delta < 0.0) {
+        Limit = (Hi[K] - V) / Delta;
+        AtUpper = true;
+      }
+    } else if (Delta > 0.0) {
+      if (std::isfinite(Hi[K])) {
+        Limit = (Hi[K] - V) / Delta;
+        AtUpper = true;
+      }
+    } else { // Delta < 0
+      if (std::isfinite(Lo[K])) {
+        Limit = (Lo[K] - V) / Delta;
+        AtUpper = false;
+      }
+    }
+    if (!std::isfinite(Limit))
+      return Out;
+    if (Limit < 0.0)
+      Limit = 0.0; // degenerate: basic already (numerically) at bound
+    Out.Limit = Limit;
+    Out.WAbs = std::fabs(Wr);
+    Out.AtUpper = AtUpper;
+    Out.Blocking = true;
+    return Out;
+  }
+
+  /// The one incumbent-relative acceptance rule of the ratio test,
+  /// shared by the scalar scan and the parallel merge. Prefer strictly
+  /// smaller ratios; within a small tie window prefer the larger pivot
+  /// magnitude for numerical stability (or the lowest basis index under
+  /// Bland's rule). Ties against a bound flip (BestRow < 0) keep the
+  /// flip, which is the cheapest step.
+  bool ratioBetter(double Limit, double WAbs, int Row, double BestT,
+                   int BestRow, double BestPivotMag) const {
+    if (!std::isfinite(BestT) || Limit < BestT - 1e-9 * (1.0 + BestT))
+      return true;
+    if (Limit <= BestT + 1e-9 * (1.0 + BestT) && BestRow >= 0) {
+      if (Bland)
+        return Basis[static_cast<size_t>(Row)] <
+               Basis[static_cast<size_t>(BestRow)];
+      return WAbs > BestPivotMag;
+    }
+    return false;
+  }
   void applyStep(int J, int Sigma, const RatioResult &R);
   void updateBinv(int PivotRow);
 
   SolveStatus iterate(bool Phase1);
   LpSolution finish(SolveStatus Status);
 };
+
+#ifndef NDEBUG
+void Worker::collectScratchCaps(std::vector<size_t> &Out) const {
+  Out.clear();
+  Out.push_back(W.capacity());
+  Out.push_back(Y.capacity());
+  Out.push_back(Cb.capacity());
+  Out.push_back(Rhs.capacity());
+  Out.push_back(Binv.capacity());
+  Out.push_back(X.capacity());
+  Out.push_back(Basis.capacity());
+  Out.push_back(Rc.capacity());
+  Out.push_back(PriceBlockScore.capacity());
+  Out.push_back(PriceBlockJ.capacity());
+  Out.push_back(PriceBlockSigma.capacity());
+  Out.push_back(PriceBlockFirst.capacity());
+  Out.push_back(RefB.capacity());
+  Out.push_back(RefInv.capacity());
+  for (const auto &Block : RatioBlocks)
+    Out.push_back(Block.capacity());
+}
+
+void Worker::snapshotScratch() {
+  collectScratchCaps(ScratchWatermark);
+  ScratchCapsNow.reserve(ScratchWatermark.capacity());
+}
+
+/// Number of hot-loop buffers whose capacity changed since the
+/// snapshot - i.e. per-iteration allocations. Must stay 0.
+int Worker::scratchGrowths() {
+  collectScratchCaps(ScratchCapsNow);
+  if (ScratchCapsNow.size() != ScratchWatermark.size())
+    return static_cast<int>(ScratchCapsNow.size() + ScratchWatermark.size());
+  int Growths = 0;
+  for (size_t I = 0; I < ScratchCapsNow.size(); ++I)
+    Growths += ScratchCapsNow[I] != ScratchWatermark[I];
+  return Growths;
+}
+#endif
 
 bool Worker::buildProblem(LpSolution &Out) {
   NS = Prob.numVariables();
@@ -123,8 +349,10 @@ bool Worker::buildProblem(LpSolution &Out) {
     const LpRow &Row = Prob.row(I);
     bool HasNonzero = false;
     for (double V : Row.Value)
-      if (V != 0.0)
+      if (V != 0.0) {
         HasNonzero = true;
+        break;
+      }
     if (HasNonzero) {
       KeptRows.push_back(I);
       continue;
@@ -186,6 +414,26 @@ void Worker::initialBasis() {
   Y.resize(M);
   Cb.resize(M);
   Rhs.resize(M);
+  // Refactorization scratch (both kernel paths) and the batched-pricing
+  // / ratio-preselection scratch (parallel path only), sized once so no
+  // iteration ever allocates.
+  RefB.resize(static_cast<size_t>(M) * M);
+  RefInv.resize(static_cast<size_t>(M) * M);
+  if (Par) {
+    Rc.resize(static_cast<size_t>(NT));
+    NumPriceBlocks = (NT + PriceGrain - 1) / PriceGrain;
+    PriceBlockScore.resize(static_cast<size_t>(NumPriceBlocks));
+    PriceBlockJ.resize(static_cast<size_t>(NumPriceBlocks));
+    PriceBlockSigma.resize(static_cast<size_t>(NumPriceBlocks));
+    PriceBlockFirst.resize(static_cast<size_t>(NumPriceBlocks));
+    NumRatioBlocks = (M + RatioGrain - 1) / RatioGrain;
+    RatioBlocks.resize(static_cast<size_t>(NumRatioBlocks));
+    for (auto &Block : RatioBlocks)
+      Block.reserve(RatioGrain); // a block never holds more rows
+  }
+#ifndef NDEBUG
+  snapshotScratch();
+#endif
 
   for (int J = 0; J < NS; ++J) {
     bool LoFinite = std::isfinite(Lo[J]);
@@ -211,9 +459,16 @@ void Worker::initialBasis() {
 
 bool Worker::refactor() {
   // Rebuild Binv from the current basis by Gauss-Jordan elimination with
-  // partial pivoting.
-  std::vector<double> B(static_cast<size_t>(M) * M, 0.0);
-  for (int R = 0; R < M; ++R) {
+  // partial pivoting, into the hoisted RefB/RefInv scratch. The row-
+  // elimination updates parallelize over rows: each row's arithmetic is
+  // independent of the partitioning, so the factorization is
+  // bit-identical to the serial one.
+  KernelTimer Timer(Stats.RefactorSeconds);
+  ++Stats.Refactors;
+  std::vector<double> &B = RefB;
+  std::vector<double> &Inv = RefInv;
+  std::fill(B.begin(), B.end(), 0.0);
+  auto BuildColumn = [&](int R) {
     int J = Basis[R];
     if (J < NS) {
       const double *Col = ColA.data() + static_cast<size_t>(J) * M;
@@ -222,8 +477,13 @@ bool Worker::refactor() {
     } else {
       B[static_cast<size_t>(J - NS) * M + R] = -1.0;
     }
-  }
-  std::vector<double> Inv(static_cast<size_t>(M) * M, 0.0);
+  };
+  if (Par)
+    parallelFor(0, M, [&](std::int64_t R) { BuildColumn(static_cast<int>(R)); });
+  else
+    for (int R = 0; R < M; ++R)
+      BuildColumn(R);
+  std::fill(Inv.begin(), Inv.end(), 0.0);
   for (int I = 0; I < M; ++I)
     Inv[static_cast<size_t>(I) * M + I] = 1.0;
 
@@ -251,21 +511,29 @@ bool Worker::refactor() {
       B[static_cast<size_t>(K) * M + C] *= Scale;
       Inv[static_cast<size_t>(K) * M + C] *= Scale;
     }
-    for (int I = 0; I < M; ++I) {
+    auto EliminateRow = [&](int I) {
       if (I == K)
-        continue;
+        return;
       double Factor = B[static_cast<size_t>(I) * M + K];
       if (Factor == 0.0)
-        continue;
+        return;
       for (int C = 0; C < M; ++C) {
         B[static_cast<size_t>(I) * M + C] -=
             Factor * B[static_cast<size_t>(K) * M + C];
         Inv[static_cast<size_t>(I) * M + C] -=
             Factor * Inv[static_cast<size_t>(K) * M + C];
       }
-    }
+    };
+    if (Par)
+      parallelFor(0, M,
+                  [&](std::int64_t I) { EliminateRow(static_cast<int>(I)); });
+    else
+      for (int I = 0; I < M; ++I)
+        EliminateRow(I);
   }
-  Binv = std::move(Inv);
+  // Adopt the fresh inverse; RefInv inherits the old Binv storage (same
+  // capacity) and is overwritten on the next refactorization.
+  std::swap(Binv, Inv);
   PivotsSinceRefactor = 0;
   return true;
 }
@@ -284,13 +552,20 @@ void Worker::recomputeBasicValues() {
       Rhs[J - NS] += X[J];
     }
   }
-  for (int R = 0; R < M; ++R) {
+  // Basic entries of X are distinct slots, so the row-blocked matvec
+  // writes disjointly; each element keeps its scalar accumulation order.
+  auto RowValue = [&](int R) {
     const double *Row = Binv.data() + static_cast<size_t>(R) * M;
     double Sum = 0.0;
     for (int I = 0; I < M; ++I)
       Sum += Row[I] * Rhs[I];
     X[Basis[R]] = Sum;
-  }
+  };
+  if (Par)
+    parallelFor(0, M, [&](std::int64_t R) { RowValue(static_cast<int>(R)); });
+  else
+    for (int R = 0; R < M; ++R)
+      RowValue(R);
 }
 
 double Worker::infeasibility() const {
@@ -329,7 +604,10 @@ double Worker::columnDot(const std::vector<double> &Vec, int J) const {
 }
 
 void Worker::computeColumn(int J) {
-  // W = Binv * Atilde_J.
+  // FTRAN: W = Binv * Atilde_J. Row-blocked parallel matvec; every
+  // W[R] is one sequential dot in the scalar order, so partitioning
+  // cannot move a single bit.
+  KernelTimer Timer(Stats.FtranSeconds);
   if (J >= NS) {
     int K = J - NS;
     for (int R = 0; R < M; ++R)
@@ -337,29 +615,60 @@ void Worker::computeColumn(int J) {
     return;
   }
   const double *Col = ColA.data() + static_cast<size_t>(J) * M;
-  for (int R = 0; R < M; ++R) {
+  auto RowDot = [&](int R) {
     const double *Row = Binv.data() + static_cast<size_t>(R) * M;
     double Sum = 0.0;
     for (int I = 0; I < M; ++I)
       Sum += Row[I] * Col[I];
     W[R] = Sum;
-  }
+  };
+  if (Par)
+    parallelFor(0, M, [&](std::int64_t R) { RowDot(static_cast<int>(R)); });
+  else
+    for (int R = 0; R < M; ++R)
+      RowDot(R);
 }
 
 void Worker::computeDuals() {
-  // Y^T = Cb^T Binv.
-  std::fill(Y.begin(), Y.end(), 0.0);
-  for (int R = 0; R < M; ++R) {
-    double C = Cb[R];
-    if (C == 0.0)
-      continue;
-    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
-    for (int I = 0; I < M; ++I)
-      Y[I] += C * Row[I];
+  // BTRAN: Y^T = Cb^T Binv. Column-blocked: each block walks the basic
+  // rows in ascending order and accumulates its slice of Y, preserving
+  // every Y[I]'s scalar accumulation order while still reading Binv
+  // rows contiguously.
+  KernelTimer Timer(Stats.BtranSeconds);
+  if (!Par) {
+    std::fill(Y.begin(), Y.end(), 0.0);
+    for (int R = 0; R < M; ++R) {
+      double C = Cb[R];
+      if (C == 0.0)
+        continue;
+      const double *Row = Binv.data() + static_cast<size_t>(R) * M;
+      for (int I = 0; I < M; ++I)
+        Y[I] += C * Row[I];
+    }
+    return;
   }
+  parallelForRanges(0, M, [&](std::int64_t Begin, std::int64_t End) {
+    std::fill(Y.begin() + Begin, Y.begin() + End, 0.0);
+    for (int R = 0; R < M; ++R) {
+      double C = Cb[R];
+      if (C == 0.0)
+        continue;
+      const double *Row = Binv.data() + static_cast<size_t>(R) * M;
+      for (std::int64_t I = Begin; I < End; ++I)
+        Y[I] += C * Row[I];
+    }
+  });
 }
 
 int Worker::chooseEntering(bool Phase1, int &SigmaOut) {
+  KernelTimer Timer(Stats.PricingSeconds);
+  if (!Par)
+    return chooseEnteringScalar(Phase1, SigmaOut);
+  return Bland ? chooseEnteringBlandPar(Phase1, SigmaOut)
+               : chooseEnteringDantzigPar(Phase1, SigmaOut);
+}
+
+int Worker::chooseEnteringScalar(bool Phase1, int &SigmaOut) {
   // Full Dantzig pricing (best |rc|); Bland's rule takes the first
   // improving index instead. Partial pricing was tried and reverted: on
   // the repair LPs' split-variable columns it zigzags into iteration
@@ -368,17 +677,8 @@ int Worker::chooseEntering(bool Phase1, int &SigmaOut) {
   int BestSigma = 0;
   double BestScore = Opt.OptTol;
   for (int J = 0; J < NT; ++J) {
-    VarStatus S = Stat[J];
-    if (S == VarStatus::Basic || isFixed(J))
-      continue;
-    double Rc = (Phase1 ? 0.0 : Cost[J]) - columnDot(Y, J);
-    int Sigma = 0;
-    if ((S == VarStatus::AtLower || S == VarStatus::FreeNb) &&
-        Rc < -Opt.OptTol)
-      Sigma = 1;
-    else if ((S == VarStatus::AtUpper || S == VarStatus::FreeNb) &&
-             Rc > Opt.OptTol)
-      Sigma = -1;
+    double RcJ = 0.0;
+    int Sigma = priceColumn(J, Phase1, RcJ);
     if (Sigma == 0)
       continue;
     if (Bland) {
@@ -386,7 +686,7 @@ int Worker::chooseEntering(bool Phase1, int &SigmaOut) {
       SigmaOut = Sigma;
       return J;
     }
-    double Score = std::fabs(Rc);
+    double Score = std::fabs(RcJ);
     if (Score > BestScore) {
       BestScore = Score;
       BestJ = J;
@@ -397,7 +697,115 @@ int Worker::chooseEntering(bool Phase1, int &SigmaOut) {
   return BestJ;
 }
 
+int Worker::chooseEnteringDantzigPar(bool Phase1, int &SigmaOut) {
+  // Batched reduced-cost pass rc = c - A~^T y over column blocks of
+  // ColA (slack columns j >= NS are the -I block inside columnDot).
+  // Each column's dot keeps the scalar accumulation order; each block
+  // keeps the scalar scan's running-best rule (strict >, earliest index
+  // kept on ties), and blocks merge in ascending order under the same
+  // rule - so the winner is exactly the scalar scan's earliest-max.
+  parallelForRanges(
+      0, NT,
+      [&](std::int64_t Begin, std::int64_t End) {
+        size_t Block = static_cast<size_t>(Begin / PriceGrain);
+        double BestScore = Opt.OptTol;
+        int BestJ = -1;
+        int BestSigma = 0;
+        for (std::int64_t J = Begin; J < End; ++J) {
+          double RcJ = 0.0;
+          int Sigma = priceColumn(static_cast<int>(J), Phase1, RcJ);
+          if (Sigma == 0)
+            continue;
+          double Score = std::fabs(RcJ);
+          if (Score > BestScore) {
+            BestScore = Score;
+            BestJ = static_cast<int>(J);
+            BestSigma = Sigma;
+          }
+        }
+        PriceBlockScore[Block] = BestScore;
+        PriceBlockJ[Block] = BestJ;
+        PriceBlockSigma[Block] = BestSigma;
+      },
+      PriceGrain);
+
+  double BestScore = Opt.OptTol;
+  int BestJ = -1;
+  int BestSigma = 0;
+  for (int Block = 0; Block < NumPriceBlocks; ++Block) {
+    if (PriceBlockJ[Block] >= 0 && PriceBlockScore[Block] > BestScore) {
+      BestScore = PriceBlockScore[Block];
+      BestJ = PriceBlockJ[Block];
+      BestSigma = PriceBlockSigma[Block];
+    }
+  }
+  SigmaOut = BestSigma;
+  return BestJ;
+}
+
+int Worker::chooseEnteringBlandPar(bool Phase1, int &SigmaOut) {
+  // Bland's rule wants the globally first improving index, so a full
+  // batched pass would waste the early exit the scalar scan enjoys.
+  // Instead sweep fixed-size groups of column blocks: within a group
+  // each block finds its first improving index in parallel, then the
+  // ascending-order merge takes the earliest hit - the same index the
+  // scalar scan returns - and later groups are never priced.
+  for (int Group = 0; Group < NumPriceBlocks; Group += BlandGroupBlocks) {
+    int GroupEnd = std::min(NumPriceBlocks, Group + BlandGroupBlocks);
+    std::int64_t ColBegin = static_cast<std::int64_t>(Group) * PriceGrain;
+    std::int64_t ColEnd =
+        std::min<std::int64_t>(NT, static_cast<std::int64_t>(GroupEnd) *
+                                       PriceGrain);
+    parallelForRanges(
+        ColBegin, ColEnd,
+        [&](std::int64_t Begin, std::int64_t End) {
+          size_t Block = static_cast<size_t>(Begin / PriceGrain);
+          int Found = -1;
+          int FoundSigma = 0;
+          for (std::int64_t J = Begin; J < End; ++J) {
+            double RcJ = 0.0;
+            int Sigma = priceColumn(static_cast<int>(J), Phase1, RcJ);
+            if (Sigma != 0) {
+              Found = static_cast<int>(J);
+              FoundSigma = Sigma;
+              break;
+            }
+          }
+          PriceBlockFirst[Block] = Found;
+          PriceBlockSigma[Block] = FoundSigma;
+        },
+        PriceGrain);
+    for (int Block = Group; Block < GroupEnd; ++Block) {
+      if (PriceBlockFirst[Block] >= 0) {
+        SigmaOut = PriceBlockSigma[Block];
+        return PriceBlockFirst[Block];
+      }
+    }
+  }
+  SigmaOut = 0;
+  return -1;
+}
+
+void Worker::batchReducedCosts(bool Phase1) {
+  KernelTimer Timer(Stats.PricingSeconds);
+  parallelForRanges(
+      0, NT,
+      [&](std::int64_t Begin, std::int64_t End) {
+        // Rc[J] stays untouched (stale) for skipped basic/fixed
+        // columns, which no reader consults.
+        for (std::int64_t J = Begin; J < End; ++J)
+          priceColumn(static_cast<int>(J), Phase1, Rc[static_cast<size_t>(J)]);
+      },
+      PriceGrain);
+}
+
 Worker::RatioResult Worker::ratioTest(int J, int Sigma, bool Phase1) {
+  KernelTimer Timer(Stats.RatioSeconds);
+  return Par ? ratioTestParallel(J, Sigma, Phase1)
+             : ratioTestScalar(J, Sigma, Phase1);
+}
+
+Worker::RatioResult Worker::ratioTestScalar(int J, int Sigma, bool Phase1) {
   RatioResult Result;
   double BestT = kInfinity;
   bool BestIsFlip = false;
@@ -411,63 +819,15 @@ Worker::RatioResult Worker::ratioTest(int J, int Sigma, bool Phase1) {
     BestIsFlip = true;
   }
 
-  double FeasEps = Opt.FeasTol;
   for (int R = 0; R < M; ++R) {
-    double Wr = W[R];
-    if (std::fabs(Wr) <= Opt.PivotTol)
+    RowLimit L = rowLimit(R, Sigma, Phase1);
+    if (!L.Blocking)
       continue;
-    double Delta = -Sigma * Wr; // d X[Basis[R]] / d t
-    int K = Basis[R];
-    double V = X[K];
-
-    double Limit = kInfinity;
-    bool AtUpper = false;
-    if (Phase1 && V < Lo[K] - FeasEps) {
-      // Infeasible below its lower bound: blocks only when rising back
-      // to that bound.
-      if (Delta > 0.0) {
-        Limit = (Lo[K] - V) / Delta;
-        AtUpper = false;
-      }
-    } else if (Phase1 && V > Hi[K] + FeasEps) {
-      if (Delta < 0.0) {
-        Limit = (Hi[K] - V) / Delta;
-        AtUpper = true;
-      }
-    } else if (Delta > 0.0) {
-      if (std::isfinite(Hi[K])) {
-        Limit = (Hi[K] - V) / Delta;
-        AtUpper = true;
-      }
-    } else { // Delta < 0
-      if (std::isfinite(Lo[K])) {
-        Limit = (Lo[K] - V) / Delta;
-        AtUpper = false;
-      }
-    }
-    if (!std::isfinite(Limit))
-      continue;
-    if (Limit < 0.0)
-      Limit = 0.0; // degenerate: basic already (numerically) at bound
-
-    // Prefer strictly smaller ratios; within a small tie window prefer
-    // the larger pivot magnitude for numerical stability (or the lowest
-    // basis index under Bland's rule). Ties against a bound flip keep
-    // the flip, which is the cheapest step.
-    bool Better = false;
-    if (!std::isfinite(BestT) || Limit < BestT - 1e-9 * (1.0 + BestT)) {
-      Better = true;
-    } else if (Limit <= BestT + 1e-9 * (1.0 + BestT) && BestRow >= 0) {
-      if (Bland)
-        Better = Basis[R] < Basis[BestRow];
-      else
-        Better = std::fabs(Wr) > BestPivotMag;
-    }
-    if (Better) {
-      BestT = Limit;
+    if (ratioBetter(L.Limit, L.WAbs, R, BestT, BestRow, BestPivotMag)) {
+      BestT = L.Limit;
       BestRow = R;
-      BestAtUpper = AtUpper;
-      BestPivotMag = std::fabs(Wr);
+      BestAtUpper = L.AtUpper;
+      BestPivotMag = L.WAbs;
       BestIsFlip = false;
     }
   }
@@ -483,7 +843,89 @@ Worker::RatioResult Worker::ratioTest(int J, int Sigma, bool Phase1) {
   return Result;
 }
 
+Worker::RatioResult Worker::ratioTestParallel(int J, int Sigma, bool Phase1) {
+  // Phase A - blocking-row preselection: rowLimit is pure per-row
+  // arithmetic (the same helper the scalar scan uses), so row blocks
+  // compute it in parallel, compacting the rows that actually block
+  // (finite limit, pivot above tolerance) into per-block candidate
+  // lists in row order.
+  parallelForRanges(
+      0, M,
+      [&](std::int64_t Begin, std::int64_t End) {
+        auto &Cands = RatioBlocks[static_cast<size_t>(Begin / RatioGrain)];
+        Cands.clear();
+        for (std::int64_t R = Begin; R < End; ++R) {
+          RowLimit L = rowLimit(static_cast<int>(R), Sigma, Phase1);
+          if (L.Blocking)
+            Cands.push_back({L.Limit, L.WAbs, static_cast<int>(R),
+                             L.AtUpper});
+        }
+      },
+      RatioGrain);
+
+  // Phase B - deterministic merge: a serial replay of the scalar scan
+  // over the preselected rows in ascending block/row order. This must
+  // stay serial: the tie window is relative to the incumbent BestT,
+  // which drifts across ties, so "which row wins" is order-dependent -
+  // a per-block winner could discard a row that wins a tie against a
+  // *different* incumbent in the global ordering. Non-blocking rows
+  // never touch the scalar state, so skipping them here is exact.
+  RatioResult Result;
+  double BestT = kInfinity;
+  bool BestIsFlip = false;
+  int BestRow = -1;
+  bool BestAtUpper = false;
+  double BestPivotMag = 0.0;
+
+  // The entering variable's own travel between its bounds.
+  if (std::isfinite(Lo[J]) && std::isfinite(Hi[J])) {
+    BestT = Hi[J] - Lo[J];
+    BestIsFlip = true;
+  }
+
+  for (int Block = 0; Block < NumRatioBlocks; ++Block) {
+    for (const RatioCand &Cand : RatioBlocks[static_cast<size_t>(Block)]) {
+      if (ratioBetter(Cand.Limit, Cand.WAbs, Cand.Row, BestT, BestRow,
+                      BestPivotMag)) {
+        BestT = Cand.Limit;
+        BestRow = Cand.Row;
+        BestAtUpper = Cand.AtUpper;
+        BestPivotMag = Cand.WAbs;
+        BestIsFlip = false;
+      }
+    }
+  }
+
+  if (!std::isfinite(BestT)) {
+    Result.Unbounded = true;
+    return Result;
+  }
+  Result.T = BestT;
+  Result.Row = BestRow;
+  Result.LeaveAtUpper = BestAtUpper;
+  Result.BoundFlip = BestIsFlip;
+  return Result;
+}
+
 void Worker::applyStep(int J, int Sigma, const RatioResult &R) {
+  // Pivot-sequence digest (order-sensitive FNV-1a): entering index,
+  // direction, and bound-flip vs. (row, leaving side). Tests compare it
+  // across kernel paths and thread counts - equal hashes mean the
+  // parallel kernels walked the exact scalar pivot path.
+  auto Mix = [this](std::uint64_t V) {
+    Stats.PivotHash = (Stats.PivotHash ^ V) * 0x100000001b3ULL;
+  };
+  Mix(static_cast<std::uint64_t>(J));
+  Mix(static_cast<std::uint64_t>(Sigma + 2));
+  if (R.BoundFlip) {
+    ++Stats.BoundFlips;
+    Mix(~std::uint64_t{0});
+  } else {
+    ++Stats.Pivots;
+    Mix(static_cast<std::uint64_t>(R.Row));
+    Mix(R.LeaveAtUpper ? 3 : 5);
+  }
+
   double T = R.T;
   // Move all basic variables along the step direction.
   if (T != 0.0)
@@ -511,23 +953,30 @@ void Worker::applyStep(int J, int Sigma, const RatioResult &R) {
 void Worker::updateBinv(int PivotRow) {
   // Product-form update: with W = Binv * Atilde_entering, the new inverse
   // is E * Binv where E differs from the identity only in column
-  // PivotRow.
+  // PivotRow. Rows other than the pivot row update independently, so
+  // the eta update parallelizes over rows bit-identically.
+  KernelTimer Timer(Stats.UpdateSeconds);
   double Pivot = W[PivotRow];
   assert(std::fabs(Pivot) > 0.0 && "zero pivot in eta update");
   double *PivRow = Binv.data() + static_cast<size_t>(PivotRow) * M;
   double Inv = 1.0 / Pivot;
   for (int C = 0; C < M; ++C)
     PivRow[C] *= Inv;
-  for (int R = 0; R < M; ++R) {
+  auto UpdateRow = [&](int R) {
     if (R == PivotRow)
-      continue;
+      return;
     double Factor = W[R];
     if (Factor == 0.0)
-      continue;
+      return;
     double *Row = Binv.data() + static_cast<size_t>(R) * M;
     for (int C = 0; C < M; ++C)
       Row[C] -= Factor * PivRow[C];
-  }
+  };
+  if (Par)
+    parallelFor(0, M, [&](std::int64_t R) { UpdateRow(static_cast<int>(R)); });
+  else
+    for (int R = 0; R < M; ++R)
+      UpdateRow(R);
 }
 
 SolveStatus Worker::iterate(bool Phase1) {
@@ -540,6 +989,9 @@ SolveStatus Worker::iterate(bool Phase1) {
     if (Opt.CancelFlag &&
         Opt.CancelFlag->load(std::memory_order_relaxed))
       return SolveStatus::Cancelled;
+    assert(scratchGrowths() == 0 &&
+           "simplex hot loop allocated: a per-iteration scratch buffer "
+           "grew after setup");
     if (Iterations >= Opt.MaxIterations)
       return SolveStatus::IterationLimit;
     if (PivotsSinceRefactor >= Opt.RefactorInterval) {
@@ -604,8 +1056,12 @@ LpSolution Worker::finish(SolveStatus Status) {
   Out.Status = Status;
   Out.Iterations = Iterations;
   Out.Phase1Iterations = Phase1Iterations;
-  if (Status != SolveStatus::Optimal)
+  Stats.Iterations = Iterations;
+  Stats.ParallelKernels = Par;
+  if (Status != SolveStatus::Optimal) {
+    Out.Stats = Stats;
     return Out;
+  }
 
   Out.X.assign(X.begin(), X.begin() + NS);
   Out.Objective = Prob.objectiveValue(Out.X);
@@ -618,6 +1074,7 @@ LpSolution Worker::finish(SolveStatus Status) {
   Out.RowDuals.assign(static_cast<size_t>(Prob.numRows()), 0.0);
   for (int R = 0; R < M; ++R)
     Out.RowDuals[KeptRows[R]] = Y[R] / RowScale[R];
+  Out.Stats = Stats;
   return Out;
 }
 
@@ -625,6 +1082,12 @@ LpSolution Worker::run() {
   LpSolution Early;
   if (!buildProblem(Early))
     return Early;
+
+  // Kernel-path decision, made once per solve: the blocked/parallel
+  // kernels only pay off when the O(M^2) FTRAN/BTRAN and O(M * NT)
+  // pricing passes dominate the pool-dispatch cost. Either path yields
+  // bit-identical results; this is purely a performance crossover.
+  Par = Opt.ParallelKernels && M >= Opt.ParallelMinDim;
 
   // Trivial cases first.
   if (NS == 0) {
@@ -717,20 +1180,25 @@ LpSolution Worker::run() {
                           : P1);
       continue;
     }
-    // Verify dual feasibility on the clean factorization.
+    // Verify dual feasibility on the clean factorization. The parallel
+    // path batches the reduced costs (same per-column bits) and checks
+    // the sign conditions serially; the verdict is identical to the
+    // scalar early-exit scan because the conditions are per-column.
     for (int R = 0; R < M; ++R)
       Cb[R] = Cost[Basis[R]];
     computeDuals();
     bool DualOk = true;
+    if (Par)
+      batchReducedCosts(/*Phase1=*/false);
     for (int J = 0; J < NT && DualOk; ++J) {
       if (Stat[J] == VarStatus::Basic || isFixed(J))
         continue;
-      double Rc = Cost[J] - columnDot(Y, J);
+      double RcJ = Par ? Rc[J] : Cost[J] - columnDot(Y, J);
       if ((Stat[J] == VarStatus::AtLower || Stat[J] == VarStatus::FreeNb) &&
-          Rc < -50 * Opt.OptTol)
+          RcJ < -50 * Opt.OptTol)
         DualOk = false;
       if ((Stat[J] == VarStatus::AtUpper || Stat[J] == VarStatus::FreeNb) &&
-          Rc > 50 * Opt.OptTol)
+          RcJ > 50 * Opt.OptTol)
         DualOk = false;
     }
     if (DualOk)

@@ -14,6 +14,15 @@
 /// a final clean-solve verification before an Optimal status is
 /// reported, and dual values for optimality certificates.
 ///
+/// The dense inner kernels (pricing, FTRAN/BTRAN, refactorization, eta
+/// update, ratio-test preselection) run blocked and parallel on the
+/// shared support/Parallel.h pool once the problem reaches
+/// SimplexOptions::ParallelMinDim kept rows; below that - or with
+/// SimplexOptions::ParallelKernels off (the ablation baseline) - the
+/// scalar reference kernels run instead. Both paths are bit-for-bit
+/// identical at any thread count: identical pivot sequences, identical
+/// LpSolution bits (see src/lp/README.md for the determinism contract).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PRDNN_LP_SIMPLEX_H
@@ -22,6 +31,7 @@
 #include "lp/LinearProgram.h"
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace prdnn {
@@ -61,6 +71,61 @@ struct SimplexOptions {
   /// it becomes true the solve returns SolveStatus::Cancelled. The
   /// pointee must outlive the solve; null disables polling.
   const std::atomic<bool> *CancelFlag = nullptr;
+  /// Run the blocked/parallel inner kernels on the shared thread pool.
+  /// Off is the scalar-kernels ablation baseline; both settings produce
+  /// bit-for-bit identical solutions and pivot sequences.
+  bool ParallelKernels = true;
+  /// Minimum kept-row count M before the parallel kernels engage;
+  /// smaller LPs (the many per-layer solves of an engine sweep) run the
+  /// scalar kernels and pay no pool-dispatch overhead. Results are
+  /// identical either way; this only moves the crossover.
+  int ParallelMinDim = 192;
+};
+
+/// Per-solve counters and kernel timings, returned in LpSolution::Stats
+/// and accumulated into RepairStats::LpKernels by the repair pipeline.
+/// PivotHash is an order-sensitive FNV-1a digest of the pivot sequence
+/// (entering index, direction, bound flip / leaving row per step);
+/// tests compare it across thread counts to assert the parallel kernels
+/// reproduce the scalar pivot path exactly.
+struct SimplexStats {
+  int Iterations = 0;
+  int Pivots = 0;
+  int BoundFlips = 0;
+  int Refactors = 0;
+  std::uint64_t PivotHash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+  double PricingSeconds = 0.0;
+  double FtranSeconds = 0.0;
+  double BtranSeconds = 0.0;
+  double RatioSeconds = 0.0;
+  double UpdateSeconds = 0.0;
+  double RefactorSeconds = 0.0;
+  /// Whether this solve ran the parallel kernels (ParallelKernels on
+  /// and M >= ParallelMinDim).
+  bool ParallelKernels = false;
+
+  /// Total seconds attributed to the six instrumented kernels.
+  double kernelSeconds() const {
+    return PricingSeconds + FtranSeconds + BtranSeconds + RatioSeconds +
+           UpdateSeconds + RefactorSeconds;
+  }
+
+  /// Folds \p Other in (counter sums, order-sensitive hash mix); used
+  /// to aggregate the per-solve stats of a multi-round repair.
+  void accumulate(const SimplexStats &Other) {
+    Iterations += Other.Iterations;
+    Pivots += Other.Pivots;
+    BoundFlips += Other.BoundFlips;
+    Refactors += Other.Refactors;
+    PivotHash = (PivotHash ^ Other.PivotHash) * 0x100000001b3ULL;
+    PricingSeconds += Other.PricingSeconds;
+    FtranSeconds += Other.FtranSeconds;
+    BtranSeconds += Other.BtranSeconds;
+    RatioSeconds += Other.RatioSeconds;
+    UpdateSeconds += Other.UpdateSeconds;
+    RefactorSeconds += Other.RefactorSeconds;
+    ParallelKernels = ParallelKernels || Other.ParallelKernels;
+  }
 };
 
 struct LpSolution {
@@ -74,6 +139,9 @@ struct LpSolution {
   std::vector<double> RowDuals;
   int Iterations = 0;
   int Phase1Iterations = 0;
+  /// Pivot counts, refactorizations, pivot-sequence hash, and
+  /// per-kernel seconds for this solve (stamped on every status).
+  SimplexStats Stats;
 };
 
 /// Solves \p Problem; never throws. Statuses other than Optimal leave

@@ -12,11 +12,14 @@
 #include "lp/NormObjective.h"
 #include "lp/Simplex.h"
 
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 namespace {
 
@@ -454,5 +457,283 @@ TEST_P(DeltaLpRandomTest, SolutionsSatisfyConstraints) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DeltaLpRandomTest,
                          ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+// --- Parallel-vs-scalar kernel bit-identity ----------------------------------
+//
+// The blocked/parallel simplex kernels promise bit-for-bit the scalar
+// path's behaviour at any thread count: the same pivot sequence
+// (PivotHash, pivot/flip/refactor counts) and the same LpSolution bits
+// (status, X, objective, duals). These tests drive every terminal
+// status - Optimal, Infeasible, Unbounded, IterationLimit - plus
+// Bland's-rule and degenerate pivoting, at 1/4/8 pool threads. The
+// suite also runs in the CI ThreadSanitizer job.
+
+/// Bitwise (memcmp) equality, so -0.0 vs 0.0 or NaN payload drift
+/// fails where a tolerance compare would hide it.
+void expectSameBits(const std::vector<double> &A, const std::vector<double> &B,
+                    const std::string &What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  if (!A.empty())
+    EXPECT_EQ(0, std::memcmp(A.data(), B.data(), A.size() * sizeof(double)))
+        << What;
+}
+
+void expectBitIdentical(const LpSolution &Scalar, const LpSolution &Par,
+                        const std::string &What) {
+  EXPECT_EQ(Scalar.Status, Par.Status) << What;
+  EXPECT_EQ(Scalar.Iterations, Par.Iterations) << What;
+  EXPECT_EQ(Scalar.Phase1Iterations, Par.Phase1Iterations) << What;
+  // Same pivot sequence, not merely the same endpoint.
+  EXPECT_EQ(Scalar.Stats.PivotHash, Par.Stats.PivotHash) << What;
+  EXPECT_EQ(Scalar.Stats.Pivots, Par.Stats.Pivots) << What;
+  EXPECT_EQ(Scalar.Stats.BoundFlips, Par.Stats.BoundFlips) << What;
+  EXPECT_EQ(Scalar.Stats.Refactors, Par.Stats.Refactors) << What;
+  expectSameBits(Scalar.X, Par.X, What + ": X");
+  expectSameBits(Scalar.RowDuals, Par.RowDuals, What + ": RowDuals");
+  double ScalarObj = Scalar.Objective, ParObj = Par.Objective;
+  EXPECT_EQ(0, std::memcmp(&ScalarObj, &ParObj, sizeof(double)))
+      << What << ": Objective";
+}
+
+/// Dense feasible LP around a witness (mixed <= / >= / two-sided rows).
+LinearProgram makeDenseFeasibleLp(int Vars, int Rows, uint64_t Seed) {
+  Rng R(Seed);
+  LinearProgram P;
+  std::vector<double> Witness(static_cast<size_t>(Vars));
+  for (int J = 0; J < Vars; ++J) {
+    P.addVariable(-10.0, 10.0, R.normal());
+    Witness[static_cast<size_t>(J)] = R.uniform(-5.0, 5.0);
+  }
+  for (int I = 0; I < Rows; ++I) {
+    std::vector<int> Index;
+    std::vector<double> Value;
+    double Activity = 0.0;
+    for (int J = 0; J < Vars; ++J) {
+      double C = R.normal();
+      Index.push_back(J);
+      Value.push_back(C);
+      Activity += C * Witness[static_cast<size_t>(J)];
+    }
+    double Slack = R.uniform(0.1, 2.0);
+    if (I % 3 == 0)
+      P.addRow(std::move(Index), std::move(Value), Activity - Slack,
+               Activity + Slack);
+    else if (I % 3 == 1)
+      P.addRowLe(std::move(Index), std::move(Value), Activity + Slack);
+    else
+      P.addRowGe(std::move(Index), std::move(Value), Activity - Slack);
+  }
+  return P;
+}
+
+struct KernelCase {
+  std::string Name;
+  LinearProgram P;
+  SimplexOptions Base;
+  SolveStatus Expected;
+};
+
+std::vector<KernelCase> kernelCases() {
+  std::vector<KernelCase> Cases;
+
+  {
+    KernelCase C;
+    C.Name = "optimal-dense";
+    C.P = makeDenseFeasibleLp(48, 96, 1001);
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // The repair pipeline's own encoding: l1 split variables.
+    KernelCase C;
+    C.Name = "optimal-delta-l1";
+    Rng R(1002);
+    DeltaLp D(40, Norm::L1, 50.0);
+    std::vector<double> Witness(40);
+    for (double &Wj : Witness)
+      Wj = R.uniform(-2.0, 2.0);
+    for (int I = 0; I < 60; ++I) {
+      std::vector<double> Coef(40);
+      double Activity = 0.0;
+      for (int J = 0; J < 40; ++J) {
+        Coef[static_cast<size_t>(J)] = R.normal();
+        Activity += Coef[static_cast<size_t>(J)] * Witness[static_cast<size_t>(J)];
+      }
+      D.addConstraint(Coef, Activity - R.uniform(0.0, 1.0),
+                      Activity + R.uniform(0.0, 1.0));
+    }
+    C.P = D.problem();
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  {
+    KernelCase C;
+    C.Name = "infeasible";
+    C.P = makeDenseFeasibleLp(32, 64, 1003);
+    // Contradictory pair on variable 0 (its box is [-10, 10]).
+    C.P.addRowGe({0}, {1.0}, 6.0);
+    C.P.addRowLe({0}, {1.0}, -6.0);
+    C.Expected = SolveStatus::Infeasible;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // Feasible at zero, with a cost-improving ray x0 = 1 + x1.
+    KernelCase C;
+    C.Name = "unbounded";
+    int X0 = C.P.addFreeVariable(-1.0);
+    int X1 = C.P.addVariable(0.0, kInfinity, 0.0);
+    C.P.addRowLe({X0, X1}, {1.0, -1.0}, 1.0);
+    Rng R(1004);
+    for (int J = 0; J < 30; ++J)
+      C.P.addVariable(0.0, 5.0, R.normal());
+    for (int I = 0; I < 40; ++I) {
+      std::vector<int> Index;
+      std::vector<double> Value;
+      for (int J = 2; J < 32; ++J)
+        if (R.bernoulli(0.5)) {
+          Index.push_back(J);
+          Value.push_back(R.normal());
+        }
+      if (Index.empty())
+        continue;
+      C.P.addRowLe(std::move(Index), std::move(Value), R.uniform(5.0, 20.0));
+    }
+    C.Expected = SolveStatus::Unbounded;
+    Cases.push_back(std::move(C));
+  }
+  {
+    KernelCase C;
+    C.Name = "iteration-limit";
+    C.P = makeDenseFeasibleLp(48, 96, 1005);
+    C.Base.MaxIterations = 3;
+    C.Expected = SolveStatus::IterationLimit;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // Heavily degenerate vertex (all ones), with StallLimit = 1 so
+    // pricing flips into Bland's rule almost immediately.
+    KernelCase C;
+    C.Name = "bland-degenerate";
+    const int N = 10;
+    for (int J = 0; J < N; ++J)
+      C.P.addVariable(0.0, kInfinity, -1.0);
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J)
+        C.P.addRowLe({I, J}, {1.0, 1.0}, 2.0);
+    for (int J = 0; J < N; ++J)
+      C.P.addRowLe({J}, {1.0}, 1.0);
+    C.Base.StallLimit = 1;
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // M = 300 kept rows crosses the ratio-test block size (RatioGrain
+    // = 256), so the blocking-row preselection fills more than one
+    // block and the serial merge actually crosses a block boundary -
+    // the most order-sensitive code path in the parallel kernels.
+    KernelCase C;
+    C.Name = "ratio-multiblock";
+    C.P = makeDenseFeasibleLp(60, 300, 1006);
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // Crosses a Bland sweep group (BlandGroupBlocks * PriceGrain =
+    // 1024 columns): 1100 zero-cost padding variables occupy the low
+    // column indices - their reduced cost is exactly 0, never
+    // improving - while the degenerate improving variables (and the
+    // slacks) all sit above index 1100, i.e. in the *second* sweep
+    // group. Every Bland-mode pricing pass therefore scans group one,
+    // finds nothing, and advances across the group boundary; StallLimit
+    // = 1 plus the heavy degeneracy guarantees Bland mode engages.
+    KernelCase C;
+    C.Name = "bland-multigroup";
+    const int Pad = 1100, N = 10;
+    for (int J = 0; J < Pad; ++J)
+      C.P.addVariable(0.0, 1.0, 0.0);
+    std::vector<int> V(N);
+    for (int J = 0; J < N; ++J)
+      V[static_cast<size_t>(J)] = C.P.addVariable(0.0, kInfinity, -1.0);
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J)
+        C.P.addRowLe({V[static_cast<size_t>(I)], V[static_cast<size_t>(J)]},
+                     {1.0, 1.0}, 2.0);
+    for (int J = 0; J < N; ++J)
+      C.P.addRowLe({V[static_cast<size_t>(J)]}, {1.0}, 1.0);
+    C.Base.StallLimit = 1;
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  {
+    // Klee-Minty with a stall limit of 1: Dantzig zigzag plus forced
+    // Bland fallback in one case.
+    KernelCase C;
+    C.Name = "klee-minty-bland";
+    int X1 = C.P.addVariable(0.0, kInfinity, -4.0);
+    int X2 = C.P.addVariable(0.0, kInfinity, -2.0);
+    int X3 = C.P.addVariable(0.0, kInfinity, -1.0);
+    C.P.addRowLe({X1}, {1.0}, 5.0);
+    C.P.addRowLe({X1, X2}, {4.0, 1.0}, 25.0);
+    C.P.addRowLe({X1, X2, X3}, {8.0, 4.0, 1.0}, 125.0);
+    C.Base.StallLimit = 1;
+    C.Expected = SolveStatus::Optimal;
+    Cases.push_back(std::move(C));
+  }
+  return Cases;
+}
+
+class LpKernelIdentityTest : public ::testing::Test {
+protected:
+  void TearDown() override { setGlobalThreadCount(SavedThreads); }
+  int SavedThreads = globalThreadCount();
+};
+
+TEST_F(LpKernelIdentityTest, ParallelMatchesScalarAcrossThreadCounts) {
+  for (KernelCase &Case : kernelCases()) {
+    SimplexOptions ScalarOpts = Case.Base;
+    ScalarOpts.ParallelKernels = false;
+    LpSolution Scalar = solveLp(Case.P, ScalarOpts);
+    EXPECT_EQ(Scalar.Status, Case.Expected) << Case.Name;
+    EXPECT_FALSE(Scalar.Stats.ParallelKernels) << Case.Name;
+
+    SimplexOptions ParOpts = Case.Base;
+    ParOpts.ParallelKernels = true;
+    ParOpts.ParallelMinDim = 1; // force the parallel kernels on small LPs
+    for (int Threads : {1, 4, 8}) {
+      setGlobalThreadCount(Threads);
+      LpSolution Par = solveLp(Case.P, ParOpts);
+      EXPECT_TRUE(Par.Stats.ParallelKernels) << Case.Name;
+      expectBitIdentical(Scalar, Par,
+                         Case.Name + " @" + std::to_string(Threads) +
+                             " threads");
+    }
+  }
+}
+
+TEST_F(LpKernelIdentityTest, DefaultMinDimKeepsSmallLpsScalar) {
+  // Below ParallelMinDim the default options run the scalar kernels -
+  // small sweep LPs pay no pool overhead - and results are identical
+  // to an explicit scalar solve.
+  LinearProgram P = makeDenseFeasibleLp(16, 24, 1100);
+  SimplexOptions Default; // ParallelKernels on, ParallelMinDim = 192
+  setGlobalThreadCount(4);
+  LpSolution Sol = solveLp(P, Default);
+  EXPECT_FALSE(Sol.Stats.ParallelKernels);
+  SimplexOptions ScalarOpts;
+  ScalarOpts.ParallelKernels = false;
+  expectBitIdentical(solveLp(P, ScalarOpts), Sol, "default-min-dim");
+}
+
+TEST_F(LpKernelIdentityTest, StatsCountersAreCoherent) {
+  LinearProgram P = makeDenseFeasibleLp(48, 96, 1200);
+  LpSolution Sol = solveLp(P);
+  ASSERT_EQ(Sol.Status, SolveStatus::Optimal);
+  EXPECT_EQ(Sol.Stats.Iterations, Sol.Iterations);
+  EXPECT_EQ(Sol.Stats.Pivots + Sol.Stats.BoundFlips, Sol.Iterations);
+  // run() refactorizes at least once per phase before believing a
+  // terminal verdict.
+  EXPECT_GE(Sol.Stats.Refactors, 2);
+  EXPECT_GE(Sol.Stats.kernelSeconds(), 0.0);
+}
 
 } // namespace
