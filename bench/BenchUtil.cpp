@@ -6,6 +6,17 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+
+// Provenance macros, defined by CMakeLists.txt for the bench_util
+// target; fall back to "unknown" so BenchUtil.cpp still compiles when
+// pulled into an ad-hoc build.
+#ifndef PRDNN_GIT_SHA
+#define PRDNN_GIT_SHA "unknown"
+#endif
+#ifndef PRDNN_BUILD_TYPE
+#define PRDNN_BUILD_TYPE "unknown"
+#endif
 
 using namespace prdnn;
 using namespace prdnn::bench;
@@ -33,7 +44,10 @@ std::string BenchJson::write() const {
   std::ofstream Os(FileName);
   if (!Os)
     return "";
-  Os << "{\"bench\": \"" << Name << "\", \"records\": [";
+  Os << "{\"bench\": \"" << Name << "\", \"git_sha\": \"" PRDNN_GIT_SHA
+     << "\", \"build_type\": \"" PRDNN_BUILD_TYPE
+     << "\", \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ", \"records\": [";
   for (size_t R = 0; R < Records.size(); ++R) {
     Os << (R == 0 ? "\n" : ",\n") << "  {";
     const auto &Record = Records[R];

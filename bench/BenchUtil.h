@@ -102,9 +102,14 @@ PointSpec task3Spec(const Task3Workload &W, double *LinRegionsSeconds,
 /// key/value metrics and writes them as BENCH_<name>.json next to the
 /// binary, so successive PRs can track the performance trajectory
 /// (points/sec, Jacobian/LP seconds, thread count, ...) without
-/// scraping the human-readable tables. Schema:
+/// scraping the human-readable tables. Every file is stamped with the
+/// host's hardware_concurrency, the git commit the tree was configured
+/// at, and the CMake build type ("unknown" when not built through the
+/// repo's CMakeLists), so archived artifacts stay attributable. Schema:
 ///
-///   { "bench": "<name>", "records": [ {"k": v | "s", ...}, ... ] }
+///   { "bench": "<name>", "git_sha": "<sha|unknown>",
+///     "build_type": "<Release|...|unknown>", "hardware_concurrency": n,
+///     "records": [ {"k": v | "s", ...}, ... ] }
 class BenchJson {
 public:
   explicit BenchJson(std::string BenchName) : Name(std::move(BenchName)) {}

@@ -4,7 +4,9 @@
 
 #include "cache/Fingerprint.h"
 #include "core/PolytopeRepair.h"
+#include "lp/LpScheduler.h"
 #include "persist/ArtifactStore.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -380,10 +382,7 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     return Attempt;
   };
 
-  for (size_t C = 0; C < Candidates.size(); ++C) {
-    int Layer = Candidates[C];
-    Ctx.beginSweepLayer(Layer);
-    RepairResult Attempt = RunAttempt(Layer);
+  auto MakeEntry = [](int Layer, const RepairResult &Attempt, int Shard) {
     SweepAttempt Entry;
     Entry.LayerIndex = Layer;
     Entry.Status = Attempt.Status;
@@ -402,13 +401,19 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Entry.CacheHits = Attempt.Stats.cacheHits();
     Entry.CacheMisses = Attempt.Stats.cacheMisses();
     Entry.StoreHits = Attempt.Stats.storeHits();
-    Report.Sweep.push_back(Entry);
-    Ctx.finishSweepLayer();
+    Entry.WarmStarted = Attempt.Stats.BasisHits > 0;
+    Entry.ShardId = Shard;
+    return Entry;
+  };
 
+  /// Folds one finished attempt (in candidate order) into the winner /
+  /// failure bookkeeping. Returns false when the sweep must stop here
+  /// (the attempt was cancelled).
+  auto FoldAttempt = [&](int Layer, RepairResult &&Attempt) {
     if (Attempt.Status == RepairStatus::Cancelled) {
       SawCancel = true;
       LastUnsuccessful = std::move(Attempt);
-      break;
+      return false;
     }
     if (Attempt.Status == RepairStatus::Success) {
       // Strict < keeps the earliest candidate on ties, making sweeps
@@ -423,12 +428,109 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
       SawFailure |= Attempt.Status == RepairStatus::SolverFailure;
       LastUnsuccessful = std::move(Attempt);
     }
-    // A cancel raised between attempts stops the sweep; the minimal-
-    // norm contract needs the full sweep, so a cut-short sweep reports
-    // Cancelled rather than a possibly-non-minimal best-so-far.
-    if (C + 1 < Candidates.size() && Ctx.cancelRequested()) {
-      SawCancel = true;
-      break;
+    return true;
+  };
+
+  // How many attempts of this sweep run concurrently
+  // (EngineOptions::SweepShards; lp/LpScheduler.h). Hooked jobs stay
+  // serialized - the checkpoint hook contract is "invoked on the job
+  // thread", and the cancellation tests rely on it.
+  int Shards = 1;
+  if (Candidates.size() > 1 && !Ctx.hasCheckpointHook()) {
+    Shards = Opts.SweepShards > 0 ? Opts.SweepShards : globalThreadCount();
+    if (Shards > static_cast<int>(Candidates.size()))
+      Shards = static_cast<int>(Candidates.size());
+    if (Shards < 1)
+      Shards = 1;
+  }
+
+  if (Shards == 1) {
+    // Serialized sweep: the pre-scheduler loop, attempt by attempt.
+    for (size_t C = 0; C < Candidates.size(); ++C) {
+      int Layer = Candidates[C];
+      Ctx.beginSweepLayer(Layer);
+      RepairResult Attempt = RunAttempt(Layer);
+      Report.Sweep.push_back(MakeEntry(Layer, Attempt, /*Shard=*/0));
+      Ctx.finishSweepLayer();
+      if (!FoldAttempt(Layer, std::move(Attempt)))
+        break;
+      // A cancel raised between attempts stops the sweep; the minimal-
+      // norm contract needs the full sweep, so a cut-short sweep
+      // reports Cancelled rather than a possibly-non-minimal
+      // best-so-far.
+      if (C + 1 < Candidates.size() && Ctx.cancelRequested()) {
+        SawCancel = true;
+        break;
+      }
+    }
+  } else {
+    // Sharded sweep: fan the independent attempts out across
+    // LpScheduler shard threads, then assemble the report serially in
+    // candidate order - bit-identical to the serialized loop because
+    // attempts share no mutable state (each repair*Impl run is a pure
+    // function of its inputs at any thread count, and the artifact
+    // cache is a content-addressed concurrent consumer).
+    //
+    // The one shared input, a polytope sweep's key points, is computed
+    // *before* the fan-out so RunAttempt only ever reads
+    // SharedKeyPoints concurrently; its transform stats are credited
+    // to the first candidate's attempt afterwards, exactly where the
+    // serialized loop lands them.
+    bool PrecomputedKeyPoints = false;
+    if (Request.isPolytope() && !SharedKeyPoints) {
+      const auto &PolySpec = std::get<PolytopeSpec>(Request.Spec);
+      Ctx.beginPhase(RepairPhase::LinRegions,
+                     static_cast<std::int64_t>(PolySpec.size()));
+      if (Ctx.checkpoint(RepairPhase::LinRegions)) {
+        SawCancel = true;
+      } else {
+        SharedKeyPoints.emplace(
+            keyPoints(Net, PolySpec, &Ctx, Request.Options.UseCache));
+        Ctx.advance(static_cast<std::int64_t>(PolySpec.size()));
+        PrecomputedKeyPoints = true;
+      }
+    }
+    if (!SawCancel) {
+      // Tasks are claimed in ascending candidate order, so the
+      // completed attempts always form a prefix of the candidate list;
+      // an unclaimed suffix can only mean cancellation (exceptions
+      // rethrow out of runTasks).
+      std::vector<std::optional<RepairResult>> Results(Candidates.size());
+      std::vector<int> ShardOf(Candidates.size(), 0);
+      lp::LpScheduler Scheduler(Shards);
+      Scheduler.runTasks(
+          static_cast<int>(Candidates.size()),
+          /*ShouldStop=*/[&] { return Ctx.cancelRequested(); },
+          [&](int Task, int Shard) {
+            Ctx.beginSweepLayer(Candidates[static_cast<size_t>(Task)]);
+            Results[static_cast<size_t>(Task)].emplace(
+                RunAttempt(Candidates[static_cast<size_t>(Task)]));
+            ShardOf[static_cast<size_t>(Task)] = Shard;
+            Ctx.finishSweepLayer();
+          });
+      if (PrecomputedKeyPoints && Results[0]) {
+        RepairStats &S = Results[0]->Stats;
+        S.LinRegionsSeconds = SharedKeyPoints->Seconds;
+        S.TotalSeconds += SharedKeyPoints->Seconds;
+        S.LinRegionsCacheHits = SharedKeyPoints->TransformCacheHits;
+        S.LinRegionsCacheMisses = SharedKeyPoints->TransformCacheMisses;
+        S.PatternCacheHits = SharedKeyPoints->PatternCacheHits;
+        S.PatternCacheMisses = SharedKeyPoints->PatternCacheMisses;
+        S.LinRegionsStoreHits = SharedKeyPoints->TransformStoreHits;
+        S.PatternStoreHits = SharedKeyPoints->PatternStoreHits;
+      }
+      for (size_t C = 0; C < Candidates.size(); ++C) {
+        if (!Results[C]) {
+          // Unclaimed tail: the cancel landed between claims, the
+          // sharded analogue of a cancel between serial attempts.
+          SawCancel = true;
+          break;
+        }
+        RepairResult Attempt = std::move(*Results[C]);
+        Report.Sweep.push_back(MakeEntry(Candidates[C], Attempt, ShardOf[C]));
+        if (!FoldAttempt(Candidates[C], std::move(Attempt)))
+          break;
+      }
     }
   }
 

@@ -121,6 +121,17 @@ struct EngineOptions {
   /// earlier submission. 0 (the default) disables aging, preserving
   /// strict class order. Scheduling only - results are unaffected.
   double AgingSeconds = 0.0;
+  /// Shards for auto-layer sweeps (lp/LpScheduler.h): how many
+  /// candidate-layer attempts of one sweep run concurrently. 0 (the
+  /// default) sizes the batch from the global pool
+  /// (support/Parallel.h: PRDNN_NUM_THREADS or hardware concurrency);
+  /// 1 serializes attempts, reproducing the pre-scheduler loop
+  /// exactly. Sharded sweeps are bit-identical to serialized ones
+  /// (attempts are independent; results are assembled in candidate
+  /// order with the same strict minimal-norm tie-break), so this is a
+  /// throughput knob only. Jobs submitted with a checkpoint hook are
+  /// always serialized, preserving the hook's job-thread contract.
+  int SweepShards = 0;
 };
 
 /// Handle to a submitted job. Copyable (shared state); the default-

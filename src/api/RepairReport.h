@@ -45,6 +45,15 @@ struct SweepAttempt {
   /// Of CacheHits, those the persistent L2 store served (0 without a
   /// store).
   int StoreHits = 0;
+  /// Whether any LP solve of this attempt started from a cached
+  /// simplex basis (RepairOptions::WarmStartBasis; equals the
+  /// attempt's RepairStats::BasisHits > 0). Warm attempts are
+  /// bit-identical to cold ones - this only explains the pivot counts.
+  bool WarmStarted = false;
+  /// Which LpScheduler shard ran this attempt (0 for serialized
+  /// sweeps and fixed-layer requests). Purely informational: results
+  /// are independent of shard assignment.
+  int ShardId = 0;
 };
 
 struct RepairReport {

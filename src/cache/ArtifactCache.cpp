@@ -18,6 +18,8 @@ const char *prdnn::toString(ArtifactKind Kind) {
     return "SyrennTransform";
   case ArtifactKind::PatternBatch:
     return "PatternBatch";
+  case ArtifactKind::SimplexBasis:
+    return "SimplexBasis";
   }
   PRDNN_UNREACHABLE("bad ArtifactKind");
 }
@@ -65,6 +67,11 @@ std::size_t PatternBatchArtifact::bytes() const {
       Total += vectorBytes(LayerPattern.size(), sizeof(int));
   }
   return Total;
+}
+
+std::size_t SimplexBasisArtifact::bytes() const {
+  return sizeof(*this) + vectorBytes(Basic.size(), sizeof(int)) +
+         vectorBytes(NonbasicState.size(), sizeof(std::uint8_t));
 }
 
 ArtifactCache::ArtifactCache(std::size_t BudgetBytes, int NumShards,

@@ -91,6 +91,19 @@ struct RepairOptions {
   /// per-point ablation path (BatchedJacobians = false) always
   /// recomputes.
   bool UseCache = true;
+  /// Cache the optimal simplex basis of each LP solve as a fourth
+  /// artifact kind (ArtifactKind::SimplexBasis) and warm-start later
+  /// identical solves from it (lp/Simplex.h,
+  /// SimplexOptions::WarmBasis). The basis key hashes the constraint
+  /// *coefficients* but not the right-hand sides, so a resubmission
+  /// whose spec moved only row bounds shares the entry slot; replay,
+  /// though, is gated on an exact digest of the remaining LP data,
+  /// because only replaying the terminal basis of the identical LP is
+  /// bit-identical to the cold solve (drift-hits solve cold; invalid
+  /// or singular bases fall back to the cold path bit-exactly). The
+  /// default on therefore never changes results. Only effective when
+  /// the job carries a cache, like UseCache.
+  bool WarmStartBasis = true;
   lp::SimplexOptions Lp;
 };
 
@@ -132,6 +145,12 @@ struct RepairStats {
   /// Activation-pattern batch lookups (one per polytope spec).
   int PatternCacheHits = 0;
   int PatternCacheMisses = 0;
+  /// Simplex warm-start basis lookups (one per LP solve attempted
+  /// against the cache; see RepairOptions::WarmStartBasis). A hit
+  /// means the LP actually started from a cached basis; a cached basis
+  /// that failed solver validation counts as a miss.
+  int BasisHits = 0;
+  int BasisMisses = 0;
   // Of the cache hits above, how many were served by the persistent L2
   // store (persist/ArtifactStore.h) rather than engine memory - the
   // warm-restart signal. Always <= the matching CacheHits counter;
@@ -139,15 +158,19 @@ struct RepairStats {
   int JacobianStoreHits = 0;
   int LinRegionsStoreHits = 0;
   int PatternStoreHits = 0;
+  int BasisStoreHits = 0;
 
   int cacheHits() const {
-    return JacobianCacheHits + LinRegionsCacheHits + PatternCacheHits;
+    return JacobianCacheHits + LinRegionsCacheHits + PatternCacheHits +
+           BasisHits;
   }
   int cacheMisses() const {
-    return JacobianCacheMisses + LinRegionsCacheMisses + PatternCacheMisses;
+    return JacobianCacheMisses + LinRegionsCacheMisses + PatternCacheMisses +
+           BasisMisses;
   }
   int storeHits() const {
-    return JacobianStoreHits + LinRegionsStoreHits + PatternStoreHits;
+    return JacobianStoreHits + LinRegionsStoreHits + PatternStoreHits +
+           BasisStoreHits;
   }
 };
 

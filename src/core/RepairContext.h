@@ -162,6 +162,13 @@ public:
     Hook = std::move(NewHook);
   }
 
+  /// Whether a checkpoint hook is installed. The engine serializes
+  /// sweep attempts for hooked jobs (EngineOptions::SweepShards): the
+  /// hook contract says "invoked on the job thread", and tests rely on
+  /// deterministic single-threaded hook invocation to cancel at exact
+  /// checkpoints.
+  bool hasCheckpointHook() const { return static_cast<bool>(Hook); }
+
 private:
   std::atomic<bool> Cancel{false};
   std::atomic<int> PhaseV{static_cast<int>(RepairPhase::Queued)};

@@ -156,6 +156,7 @@ private:
   int Stall = 0;
   double PrevObj = 0.0;
   bool HavePrevObj = false;
+  bool WarmStartedV = false; // warm basis accepted for this solve
 
 #ifndef NDEBUG
   // Per-iteration-allocation guard: capacities of every hot-loop
@@ -169,6 +170,8 @@ private:
 
   bool buildProblem(LpSolution &Out); // false => Out holds final status
   void initialBasis();
+  void setSlackBasis();
+  bool tryWarmStart(const SimplexBasis &Warm);
   bool refactor();
   void recomputeBasicValues();
   double infeasibility() const;
@@ -435,6 +438,15 @@ void Worker::initialBasis() {
   snapshotScratch();
 #endif
 
+  setSlackBasis();
+}
+
+void Worker::setSlackBasis() {
+  // The cold starting point: every structural nonbasic at its
+  // "cheaper" bound (or free at zero) and the always-nonsingular slack
+  // basis with inverse -I. Also the bit-exact fallback target when a
+  // warm basis is rejected: it rebuilds Stat/X/Basis/Binv wholesale, so
+  // a failed warm attempt leaves no trace in any computed value.
   for (int J = 0; J < NS; ++J) {
     bool LoFinite = std::isfinite(Lo[J]);
     bool HiFinite = std::isfinite(Hi[J]);
@@ -449,12 +461,87 @@ void Worker::initialBasis() {
       X[J] = Hi[J];
     }
   }
+  std::fill(Binv.begin(), Binv.end(), 0.0);
   for (int R = 0; R < M; ++R) {
     Basis[R] = NS + R;
     Stat[NS + R] = VarStatus::Basic;
+    X[NS + R] = 0.0;
     Binv[static_cast<size_t>(R) * M + R] = -1.0;
   }
   recomputeBasicValues();
+}
+
+bool Worker::tryWarmStart(const SimplexBasis &Warm) {
+  // Validation pass - no Worker state is touched until the snapshot is
+  // known to be structurally coherent for *this* LP: exact dimensions,
+  // status bytes in range, exactly M basic variables listed once each
+  // in Basic[] and marked basic, and bound states only where the bound
+  // exists. (The basis-cache key is tolerant of RHS-only drift, so a
+  // coherent basis may still be primal-infeasible here; phase 1 repairs
+  // that from the warm point, which is the cheap crash we want.)
+  if (Warm.NumRows != M || Warm.NumVars != NT)
+    return false;
+  if (static_cast<int>(Warm.Basic.size()) != M ||
+      static_cast<int>(Warm.NonbasicState.size()) != NT)
+    return false;
+  int BasicCount = 0;
+  for (int J = 0; J < NT; ++J) {
+    std::uint8_t S = Warm.NonbasicState[J];
+    if (S > static_cast<std::uint8_t>(VarStatus::FreeNb))
+      return false;
+    if (S == static_cast<std::uint8_t>(VarStatus::Basic))
+      ++BasicCount;
+    if (S == static_cast<std::uint8_t>(VarStatus::AtLower) &&
+        !std::isfinite(Lo[J]))
+      return false;
+    if (S == static_cast<std::uint8_t>(VarStatus::AtUpper) &&
+        !std::isfinite(Hi[J]))
+      return false;
+  }
+  if (BasicCount != M)
+    return false;
+  std::vector<char> InBasis(static_cast<size_t>(NT), 0);
+  for (int R = 0; R < M; ++R) {
+    int J = Warm.Basic[R];
+    if (J < 0 || J >= NT || InBasis[static_cast<size_t>(J)] ||
+        Warm.NonbasicState[static_cast<size_t>(J)] !=
+            static_cast<std::uint8_t>(VarStatus::Basic))
+      return false;
+    InBasis[static_cast<size_t>(J)] = 1;
+  }
+
+  // Apply, then refactorize once from scratch. A structurally coherent
+  // basis can still be numerically singular (e.g. duplicated structural
+  // columns); refactor() detects that and we fall back to the slack
+  // basis, which rebuilds every mutated buffer - the cold path then
+  // proceeds bit-identically to a solve that never saw the warm basis.
+  for (int J = 0; J < NT; ++J) {
+    switch (static_cast<VarStatus>(Warm.NonbasicState[J])) {
+    case VarStatus::Basic:
+      Stat[J] = VarStatus::Basic; // X filled by recomputeBasicValues
+      break;
+    case VarStatus::AtLower:
+      Stat[J] = VarStatus::AtLower;
+      X[J] = Lo[J];
+      break;
+    case VarStatus::AtUpper:
+      Stat[J] = VarStatus::AtUpper;
+      X[J] = Hi[J];
+      break;
+    case VarStatus::FreeNb:
+      Stat[J] = VarStatus::FreeNb;
+      X[J] = 0.0;
+      break;
+    }
+  }
+  for (int R = 0; R < M; ++R)
+    Basis[R] = Warm.Basic[R];
+  if (!refactor()) {
+    setSlackBasis();
+    return false;
+  }
+  recomputeBasicValues();
+  return true;
 }
 
 bool Worker::refactor() {
@@ -1058,9 +1145,23 @@ LpSolution Worker::finish(SolveStatus Status) {
   Out.Phase1Iterations = Phase1Iterations;
   Stats.Iterations = Iterations;
   Stats.ParallelKernels = Par;
+  Out.WarmStarted = WarmStartedV;
   if (Status != SolveStatus::Optimal) {
     Out.Stats = Stats;
     return Out;
+  }
+
+  if (Opt.ExportBasis) {
+    auto B = std::make_shared<SimplexBasis>();
+    B->NumRows = M;
+    B->NumVars = NT;
+    B->Basic = Basis;
+    B->NonbasicState.resize(static_cast<size_t>(NT));
+    for (int J = 0; J < NT; ++J)
+      B->NonbasicState[static_cast<size_t>(J)] =
+          static_cast<std::uint8_t>(Stat[static_cast<size_t>(J)]);
+    B->Pivots = Stats.Pivots;
+    Out.OptimalBasis = std::move(B);
   }
 
   Out.X.assign(X.begin(), X.begin() + NS);
@@ -1127,6 +1228,13 @@ LpSolution Worker::run() {
   }
 
   initialBasis();
+
+  // Warm start (advisory): crash onto the cached basis if it validates
+  // and refactorizes; otherwise the slack basis from initialBasis() is
+  // already in place (tryWarmStart restores it on a post-apply
+  // failure), so the cold path below is untouched bit-for-bit.
+  if (Opt.WarmBasis)
+    WarmStartedV = tryWarmStart(*Opt.WarmBasis);
 
   // Phase 1 with refactorized verification: a "feasible" or
   // "infeasible" verdict from drifted arithmetic is re-checked against

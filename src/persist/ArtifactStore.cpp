@@ -172,7 +172,12 @@ void ArtifactStore::storeSync(const CacheKey &Key,
   std::error_code Ec;
   if (fs::exists(Path, Ec)) {
     // Published already - by an earlier job, a concurrent thread's
-    // rename, or another process on the shared store.
+    // rename, or another process on the shared store. A republish still
+    // signals the entry is hot, so refresh its mtime (best effort) the
+    // same way load() does: otherwise an artifact that is recomputed
+    // and re-stored every run but never read back would keep a stale
+    // mtime and be the LRU-by-mtime GC's first victim.
+    fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
     WriteSkipCount.fetch_add(1, std::memory_order_relaxed);
     return;
   }

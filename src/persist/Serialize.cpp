@@ -237,6 +237,61 @@ std::shared_ptr<const CacheArtifact> readPatternBatch(ByteReader &R) {
   return A;
 }
 
+void writeSimplexBasis(ByteWriter &W, const SimplexBasisArtifact &A) {
+  W.i32(A.NumRows);
+  W.i32(A.NumVars);
+  W.i32(A.Pivots);
+  W.u64(A.RhsDigest.Hi);
+  W.u64(A.RhsDigest.Lo);
+  W.u64(A.Basic.size());
+  for (int V : A.Basic)
+    W.i32(V);
+  W.u64(A.NonbasicState.size());
+  W.bytes(A.NonbasicState.data(), A.NonbasicState.size());
+}
+
+std::shared_ptr<const CacheArtifact> readSimplexBasis(ByteReader &R) {
+  auto A = std::make_shared<SimplexBasisArtifact>();
+  if (!R.i32(A->NumRows) || !R.i32(A->NumVars) || !R.i32(A->Pivots))
+    return nullptr;
+  if (!R.u64(A->RhsDigest.Hi) || !R.u64(A->RhsDigest.Lo))
+    return nullptr;
+  std::uint64_t Rows = 0;
+  if (!R.u64(Rows) || !plausibleCount(R, Rows, 4))
+    return nullptr;
+  A->Basic.resize(static_cast<std::size_t>(Rows));
+  for (int &V : A->Basic)
+    if (!R.i32(V))
+      return nullptr;
+  std::uint64_t Vars = 0;
+  if (!R.u64(Vars) || !plausibleCount(R, Vars, 1))
+    return nullptr;
+  A->NonbasicState.resize(static_cast<std::size_t>(Vars));
+  if (!R.bytes(A->NonbasicState.data(), A->NonbasicState.size()))
+    return nullptr;
+  // Structural coherence: the counts must match the recorded shape and
+  // each basic index must be a valid, basic-marked variable. The solver
+  // re-validates on injection (tryWarmStart), but a corrupted store
+  // entry should be rejected - and deleted - at the codec boundary.
+  if (A->NumRows < 0 || A->NumVars < 0 ||
+      A->Basic.size() != static_cast<std::size_t>(A->NumRows) ||
+      A->NonbasicState.size() != static_cast<std::size_t>(A->NumVars)) {
+    R.fail(CodecError::Corrupt);
+    return nullptr;
+  }
+  for (int V : A->Basic)
+    if (V < 0 || V >= A->NumVars) {
+      R.fail(CodecError::Corrupt);
+      return nullptr;
+    }
+  for (std::uint8_t S : A->NonbasicState)
+    if (S > 3) {
+      R.fail(CodecError::Corrupt);
+      return nullptr;
+    }
+  return A;
+}
+
 } // namespace
 
 void prdnn::persist::serializeArtifact(const CacheArtifact &Artifact,
@@ -251,6 +306,9 @@ void prdnn::persist::serializeArtifact(const CacheArtifact &Artifact,
     return;
   case ArtifactKind::PatternBatch:
     writePatternBatch(W, static_cast<const PatternBatchArtifact &>(Artifact));
+    return;
+  case ArtifactKind::SimplexBasis:
+    writeSimplexBasis(W, static_cast<const SimplexBasisArtifact &>(Artifact));
     return;
   }
   PRDNN_UNREACHABLE("bad ArtifactKind");
@@ -268,6 +326,9 @@ prdnn::persist::deserializeArtifact(ArtifactKind Kind, ByteReader &R) {
     break;
   case ArtifactKind::PatternBatch:
     Artifact = readPatternBatch(R);
+    break;
+  case ArtifactKind::SimplexBasis:
+    Artifact = readSimplexBasis(R);
     break;
   }
   if (!Artifact)

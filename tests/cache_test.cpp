@@ -326,22 +326,33 @@ TEST(EngineCache, SingleFlightAcrossEightConcurrentJobs) {
   for (JobHandle &Handle : Handles)
     expectBitIdentical(Handle.report().Result, Serial);
 
+  // Identical jobs perform identical lookup sequences: one Jacobian
+  // chunk plus one simplex-basis lookup per LP solve (all jobs solve
+  // the same LPs, so LpSolves is the same for every report). Each
+  // distinct key is computed exactly once (single-flight) and hits for
+  // the other seven jobs.
+  const RepairStats &FirstStats = Handles[0].report().Result.Stats;
+  int LpSolves = FirstStats.BasisHits + FirstStats.BasisMisses;
+  EXPECT_GT(LpSolves, 0);
+  int KeysPerJob = 1 + LpSolves;
   CacheStats Stats = Engine.cacheStats();
-  EXPECT_EQ(Stats.Misses, 1u); // one 24-point chunk, computed once
-  EXPECT_EQ(Stats.Hits, 7u);
+  EXPECT_EQ(Stats.Misses, static_cast<std::uint64_t>(KeysPerJob));
+  EXPECT_EQ(Stats.Hits, static_cast<std::uint64_t>(7 * KeysPerJob));
   EXPECT_GT(Stats.BytesHeld, 0u);
 
   std::int64_t TotalHits = 0;
   for (JobHandle &Handle : Handles) {
     const RepairReport &Report = Handle.report();
-    EXPECT_EQ(Report.CacheHits + Report.CacheMisses, 1);
+    EXPECT_EQ(Report.CacheHits + Report.CacheMisses, KeysPerJob);
     TotalHits += Report.CacheHits;
     // The per-phase breakdown lands in the attempt stats.
     EXPECT_EQ(Report.Result.Stats.JacobianCacheHits +
                   Report.Result.Stats.JacobianCacheMisses,
               1);
+    EXPECT_EQ(Report.Result.Stats.BasisHits + Report.Result.Stats.BasisMisses,
+              LpSolves);
   }
-  EXPECT_EQ(TotalHits, 7);
+  EXPECT_EQ(TotalHits, 7 * KeysPerJob);
 }
 
 TEST(EngineCache, ColdWarmOffBitIdentityPointsAnyThreadCount) {
@@ -387,6 +398,44 @@ TEST(EngineCache, ColdWarmOffBitIdentityPointsAnyThreadCount) {
   RepairReport OptOutReport = Engine.run(OptOut);
   EXPECT_EQ(OptOutReport.CacheHits + OptOutReport.CacheMisses, 0);
   expectBitIdentical(OptOutReport.Result, OffReport.Result);
+}
+
+TEST(EngineCache, WarmResubmissionReplaysSimplexBases) {
+  Rng R(4409);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 20);
+  RepairRequest Request = RepairRequest::points(Net, 4, Spec);
+
+  RepairEngine Engine;
+  RepairReport Cold = Engine.run(Request);
+  ASSERT_EQ(Cold.Status, RepairStatus::Success);
+  EXPECT_EQ(Cold.Result.Stats.BasisHits, 0);
+  EXPECT_GT(Cold.Result.Stats.BasisMisses, 0); // every LP solved cold
+  EXPECT_GT(Cold.Result.Stats.LpIterations, 0);
+  ASSERT_EQ(Cold.Sweep.size(), 1u);
+  EXPECT_FALSE(Cold.Sweep[0].WarmStarted);
+
+  // Resubmission: every LP of the replayed repair finds its terminal
+  // basis in the cache (the digests match exactly), re-derives each
+  // optimum from the factorization without a single pivot, and the
+  // result stays bit-identical.
+  RepairReport Warm = Engine.run(Request);
+  expectBitIdentical(Warm.Result, Cold.Result);
+  EXPECT_EQ(Warm.Result.Stats.BasisMisses, 0);
+  EXPECT_EQ(Warm.Result.Stats.BasisHits, Cold.Result.Stats.BasisMisses);
+  EXPECT_EQ(Warm.Result.Stats.LpIterations, 0);
+  ASSERT_EQ(Warm.Sweep.size(), 1u);
+  EXPECT_TRUE(Warm.Sweep[0].WarmStarted);
+
+  // Per-request opt-out: Jacobian chunks still hit, but every LP
+  // solves cold - bit-identically, as always.
+  RepairRequest NoWarm = Request;
+  NoWarm.Options.WarmStartBasis = false;
+  RepairReport Off = Engine.run(NoWarm);
+  EXPECT_EQ(Off.Result.Stats.BasisHits + Off.Result.Stats.BasisMisses, 0);
+  EXPECT_GT(Off.Result.Stats.LpIterations, 0);
+  EXPECT_FALSE(Off.Sweep[0].WarmStarted);
+  expectBitIdentical(Off.Result, Cold.Result);
 }
 
 TEST(EngineCache, ColdWarmBitIdentityPolytopes) {

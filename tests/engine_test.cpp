@@ -629,7 +629,54 @@ TEST(RepairEngine, SweepAttemptsCarryPhaseTimingsOnAllExitPaths) {
   for (const SweepAttempt &Attempt : Success.Sweep) {
     EXPECT_GT(Attempt.JacobianSeconds, 0.0);
     EXPECT_GT(Attempt.LpSeconds, 0.0);
-    EXPECT_EQ(Attempt.CacheHits + Attempt.CacheMisses, 1); // one chunk
+    // One Jacobian chunk plus a simplex-basis lookup per LP solve.
+    EXPECT_GE(Attempt.CacheHits + Attempt.CacheMisses, 2);
+  }
+}
+
+TEST(RepairEngine, ShardedSweepBitIdenticalAcrossShardCounts) {
+  // EngineOptions::SweepShards fans the sweep's independent layer
+  // attempts across LpScheduler shard threads. The contract: any shard
+  // count (1 = the serialized loop, explicit N, 0 = auto) produces the
+  // same sweep log and a bit-identical winner.
+  Rng R(91020);
+  auto Net = std::make_shared<Network>(makeClassifier(R));
+  PointSpec Spec = makeFlipSpec(*Net, R, 16);
+  RepairRequest Request;
+  Request.Net = Net;
+  Request.Spec = Spec;
+  Request.LayerIndex = kAutoLayer;
+
+  EngineOptions Serialized;
+  Serialized.SweepShards = 1;
+  RepairEngine SerialEngine(Serialized);
+  RepairReport Baseline = SerialEngine.run(Request);
+  ASSERT_EQ(Baseline.Status, RepairStatus::Success);
+  ASSERT_GT(Baseline.Sweep.size(), 1u);
+  for (const SweepAttempt &Attempt : Baseline.Sweep)
+    EXPECT_EQ(Attempt.ShardId, 0);
+
+  for (int Shards : {2, 4, 8, /*auto=*/0}) {
+    EngineOptions Options;
+    Options.SweepShards = Shards;
+    RepairEngine Engine(Options);
+    RepairReport Sharded = Engine.run(Request);
+    std::string What = "shards=" + std::to_string(Shards);
+    ASSERT_EQ(Sharded.Status, Baseline.Status) << What;
+    EXPECT_EQ(Sharded.RepairedLayer, Baseline.RepairedLayer) << What;
+    ASSERT_EQ(Sharded.Sweep.size(), Baseline.Sweep.size()) << What;
+    for (size_t C = 0; C < Baseline.Sweep.size(); ++C) {
+      EXPECT_EQ(Sharded.Sweep[C].LayerIndex, Baseline.Sweep[C].LayerIndex)
+          << What;
+      EXPECT_EQ(Sharded.Sweep[C].Status, Baseline.Sweep[C].Status) << What;
+      EXPECT_EQ(Sharded.Sweep[C].DeltaL1, Baseline.Sweep[C].DeltaL1) << What;
+      EXPECT_EQ(Sharded.Sweep[C].DeltaLInf, Baseline.Sweep[C].DeltaLInf)
+          << What;
+      EXPECT_GE(Sharded.Sweep[C].ShardId, 0) << What;
+      if (Shards > 0)
+        EXPECT_LT(Sharded.Sweep[C].ShardId, Shards) << What;
+    }
+    expectBitIdentical(Sharded.Result, Baseline.Result);
   }
 }
 

@@ -724,6 +724,201 @@ TEST_F(LpKernelIdentityTest, DefaultMinDimKeepsSmallLpsScalar) {
   expectBitIdentical(solveLp(P, ScalarOpts), Sol, "default-min-dim");
 }
 
+TEST_F(LpKernelIdentityTest, ParallelMinDimBoundaryBitIdentity) {
+  // The parallel-kernel crossover is M >= ParallelMinDim (M = kept
+  // rows; the default threshold is 192). Straddle the boundary with
+  // M = 191 / 192 / 193 so both the last-scalar and first-parallel
+  // sizes are pinned: the engaged path must flip exactly at the
+  // threshold and both paths must agree bit-for-bit.
+  for (int M : {191, 192, 193}) {
+    LinearProgram P = makeDenseFeasibleLp(40, M, 1300 + M);
+    SimplexOptions ScalarOpts;
+    ScalarOpts.ParallelKernels = false;
+    LpSolution Scalar = solveLp(P, ScalarOpts);
+    ASSERT_EQ(Scalar.Status, SolveStatus::Optimal) << "M=" << M;
+    SimplexOptions Default; // ParallelKernels on, ParallelMinDim = 192
+    for (int Threads : {1, 4, 8}) {
+      setGlobalThreadCount(Threads);
+      LpSolution Sol = solveLp(P, Default);
+      EXPECT_EQ(Sol.Stats.ParallelKernels, M >= Default.ParallelMinDim)
+          << "M=" << M;
+      expectBitIdentical(Scalar, Sol,
+                         "min-dim boundary M=" + std::to_string(M) + " @" +
+                             std::to_string(Threads) + " threads");
+    }
+  }
+}
+
+// --- Warm-start bases --------------------------------------------------------
+//
+// SimplexOptions::WarmBasis / ExportBasis: a solve can export its
+// terminal basis and a later solve can start from it. The contract is
+// that warm solves are bit-identical to cold ones in every *solution*
+// bit (status, X, objective, duals) - pivot counts may (and should)
+// drop - and that any rejected basis falls back to the cold path
+// bit-exactly, pivot sequence included.
+
+/// Solution-payload bit equality: what warm starts promise. Iteration
+/// and pivot counters are intentionally not compared (a warm solve
+/// pivots less by design).
+void expectSameSolutionBits(const LpSolution &A, const LpSolution &B,
+                            const std::string &What) {
+  EXPECT_EQ(A.Status, B.Status) << What;
+  expectSameBits(A.X, B.X, What + ": X");
+  expectSameBits(A.RowDuals, B.RowDuals, What + ": RowDuals");
+  double AObj = A.Objective, BObj = B.Objective;
+  EXPECT_EQ(0, std::memcmp(&AObj, &BObj, sizeof(double)))
+      << What << ": Objective";
+}
+
+TEST(LpWarmStart, ExactReplayIsBitIdenticalWithZeroPivots) {
+  LinearProgram P = makeDenseFeasibleLp(48, 96, 2001);
+  SimplexOptions Cold;
+  Cold.ExportBasis = true;
+  LpSolution ColdSol = solveLp(P, Cold);
+  ASSERT_EQ(ColdSol.Status, SolveStatus::Optimal);
+  ASSERT_NE(ColdSol.OptimalBasis, nullptr);
+  EXPECT_FALSE(ColdSol.WarmStarted);
+  EXPECT_GT(ColdSol.Stats.Pivots, 0);
+
+  SimplexOptions Warm;
+  Warm.WarmBasis = ColdSol.OptimalBasis.get();
+  LpSolution WarmSol = solveLp(P, Warm);
+  EXPECT_TRUE(WarmSol.WarmStarted);
+  // Replaying the terminal basis of the very same LP re-derives the
+  // optimum from the factorization alone: no pivots in either phase.
+  EXPECT_EQ(WarmSol.Stats.Pivots, 0);
+  expectSameSolutionBits(ColdSol, WarmSol, "exact replay");
+}
+
+TEST(LpWarmStart, RhsDriftWarmStartIsOptimalWithFewerPivots) {
+  // Same constraint matrix, drifted row bounds. At the solver level a
+  // drifted warm start is a *performance* device, not a determinism
+  // one: it must reach an optimal solution in fewer pivots, but may
+  // terminate at a different equally-optimal basis than the cold
+  // solve, differing in low-order bits (which is exactly why the
+  // repair engine's basis cache replays only digest-exact matches -
+  // see PointRepair.cpp - and why this test compares objectives to
+  // tolerance rather than bits).
+  const int Vars = 48, NumRows = 96;
+  Rng R(2002);
+  LinearProgram Base, Drifted;
+  std::vector<double> Witness(static_cast<size_t>(Vars));
+  for (int J = 0; J < Vars; ++J) {
+    double Cost = R.normal();
+    Base.addVariable(-10.0, 10.0, Cost);
+    Drifted.addVariable(-10.0, 10.0, Cost);
+    Witness[static_cast<size_t>(J)] = R.uniform(-5.0, 5.0);
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    std::vector<int> Index;
+    std::vector<double> Value;
+    double Activity = 0.0;
+    for (int J = 0; J < Vars; ++J) {
+      double C = R.normal();
+      Index.push_back(J);
+      Value.push_back(C);
+      Activity += C * Witness[static_cast<size_t>(J)];
+    }
+    double Slack = R.uniform(0.5, 2.0);
+    double Shift = R.uniform(-0.05, 0.05);
+    Base.addRow(Index, Value, Activity - Slack, Activity + Slack);
+    Drifted.addRow(std::move(Index), std::move(Value),
+                   Activity - Slack + Shift, Activity + Slack + Shift);
+  }
+
+  SimplexOptions Cold;
+  Cold.ExportBasis = true;
+  LpSolution BaseSol = solveLp(Base, Cold);
+  ASSERT_EQ(BaseSol.Status, SolveStatus::Optimal);
+  ASSERT_NE(BaseSol.OptimalBasis, nullptr);
+
+  LpSolution ColdDrifted = solveLp(Drifted, Cold);
+  ASSERT_EQ(ColdDrifted.Status, SolveStatus::Optimal);
+
+  SimplexOptions Warm;
+  Warm.WarmBasis = BaseSol.OptimalBasis.get();
+  LpSolution WarmDrifted = solveLp(Drifted, Warm);
+  EXPECT_TRUE(WarmDrifted.WarmStarted);
+  ASSERT_EQ(WarmDrifted.Status, SolveStatus::Optimal);
+  EXPECT_LT(WarmDrifted.Stats.Pivots, ColdDrifted.Stats.Pivots);
+  double Scale = 1.0 + std::fabs(ColdDrifted.Objective);
+  EXPECT_NEAR(ColdDrifted.Objective, WarmDrifted.Objective, 1e-7 * Scale);
+  EXPECT_LE(Drifted.maxViolation(WarmDrifted.X), 1e-6);
+}
+
+TEST(LpWarmStart, InvalidBasisFallsBackToColdBitExactly) {
+  LinearProgram P = makeDenseFeasibleLp(32, 64, 2004);
+  SimplexOptions Cold;
+  Cold.ExportBasis = true;
+  LpSolution ColdSol = solveLp(P, Cold);
+  ASSERT_EQ(ColdSol.Status, SolveStatus::Optimal);
+  ASSERT_NE(ColdSol.OptimalBasis, nullptr);
+
+  // Each corruption must be rejected by validation without perturbing
+  // the solve: the fallback is the cold path, so the *entire* solve -
+  // pivot sequence included - matches the cold run bit-for-bit.
+  std::vector<std::pair<std::string, SimplexBasis>> Corrupt;
+  {
+    SimplexBasis B = *ColdSol.OptimalBasis;
+    B.NumRows += 1; // dimension mismatch
+    Corrupt.emplace_back("wrong-rows", std::move(B));
+  }
+  {
+    SimplexBasis B = *ColdSol.OptimalBasis;
+    B.Basic[1] = B.Basic[0]; // duplicate basic variable
+    Corrupt.emplace_back("duplicate-basic", std::move(B));
+  }
+  {
+    SimplexBasis B = *ColdSol.OptimalBasis;
+    B.NonbasicState[0] = 7; // no such VarStatus
+    Corrupt.emplace_back("bad-status-byte", std::move(B));
+  }
+  for (auto &[Name, Basis] : Corrupt) {
+    SimplexOptions Warm;
+    Warm.WarmBasis = &Basis;
+    LpSolution Sol = solveLp(P, Warm);
+    EXPECT_FALSE(Sol.WarmStarted) << Name;
+    expectBitIdentical(ColdSol, Sol, "invalid basis: " + Name);
+  }
+}
+
+TEST(LpWarmStart, SingularBasisFallsBackToColdBitExactly) {
+  // x0 and x1 have identical constraint columns, so a basis holding
+  // both is structurally plausible (passes validation) but singular:
+  // refactorization fails and the solver must restart cold, bit-exact.
+  LinearProgram P;
+  P.addVariable(0.0, 10.0, -1.0); // x0
+  P.addVariable(0.0, 10.0, -1.0); // x1, same columns as x0
+  P.addVariable(0.0, 10.0, -2.0); // x2
+  P.addRow({0, 1, 2}, {1.0, 1.0, 1.0}, 0.0, 5.0);
+  P.addRow({0, 1, 2}, {2.0, 2.0, 1.0}, 0.0, 8.0);
+
+  LpSolution ColdSol = solveLp(P);
+  ASSERT_EQ(ColdSol.Status, SolveStatus::Optimal);
+
+  SimplexBasis Singular;
+  Singular.NumRows = 2;
+  Singular.NumVars = 5; // 3 structurals + 2 slacks
+  Singular.Basic = {0, 1};
+  Singular.NonbasicState = {0, 0, /*x2=*/1, /*slacks=*/1, 1};
+  SimplexOptions Warm;
+  Warm.WarmBasis = &Singular;
+  LpSolution Sol = solveLp(P, Warm);
+  EXPECT_FALSE(Sol.WarmStarted);
+  // The failed warm refactorization is honestly counted (one extra
+  // Refactors tick); everything else - pivot sequence included - must
+  // match the cold solve exactly.
+  EXPECT_EQ(Sol.Stats.Refactors, ColdSol.Stats.Refactors + 1);
+  EXPECT_EQ(ColdSol.Status, Sol.Status);
+  EXPECT_EQ(ColdSol.Iterations, Sol.Iterations);
+  EXPECT_EQ(ColdSol.Phase1Iterations, Sol.Phase1Iterations);
+  EXPECT_EQ(ColdSol.Stats.PivotHash, Sol.Stats.PivotHash);
+  EXPECT_EQ(ColdSol.Stats.Pivots, Sol.Stats.Pivots);
+  EXPECT_EQ(ColdSol.Stats.BoundFlips, Sol.Stats.BoundFlips);
+  expectSameSolutionBits(ColdSol, Sol, "singular basis");
+}
+
 TEST_F(LpKernelIdentityTest, StatsCountersAreCoherent) {
   LinearProgram P = makeDenseFeasibleLp(48, 96, 1200);
   LpSolution Sol = solveLp(P);

@@ -381,6 +381,53 @@ TEST(Serialize, PatternBatchRoundTrip) {
   EXPECT_TRUE(Back->Patterns[1] == P2);
 }
 
+TEST(Serialize, SimplexBasisRoundTripAndCorruptRejection) {
+  auto A = std::make_shared<SimplexBasisArtifact>();
+  A->NumRows = 3;
+  A->NumVars = 8;
+  A->Basic = {7, 0, 4};
+  A->NonbasicState = {0, 1, 2, 3, 0, 1, 2, 0};
+  A->Pivots = 217;
+  A->RhsDigest = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+
+  ByteWriter W;
+  persist::serializeArtifact(*A, ArtifactKind::SimplexBasis, W);
+  ByteReader R(W.buffer().data(), W.buffer().size());
+  auto Back = std::static_pointer_cast<const SimplexBasisArtifact>(
+      persist::deserializeArtifact(ArtifactKind::SimplexBasis, R));
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(Back->NumRows, A->NumRows);
+  EXPECT_EQ(Back->NumVars, A->NumVars);
+  EXPECT_EQ(Back->Basic, A->Basic);
+  EXPECT_EQ(Back->NonbasicState, A->NonbasicState);
+  EXPECT_EQ(Back->Pivots, A->Pivots);
+  EXPECT_TRUE(Back->RhsDigest == A->RhsDigest);
+
+  // Structurally incoherent payloads are Corrupt, not accepted: a
+  // status byte outside the VarStatus range ...
+  {
+    auto Bad = std::make_shared<SimplexBasisArtifact>(*A);
+    Bad->NonbasicState[2] = 9;
+    ByteWriter BW;
+    persist::serializeArtifact(*Bad, ArtifactKind::SimplexBasis, BW);
+    ByteReader BR(BW.buffer().data(), BW.buffer().size());
+    EXPECT_EQ(persist::deserializeArtifact(ArtifactKind::SimplexBasis, BR),
+              nullptr);
+    EXPECT_EQ(BR.error(), CodecError::Corrupt);
+  }
+  // ... or a basic index outside [0, NumVars).
+  {
+    auto Bad = std::make_shared<SimplexBasisArtifact>(*A);
+    Bad->Basic[1] = Bad->NumVars;
+    ByteWriter BW;
+    persist::serializeArtifact(*Bad, ArtifactKind::SimplexBasis, BW);
+    ByteReader BR(BW.buffer().data(), BW.buffer().size());
+    EXPECT_EQ(persist::deserializeArtifact(ArtifactKind::SimplexBasis, BR),
+              nullptr);
+    EXPECT_EQ(BR.error(), CodecError::Corrupt);
+  }
+}
+
 // --- Network serialization --------------------------------------------------
 
 /// A network exercising every PWL layer kind the library has.
@@ -661,6 +708,74 @@ TEST(ArtifactStore, GcEvictsOldestAtBudget) {
   EXPECT_NE(Store.load(keyOf(104)), nullptr);
 }
 
+TEST(ArtifactStore, SimplexBasisStoreRoundTrip) {
+  TempDir Dir("basis");
+  StoreOptions Options;
+  Options.Directory = Dir.str();
+  ArtifactStore Store(Options);
+
+  auto A = std::make_shared<SimplexBasisArtifact>();
+  A->NumRows = 2;
+  A->NumVars = 6;
+  A->Basic = {5, 1};
+  A->NonbasicState = {0, 0, 1, 2, 3, 1};
+  A->Pivots = 42;
+  A->RhsDigest = {11u, 22u};
+  Store.storeSync(keyOf(9, ArtifactKind::SimplexBasis), *A);
+
+  auto Back = std::static_pointer_cast<const SimplexBasisArtifact>(
+      Store.load(keyOf(9, ArtifactKind::SimplexBasis)));
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(Back->Basic, A->Basic);
+  EXPECT_EQ(Back->NonbasicState, A->NonbasicState);
+  EXPECT_TRUE(Back->RhsDigest == A->RhsDigest);
+  // The same digest under another kind is a different entry.
+  EXPECT_EQ(Store.load(keyOf(9)), nullptr);
+}
+
+TEST(ArtifactStore, ReadHitsAndRepublishesRefreshMtimeForGc) {
+  // The store's GC is LRU-by-mtime, so both load() hits and
+  // skip-as-duplicate republishes must touch the entry's mtime - an
+  // artifact a warm engine keeps *reading* (or keeps re-publishing)
+  // is hot, and GC must not treat it as stale just because it was
+  // written long ago.
+  TempDir Dir("gc-touch");
+  auto A = makeRowsArtifact(8, 32, 0.75);
+  std::uint64_t EntryBytes;
+  {
+    StoreOptions Options;
+    Options.Directory = Dir.str();
+    ArtifactStore Store(Options);
+    for (std::uint64_t K = 0; K < 5; ++K)
+      Store.storeSync(keyOf(200 + K), *A);
+    EntryBytes = Store.stats().BytesHeld / 5;
+    // Age everything, then touch three entries the "hot" ways: two by
+    // read-hit, one by a republish that dedupe-skips the write.
+    for (std::uint64_t K = 0; K < 5; ++K)
+      fs::last_write_time(Store.entryPath(keyOf(200 + K)),
+                          fs::file_time_type::clock::now() -
+                              std::chrono::hours(2));
+    EXPECT_NE(Store.load(keyOf(203)), nullptr);
+    EXPECT_NE(Store.load(keyOf(204)), nullptr);
+    Store.storeSync(keyOf(202), *A);
+    EXPECT_EQ(Store.stats().WriteSkips, 1u);
+  }
+
+  // Budget for ~3 entries: the two never-touched entries are the
+  // oldest and must be the ones evicted.
+  StoreOptions Tight;
+  Tight.Directory = Dir.str();
+  Tight.BudgetBytes = EntryBytes * 3 + EntryBytes / 2;
+  ArtifactStore Store(Tight);
+  EXPECT_EQ(Store.stats().Evictions, 2u);
+  EXPECT_EQ(Store.stats().Entries, 3u);
+  EXPECT_EQ(Store.load(keyOf(200)), nullptr);
+  EXPECT_EQ(Store.load(keyOf(201)), nullptr);
+  EXPECT_NE(Store.load(keyOf(202)), nullptr);
+  EXPECT_NE(Store.load(keyOf(203)), nullptr);
+  EXPECT_NE(Store.load(keyOf(204)), nullptr);
+}
+
 TEST(ArtifactStore, AtomicPublicationUnderConcurrentWriters) {
   TempDir Dir("race");
   StoreOptions Options;
@@ -854,11 +969,16 @@ TEST(EngineStore, EightConcurrentJobsShareOneL2Load) {
     expectBitIdentical(Handle.report().Result, Serial);
     StoreHits += Handle.report().StoreHits;
   }
-  // One job deserialized from disk inside the single-flight claim; the
-  // other seven shared the promoted L1 entry.
-  EXPECT_EQ(StoreHits, 1);
-  EXPECT_EQ(Engine.storeStats().Hits, 1u);
-  EXPECT_EQ(Engine.cacheStats().Hits, 7u);
+  // Per distinct key (one Jacobian chunk + one simplex basis per LP
+  // solve), one job deserialized from disk inside the single-flight
+  // claim; the other seven shared the promoted L1 entry.
+  const RepairStats &WarmStats = Handles[0].report().Result.Stats;
+  int LpSolves = WarmStats.BasisHits + WarmStats.BasisMisses;
+  EXPECT_GT(LpSolves, 0);
+  int Keys = 1 + LpSolves;
+  EXPECT_EQ(StoreHits, Keys);
+  EXPECT_EQ(Engine.storeStats().Hits, static_cast<std::uint64_t>(Keys));
+  EXPECT_EQ(Engine.cacheStats().Hits, static_cast<std::uint64_t>(7 * Keys));
 }
 
 } // namespace
