@@ -2,6 +2,7 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -81,6 +82,40 @@ std::string BenchJson::write() const {
   Os << "\n]}\n";
   Os.close(); // surface close-time write errors in the stream state
   return Os ? FileName : "";
+}
+
+double prdnn::bench::percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t Index = static_cast<size_t>(
+      std::min<double>(static_cast<double>(Values.size()) - 1.0,
+                       P * static_cast<double>(Values.size())));
+  return Values[Index];
+}
+
+LatencySummary prdnn::bench::summarizeLatency(std::vector<double> Seconds) {
+  LatencySummary Summary;
+  if (Seconds.empty())
+    return Summary;
+  std::sort(Seconds.begin(), Seconds.end());
+  auto At = [&](double P) {
+    size_t Index = static_cast<size_t>(
+        std::min<double>(static_cast<double>(Seconds.size()) - 1.0,
+                         P * static_cast<double>(Seconds.size())));
+    return Seconds[Index];
+  };
+  Summary.P50 = At(0.50);
+  Summary.P95 = At(0.95);
+  Summary.P99 = At(0.99);
+  return Summary;
+}
+
+void prdnn::bench::addLatencyRecord(BenchJson &Json,
+                                    const LatencySummary &Latency) {
+  Json.add("p50_latency_seconds", Latency.P50);
+  Json.add("p95_latency_seconds", Latency.P95);
+  Json.add("p99_latency_seconds", Latency.P99);
 }
 
 Task1Workload prdnn::bench::makeTask1Workload(int AdversarialCount) {

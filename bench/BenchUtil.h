@@ -131,6 +131,28 @@ private:
   std::vector<std::vector<std::pair<std::string, Value>>> Records;
 };
 
+/// Nearest-rank percentile of \p Values at \p P in [0, 1] (sorts a
+/// copy; 0 on empty input): index = min(n - 1, floor(P * n)). The one
+/// percentile definition every latency-reporting bench shares, so
+/// p50/p95/p99 stay comparable across BENCH_*.json files and PRs.
+double percentile(std::vector<double> Values, double P);
+
+/// The p50/p95/p99 triple of one latency sample set, in seconds.
+struct LatencySummary {
+  double P50 = 0.0;
+  double P95 = 0.0;
+  double P99 = 0.0;
+};
+
+/// Summarizes \p Seconds with one sort (cheaper than three
+/// percentile() calls on large fleets of samples).
+LatencySummary summarizeLatency(std::vector<double> Seconds);
+
+/// Adds the p50/p95/p99 of \p Seconds to \p Json under
+/// "p50_latency_seconds" / "p95..." / "p99..." - the shared key
+/// schema of the latency benches.
+void addLatencyRecord(BenchJson &Json, const LatencySummary &Latency);
+
 /// Fraction of \p Points whose advisory under \p Classify is safe.
 template <typename ClassifyT>
 double safeFraction(const std::vector<Vector> &Points, ClassifyT Classify) {

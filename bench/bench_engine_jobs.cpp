@@ -89,16 +89,6 @@ PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
   return Spec;
 }
 
-double percentile(std::vector<double> Sorted, double P) {
-  if (Sorted.empty())
-    return 0.0;
-  std::sort(Sorted.begin(), Sorted.end());
-  size_t Index = static_cast<size_t>(
-      std::min<double>(static_cast<double>(Sorted.size()) - 1.0,
-                       P * static_cast<double>(Sorted.size())));
-  return Sorted[Index];
-}
-
 double maxDeltaDiff(const RepairResult &A, const RepairResult &B) {
   if (A.Delta.size() != B.Delta.size())
     return 1e300;

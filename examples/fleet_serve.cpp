@@ -1,0 +1,277 @@
+//===- examples/fleet_serve.cpp - fingerprint-addressed serving --------------===//
+//
+// The serving tier end to end: two RepairServices - two independent
+// registry caches, admission controllers, and engines, as if two
+// server processes - share one store directory. A publisher registers
+// two networks through service A's registry; clients then name models
+// by NetworkFingerprint only. Service A resolves from the cache its
+// publish seeded; service B proves the cross-process path by loading
+// (and fingerprint-re-verifying) the same entries from disk.
+//
+// A mixed workload - point repairs across layers, polytope repairs,
+// an auto layer sweep, mixed priority classes - is split across both
+// services, and every report is compared bit-for-bit against a serial,
+// cache-free run of the equivalent RepairRequest: which service served
+// a request must never change the answer.
+//
+// Then the failure paths, each of which must degrade to a typed reject
+// and never a crash or a silently-wrong model:
+//   - a fingerprint nobody published       -> ServeReject::UnknownModel
+//   - an entry whose bytes live under a
+//     foreign address (copied file)        -> ServeReject::ModelMismatch
+//   - a truncated entry                    -> ServeReject::ModelCorrupt
+// and a deterministic AdmissionController walkthrough (saturation,
+// per-class quota, release, queueStats).
+//
+// Exits non-zero if any check fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "examples/DemoNetworks.h"
+
+#include "serve/RepairService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace prdnn;
+using namespace prdnn::demo;
+using namespace prdnn::serve;
+
+int main() {
+  namespace fs = std::filesystem;
+  const fs::path StoreDir =
+      fs::temp_directory_path() /
+      ("prdnn-fleet-serve-" +
+       std::to_string(
+           std::chrono::steady_clock::now().time_since_epoch().count()));
+  bool Ok = true;
+  auto Check = [&](bool Condition, const char *What) {
+    if (!Condition) {
+      std::printf("FAILED: %s\n", What);
+      Ok = false;
+    }
+  };
+
+  Rng R(20260808);
+  Network Classifier = makeClassifier(R);
+  Network Regressor = makeRegressor(R);
+
+  // --- Two serving processes over one directory ------------------------------
+  ServiceOptions Options;
+  Options.StoreDirectory = StoreDir.string();
+  Options.Engine.NumWorkers = 2;
+  Options.Admission.MaxInFlight = 8;
+  RepairService ServiceA(Options);
+  RepairService ServiceB(Options);
+
+  // --- Publish: models become content addresses ------------------------------
+  RegistryError PubErr = RegistryError::None;
+  NetworkFingerprint ClassifierFp =
+      ServiceA.registry().publish(Classifier, &PubErr);
+  Check(PubErr == RegistryError::None, "classifier publish");
+  NetworkFingerprint RegressorFp =
+      ServiceA.registry().publish(Regressor, &PubErr);
+  Check(PubErr == RegistryError::None, "regressor publish");
+  std::printf("published classifier %s\n          regressor  %s\n",
+              toHex(ClassifierFp).c_str(), toHex(RegressorFp).c_str());
+  Check(ServiceA.registry().list().size() == 2, "registry list");
+
+  // --- The client-side view: requests carry fingerprints, not weights --------
+  struct Job {
+    ServeRequest Serve;
+    RepairRequest Twin; ///< the equivalent carry-the-weights request
+  };
+  std::vector<Job> Jobs;
+  auto AddPoints = [&](int Layer, int Seed, RepairRequest::Priority Class) {
+    Rng SpecR(100 + Seed);
+    PointSpec Spec = makeFlipSpec(Classifier, SpecR, 24);
+    Job J;
+    J.Serve.Model = ClassifierFp;
+    J.Serve.Spec = Spec;
+    J.Serve.LayerIndex = Layer;
+    J.Serve.Class = Class;
+    J.Twin = RepairRequest::points(RepairRequest::borrow(Classifier), Layer,
+                                   std::move(Spec));
+    Jobs.push_back(std::move(J));
+  };
+  AddPoints(0, 1, RepairRequest::Priority::High);
+  AddPoints(2, 2, RepairRequest::Priority::Neutral);
+  AddPoints(4, 3, RepairRequest::Priority::Low);
+  for (int Seed : {4, 5}) {
+    Rng SpecR(200 + Seed);
+    PolytopeSpec Spec = makeSegmentSpec(Regressor, SpecR, 3);
+    Job J;
+    J.Serve.Model = RegressorFp;
+    J.Serve.Spec = Spec;
+    J.Serve.LayerIndex = 2;
+    J.Twin = RepairRequest::polytopes(RepairRequest::borrow(Regressor), 2,
+                                      std::move(Spec));
+    Jobs.push_back(std::move(J));
+  }
+  {
+    Rng SpecR(301);
+    PointSpec Spec = makeFlipSpec(Classifier, SpecR, 18);
+    Job J;
+    J.Serve.Model = ClassifierFp;
+    J.Serve.Spec = Spec;
+    J.Serve.LayerIndex = kAutoLayer; // minimal-norm layer sweep
+    J.Twin.Net = RepairRequest::borrow(Classifier);
+    J.Twin.Spec = std::move(Spec);
+    J.Twin.LayerIndex = kAutoLayer;
+    Jobs.push_back(std::move(J));
+  }
+
+  // Serial ground truth: inline, cache-free runs.
+  EngineOptions SerialOptions;
+  SerialOptions.EnableCache = false;
+  RepairEngine SerialEngine(SerialOptions);
+  std::vector<RepairReport> Serial;
+  for (const Job &J : Jobs)
+    Serial.push_back(SerialEngine.run(J.Twin));
+
+  // --- Serve the mix, alternating services -----------------------------------
+  std::printf("\nsubmitting %zu fingerprint-addressed jobs across two "
+              "services...\n",
+              Jobs.size());
+  std::vector<JobHandle> Handles;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    RepairService &Service = (I % 2 == 0) ? ServiceA : ServiceB;
+    ServeSubmission Submission = Service.submit(Jobs[I].Serve);
+    Check(Submission.accepted(), "submission accepted");
+    if (Submission.accepted())
+      Handles.push_back(Submission.Handle);
+  }
+  ServiceQueueStats Queue = ServiceA.queueStats();
+  std::printf("service A queue: admission depth %d (oldest wait %.1fms), "
+              "engine depth %d + %d running\n",
+              Queue.Admission.Depth, 1e3 * Queue.Admission.OldestWaitSeconds,
+              Queue.Engine.Depth, Queue.Engine.Running);
+
+  bool AllMatch = true;
+  for (size_t I = 0; I < Handles.size(); ++I) {
+    const RepairReport &Report = Handles[I].report();
+    AllMatch = AllMatch && bitIdentical(Report.Result, Serial[I].Result) &&
+               Report.Status == Serial[I].Status &&
+               Report.RepairedLayer == Serial[I].RepairedLayer;
+  }
+  Check(AllMatch, "served results bit-identical to serial twins");
+  std::printf("all %zu reports %s their serial twins\n", Handles.size(),
+              AllMatch ? "bit-identical to" : "DIVERGED from");
+
+  // Service B never saw a publish: its models came off the shared disk,
+  // fingerprint-verified, then stuck in its per-process cache.
+  RegistryStats StatsB = ServiceB.registry().stats();
+  Check(StatsB.DiskLoads >= 1, "service B loaded models from shared disk");
+  Check(StatsB.MismatchRejects == 0 && StatsB.CorruptRejects == 0,
+        "service B resolutions verified clean");
+  std::printf("service B registry: %llu resolves, %llu disk loads, "
+              "%.0f%% cache hit rate\n",
+              static_cast<unsigned long long>(StatsB.Resolves),
+              static_cast<unsigned long long>(StatsB.DiskLoads),
+              100.0 * StatsB.cacheHitRate());
+
+  // --- Typed failure paths ---------------------------------------------------
+  std::printf("\nfailure paths (each a typed reject, never a crash):\n");
+  ServeRequest Unknown = Jobs[0].Serve;
+  Unknown.Model.Digest.Lo ^= 0x1; // nobody published this address
+  ServeSubmission UnknownSub = ServiceB.submit(Unknown);
+  Check(UnknownSub.Reject == ServeReject::UnknownModel,
+        "unknown fingerprint -> UnknownModel");
+  std::printf("  unknown fingerprint  -> %s\n", toString(UnknownSub.Reject));
+
+  // An entry whose bytes live under a foreign address: copy the
+  // classifier's file to a made-up digest. The decode succeeds, but the
+  // recomputed fingerprint can't match the address - rejected, deleted.
+  NetworkFingerprint BogusFp = ClassifierFp;
+  BogusFp.Digest.Hi ^= 0xdeadbeef;
+  fs::copy_file(ServiceB.registry().entryPath(ClassifierFp),
+                ServiceB.registry().entryPath(BogusFp));
+  ServeRequest Mismatched = Jobs[0].Serve;
+  Mismatched.Model = BogusFp;
+  ServeSubmission MismatchSub = ServiceB.submit(Mismatched);
+  Check(MismatchSub.Reject == ServeReject::ModelMismatch,
+        "foreign-address entry -> ModelMismatch");
+  Check(!fs::exists(ServiceB.registry().entryPath(BogusFp)),
+        "mismatched entry deleted");
+  std::printf("  foreign-address copy -> %s (entry deleted)\n",
+              toString(MismatchSub.Reject));
+
+  // A truncated entry: corrupt the regressor's file on disk, drop B's
+  // in-memory copy so the next resolve must re-read it.
+  {
+    std::ofstream Truncate(ServiceB.registry().entryPath(RegressorFp),
+                           std::ios::binary | std::ios::trunc);
+    Truncate << "not a framed network";
+  }
+  ServiceB.registry().dropCache();
+  ServeRequest Corrupted = Jobs[3].Serve;
+  ServeSubmission CorruptSub = ServiceB.submit(Corrupted);
+  Check(CorruptSub.Reject == ServeReject::ModelCorrupt,
+        "truncated entry -> ModelCorrupt");
+  std::printf("  truncated entry      -> %s (entry deleted)\n",
+              toString(CorruptSub.Reject));
+  // Republish heals: the same fingerprint serves again.
+  ServiceB.registry().publish(Regressor);
+  ServeSubmission Healed = ServiceB.submit(Jobs[3].Serve);
+  Check(Healed.accepted(), "republish heals the corrupt entry");
+  if (Healed.accepted()) {
+    const RepairReport &Report = Healed.Handle.report();
+    Check(bitIdentical(Report.Result, Serial[3].Result),
+          "healed entry still bit-identical");
+  }
+
+  // --- Admission control, deterministically ----------------------------------
+  std::printf("\nadmission control (MaxInFlight=3, Low quota=1):\n");
+  AdmissionOptions AdmitOptions;
+  AdmitOptions.MaxInFlight = 3;
+  AdmitOptions.ClassQuota[static_cast<int>(RepairRequest::Priority::Low)] = 1;
+  AdmissionController Admission(AdmitOptions);
+  AdmitReject Why = AdmitReject::None;
+  std::uint64_t High = Admission.tryAdmit(RepairRequest::Priority::High);
+  std::uint64_t Low = Admission.tryAdmit(RepairRequest::Priority::Low);
+  Check(High != 0 && Low != 0, "first two admissions");
+  // A free total slot remains, but Low is at its quota.
+  Check(Admission.tryAdmit(RepairRequest::Priority::Low, &Why) == 0 &&
+            Why == AdmitReject::ClassQuota,
+        "second Low -> ClassQuota");
+  std::printf("  3rd (Low)     -> %s\n", toString(Why));
+  Check(Admission.tryAdmit(RepairRequest::Priority::Neutral) != 0,
+        "Neutral takes the last slot");
+  Check(Admission.tryAdmit(RepairRequest::Priority::Neutral, &Why) == 0 &&
+            Why == AdmitReject::Saturated,
+        "fourth admission -> Saturated");
+  std::printf("  4th (Neutral) -> %s\n", toString(Why));
+  AdmissionSnapshot Snap = Admission.queueStats();
+  Check(Snap.Depth == 3 && Snap.SaturatedRejects == 1 &&
+            Snap.QuotaRejects == 1,
+        "admission snapshot");
+  Admission.release(Low);
+  Check(Admission.tryAdmit(RepairRequest::Priority::Low) != 0,
+        "release frees the Low quota slot");
+
+  ServiceStats FinalB = ServiceB.stats();
+  std::printf("\nservice B: %llu accepted, %llu rejected (%llu unknown, "
+              "%llu mismatch, %llu corrupt)\n",
+              static_cast<unsigned long long>(FinalB.Accepted),
+              static_cast<unsigned long long>(FinalB.Rejected),
+              static_cast<unsigned long long>(FinalB.RejectsByReason[static_cast<int>(
+                  ServeReject::UnknownModel)]),
+              static_cast<unsigned long long>(FinalB.RejectsByReason[static_cast<int>(
+                  ServeReject::ModelMismatch)]),
+              static_cast<unsigned long long>(FinalB.RejectsByReason[static_cast<int>(
+                  ServeReject::ModelCorrupt)]));
+
+  {
+    std::error_code Ec;
+    fs::remove_all(StoreDir, Ec);
+  }
+  std::printf("%s\n", Ok ? "fleet_serve: all checks passed"
+                         : "fleet_serve: CHECKS FAILED");
+  return Ok ? 0 : 1;
+}

@@ -31,14 +31,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "examples/DemoNetworks.h"
+
 #include "api/RepairEngine.h"
 #include "core/PolytopeRepair.h"
-#include "nn/ActivationLayers.h"
-#include "nn/LinearLayers.h"
 #include "support/Rng.h"
 
 #include <chrono>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -48,103 +47,7 @@
 #include <vector>
 
 using namespace prdnn;
-
-namespace {
-
-Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
-  Vector V(Size);
-  for (int I = 0; I < Size; ++I)
-    V[I] = Scale * R.normal();
-  return V;
-}
-
-Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
-  Matrix M(Rows, Cols);
-  for (int I = 0; I < Rows; ++I)
-    for (int J = 0; J < Cols; ++J)
-      M(I, J) = Scale * R.normal();
-  return M;
-}
-
-/// 8 -> 24 -> 24 -> 5 ReLU classifier (parameterized layers 0, 2, 4).
-Network makeClassifier(Rng &R) {
-  Network Net;
-  Net.addLayer(std::make_unique<FullyConnectedLayer>(
-      randomMatrix(R, 24, 8, 0.8), randomVector(R, 24, 0.3)));
-  Net.addLayer(std::make_unique<ReLULayer>(24));
-  Net.addLayer(std::make_unique<FullyConnectedLayer>(
-      randomMatrix(R, 24, 24, 0.7), randomVector(R, 24, 0.3)));
-  Net.addLayer(std::make_unique<ReLULayer>(24));
-  Net.addLayer(std::make_unique<FullyConnectedLayer>(
-      randomMatrix(R, 5, 24, 0.8), randomVector(R, 5, 0.3)));
-  return Net;
-}
-
-/// 2 -> 12 -> 2 regressor for segment (polytope) jobs.
-Network makeRegressor(Rng &R) {
-  Network Net;
-  Net.addLayer(std::make_unique<FullyConnectedLayer>(
-      randomMatrix(R, 12, 2, 0.9), randomVector(R, 12, 0.2)));
-  Net.addLayer(std::make_unique<ReLULayer>(12));
-  Net.addLayer(std::make_unique<FullyConnectedLayer>(
-      randomMatrix(R, 2, 12, 0.8), randomVector(R, 2, 0.2)));
-  return Net;
-}
-
-/// Classification spec: every third point flips to its runner-up class.
-PointSpec makeFlipSpec(const Network &Net, Rng &R, int Count) {
-  PointSpec Spec;
-  for (int I = 0; I < Count; ++I) {
-    Vector X = randomVector(R, Net.inputSize());
-    Vector Y = Net.evaluate(X);
-    int Top = Y.argmax();
-    int Target = Top;
-    if (I % 3 == 0) {
-      double Best = -1e300;
-      for (int C = 0; C < Y.size(); ++C)
-        if (C != Top && Y[C] > Best) {
-          Best = Y[C];
-          Target = C;
-        }
-    }
-    Spec.push_back({std::move(X),
-                    classificationConstraint(Net.outputSize(), Target, 1e-3),
-                    std::nullopt});
-  }
-  return Spec;
-}
-
-/// Segment spec: outputs along a random segment must stay in a box
-/// slightly tighter than what the network currently produces.
-PolytopeSpec makeSegmentSpec(const Network &Net, Rng &R, int Segments) {
-  PolytopeSpec Spec;
-  for (int S = 0; S < Segments; ++S) {
-    Vector A = randomVector(R, Net.inputSize());
-    Vector B = randomVector(R, Net.inputSize());
-    Vector Lo(Net.outputSize()), Hi(Net.outputSize());
-    Vector Ya = Net.evaluate(A), Yb = Net.evaluate(B);
-    for (int O = 0; O < Net.outputSize(); ++O) {
-      double Mid = 0.5 * (Ya[O] + Yb[O]);
-      double Span = std::max(1.0, std::fabs(Ya[O] - Yb[O]));
-      Lo[O] = Mid - 1.2 * Span;
-      Hi[O] = Mid + 1.2 * Span;
-    }
-    Spec.push_back(SpecPolytope{SegmentPolytope{A, B},
-                                boxConstraint(Lo, Hi)});
-  }
-  return Spec;
-}
-
-bool bitIdentical(const RepairResult &A, const RepairResult &B) {
-  if (A.Status != B.Status || A.Delta.size() != B.Delta.size())
-    return false;
-  for (size_t I = 0; I < A.Delta.size(); ++I)
-    if (A.Delta[I] != B.Delta[I])
-      return false;
-  return A.DeltaL1 == B.DeltaL1 && A.DeltaLInf == B.DeltaLInf;
-}
-
-} // namespace
+using namespace prdnn::demo;
 
 int main() {
   Rng R(20260727);

@@ -9,6 +9,7 @@
 #include "support/Parallel.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <optional>
@@ -24,12 +25,21 @@ struct prdnn::detail::EngineJob {
   JobContext Ctx;
   WallTimer Submitted; ///< started at submit; read when a worker pops
 
+  /// Invoked once as the job resolves (see RepairEngine::submit);
+  /// written before the job is published, read by the resolving thread.
+  std::function<void(const RepairReport &)> CompletionHook;
+
   mutable std::mutex Mutex;
   mutable std::condition_variable Cv;
   bool Finished = false;
   RepairReport Report;
 
   void resolve(RepairReport NewReport) {
+    // The hook runs before Finished flips so that a caller blocked in
+    // report() can rely on completion-side effects (e.g. an admission
+    // slot released) having happened by the time its wait returns.
+    if (CompletionHook)
+      CompletionHook(NewReport);
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Report = std::move(NewReport);
@@ -201,11 +211,14 @@ RepairReport RepairEngine::run(const RepairRequest &Request) {
 
 JobHandle RepairEngine::submit(RepairRequest Request,
                                std::function<void(RepairPhase)>
-                                   CheckpointHook) {
+                                   CheckpointHook,
+                               std::function<void(const RepairReport &)>
+                                   CompletionHook) {
   auto Job = std::make_shared<detail::EngineJob>();
   Job->Request = std::move(Request);
   if (CheckpointHook)
     Job->Ctx.setCheckpointHook(std::move(CheckpointHook));
+  Job->CompletionHook = std::move(CompletionHook);
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     assert(!Stopping && "submit() on a destructing engine");
@@ -245,6 +258,22 @@ JobHandle RepairEngine::submit(RepairRequest Request,
 int RepairEngine::pendingJobs() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return queuedCount() + Running;
+}
+
+EngineQueueStats RepairEngine::queueStats() const {
+  EngineQueueStats Stats;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (std::size_t Q = 0; Q < Queues.size(); ++Q) {
+    Stats.QueuedByClass[Q] = static_cast<int>(Queues[Q].size());
+    Stats.Depth += Stats.QueuedByClass[Q];
+    // FIFO within a class: the front is the class's oldest waiter.
+    if (!Queues[Q].empty())
+      Stats.OldestWaitSeconds =
+          std::max(Stats.OldestWaitSeconds,
+                   Queues[Q].front()->Submitted.seconds());
+  }
+  Stats.Running = Running;
+  return Stats;
 }
 
 void RepairEngine::workerMain() {

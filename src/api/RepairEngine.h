@@ -134,6 +134,24 @@ struct EngineOptions {
   int SweepShards = 0;
 };
 
+/// One observation of an engine's job queue, in the spirit of
+/// ProgressSnapshot: plain data, safe to take concurrently with
+/// submits and running jobs, consumed by admission controllers
+/// (serve/AdmissionController.h) and the latency benches.
+struct EngineQueueStats {
+  /// Jobs queued across all priority classes (excludes running).
+  int Depth = 0;
+  /// Queued jobs per RepairRequest::Priority class, indexed by the
+  /// enum value (High = 0, Neutral = 1, Low = 2).
+  std::array<int, 3> QueuedByClass{};
+  /// Jobs a worker is currently executing.
+  int Running = 0;
+  /// Seconds the longest-queued job has waited so far (0 when the
+  /// queue is empty). Queues are FIFO within a class, so this is the
+  /// max over the class fronts.
+  double OldestWaitSeconds = 0.0;
+};
+
 /// Handle to a submitted job. Copyable (shared state); the default-
 /// constructed handle is invalid.
 class JobHandle {
@@ -188,13 +206,26 @@ public:
 
   /// Enqueues \p Request; blocks while the queue is full. \p
   /// CheckpointHook, when set, is installed on the job's context before
-  /// it can run (see JobContext::setCheckpointHook).
+  /// it can run (see JobContext::setCheckpointHook). \p CompletionHook,
+  /// when set, is invoked exactly once with the job's report as it
+  /// resolves - on the worker thread for executed jobs, on the
+  /// resolving thread for jobs cancelled without running (engine
+  /// teardown, backpressure cancellation) - and before any report()
+  /// call returns. Unlike a checkpoint hook it does not serialize
+  /// sweeps. It must not call back into this engine.
   JobHandle submit(RepairRequest Request,
                    std::function<void(RepairPhase)> CheckpointHook =
-                       std::function<void(RepairPhase)>());
+                       std::function<void(RepairPhase)>(),
+                   std::function<void(const RepairReport &)>
+                       CompletionHook =
+                           std::function<void(const RepairReport &)>());
 
   /// Jobs submitted but not yet finished (queued + running).
   int pendingJobs() const;
+
+  /// Snapshot of the job queue (depth, per-class counts, oldest wait);
+  /// see EngineQueueStats.
+  EngineQueueStats queueStats() const;
 
   const EngineOptions &options() const { return Opts; }
 

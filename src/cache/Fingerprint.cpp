@@ -46,6 +46,37 @@ void prdnn::hashMatrix(Hasher &H, const Matrix &M) {
                   static_cast<std::size_t>(M.cols()));
 }
 
+std::string prdnn::toHex(const Digest128 &Digest) {
+  static const char *Alphabet = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(32);
+  for (std::uint64_t Word : {Digest.Hi, Digest.Lo})
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out.push_back(Alphabet[(Word >> Shift) & 0xf]);
+  return Out;
+}
+
+std::optional<Digest128> prdnn::digestFromHex(const std::string &Hex) {
+  if (Hex.size() != 32)
+    return std::nullopt;
+  std::uint64_t Words[2] = {0, 0};
+  for (int W = 0; W < 2; ++W)
+    for (int I = 0; I < 16; ++I) {
+      char C = Hex[static_cast<std::size_t>(16 * W + I)];
+      unsigned Nibble;
+      if (C >= '0' && C <= '9')
+        Nibble = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Nibble = static_cast<unsigned>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        Nibble = static_cast<unsigned>(C - 'A') + 10;
+      else
+        return std::nullopt;
+      Words[W] = (Words[W] << 4) | Nibble;
+    }
+  return Digest128{Words[0], Words[1]};
+}
+
 void prdnn::hashPattern(Hasher &H, const NetworkPattern &Pattern) {
   H.i32(static_cast<int>(Pattern.Patterns.size()));
   for (const std::vector<int> &LayerPattern : Pattern.Patterns) {

@@ -20,6 +20,9 @@
 
 #include "support/Hash.h"
 
+#include <optional>
+#include <string>
+
 namespace prdnn {
 
 class Network;
@@ -44,6 +47,18 @@ NetworkFingerprint fingerprintNetwork(const Network &Net);
 void hashVector(Hasher &H, const Vector &V);
 void hashMatrix(Hasher &H, const Matrix &M);
 void hashPattern(Hasher &H, const NetworkPattern &Pattern);
+
+/// 32 lowercase hex chars (Hi then Lo): the digest's canonical text
+/// form, used wherever a content address becomes a file name or wire
+/// token (persist/ArtifactStore entry names, serve/ModelRegistry).
+std::string toHex(const Digest128 &Digest);
+inline std::string toHex(const NetworkFingerprint &Fp) {
+  return toHex(Fp.Digest);
+}
+
+/// Parses the canonical 32-hex-char form back (case-insensitive);
+/// nullopt on any other length or a non-hex character.
+std::optional<Digest128> digestFromHex(const std::string &Hex);
 
 } // namespace prdnn
 

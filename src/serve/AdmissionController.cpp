@@ -1,0 +1,81 @@
+//===- serve/AdmissionController.cpp --------------------------------------===//
+
+#include "serve/AdmissionController.h"
+
+#include <algorithm>
+
+using namespace prdnn;
+using namespace prdnn::serve;
+
+const char *prdnn::serve::toString(AdmitReject Reject) {
+  switch (Reject) {
+  case AdmitReject::None:
+    return "none";
+  case AdmitReject::Saturated:
+    return "saturated";
+  case AdmitReject::ClassQuota:
+    return "class-quota";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions Options)
+    : Opts(Options) {
+  if (Opts.MaxInFlight < 1)
+    Opts.MaxInFlight = 1;
+  for (int &Quota : Opts.ClassQuota)
+    Quota = std::max(0, Quota);
+}
+
+std::uint64_t AdmissionController::tryAdmit(RepairRequest::Priority Class,
+                                            AdmitReject *Reject) {
+  const auto ClassIndex = static_cast<std::size_t>(Class);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (static_cast<int>(Active.size()) >= Opts.MaxInFlight) {
+    ++SaturatedRejectCount;
+    if (Reject)
+      *Reject = AdmitReject::Saturated;
+    return 0;
+  }
+  if (Opts.ClassQuota[ClassIndex] > 0 &&
+      CountByClass[ClassIndex] >= Opts.ClassQuota[ClassIndex]) {
+    ++QuotaRejectCount;
+    if (Reject)
+      *Reject = AdmitReject::ClassQuota;
+    return 0;
+  }
+  std::uint64_t Ticket = NextTicket++;
+  Active.emplace(Ticket, InFlight{Class, Clock::now()});
+  ++CountByClass[ClassIndex];
+  ++AdmittedCount;
+  if (Reject)
+    *Reject = AdmitReject::None;
+  return Ticket;
+}
+
+void AdmissionController::release(std::uint64_t Ticket) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Active.find(Ticket);
+  if (It == Active.end())
+    return;
+  --CountByClass[static_cast<std::size_t>(It->second.Class)];
+  Active.erase(It);
+}
+
+AdmissionSnapshot AdmissionController::queueStats() const {
+  AdmissionSnapshot Snap;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Snap.Depth = static_cast<int>(Active.size());
+  Snap.ByClass = CountByClass;
+  if (!Active.empty()) {
+    // Tickets are monotonic: the first key is the oldest admission.
+    Snap.OldestWaitSeconds =
+        std::chrono::duration<double>(Clock::now() -
+                                      Active.begin()->second.Admitted)
+            .count();
+  }
+  Snap.Admitted = AdmittedCount;
+  Snap.SaturatedRejects = SaturatedRejectCount;
+  Snap.QuotaRejects = QuotaRejectCount;
+  return Snap;
+}

@@ -1,0 +1,129 @@
+//===- serve/AdmissionController.h - bounded in-flight admission *- C++ -*-===//
+///
+/// \file
+/// Admission control for a serving front end (serve/RepairService.h):
+/// a bounded count of in-flight jobs plus per-priority-class quotas,
+/// with typed reject-with-reason decisions when saturated and a
+/// ProgressSnapshot-style queueStats() observability surface (depth,
+/// per-class counts, oldest admitted wait).
+///
+/// This is the cross-process complement of the RepairEngine's own
+/// priority+aging queue: the engine orders work *within* one process,
+/// while admission bounds how much work each process accepts from the
+/// fleet in the first place - so saturation surfaces to the caller as
+/// an immediate typed reject (retry elsewhere, shed load) instead of
+/// unbounded queueing, and per-class quotas keep a flood of Low
+/// traffic from monopolizing the slots a High client needs. Within
+/// the admitted set, class order and aging-based anti-starvation are
+/// the engine queue's job (EngineOptions::AgingSeconds); scheduling
+/// only - results are never affected by admission order.
+///
+/// Tickets: tryAdmit() returns an id (monotonic per controller) the
+/// caller must release() exactly once when the job resolves; ids make
+/// release idempotent-by-construction (a ticket releases once) and
+/// give queueStats() its oldest-wait clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SERVE_ADMISSIONCONTROLLER_H
+#define PRDNN_SERVE_ADMISSIONCONTROLLER_H
+
+#include "api/RepairRequest.h"
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace prdnn {
+namespace serve {
+
+/// Why tryAdmit() rejected; None means admitted.
+enum class AdmitReject : std::uint8_t {
+  None,
+  /// The controller is at MaxInFlight across all classes.
+  Saturated,
+  /// The request's class is at its quota (other classes may still
+  /// have room).
+  ClassQuota,
+};
+
+const char *toString(AdmitReject Reject);
+
+struct AdmissionOptions {
+  /// Total admitted-but-unresolved jobs this process will carry
+  /// (queued + running); further requests reject with Saturated.
+  int MaxInFlight = 64;
+  /// Per-class caps, indexed by RepairRequest::Priority value
+  /// (High = 0, Neutral = 1, Low = 2); 0 means "no per-class cap".
+  /// Quotas may oversubscribe MaxInFlight (they bound each class
+  /// independently; the total bound always applies).
+  std::array<int, 3> ClassQuota = {0, 0, 0};
+};
+
+/// One observation of the admission state, in the spirit of
+/// ProgressSnapshot: plain data, safe to take concurrently.
+struct AdmissionSnapshot {
+  /// Admitted jobs not yet released (the in-flight set).
+  int Depth = 0;
+  /// In-flight jobs per class, indexed by the Priority value.
+  std::array<int, 3> ByClass{};
+  /// Seconds since the oldest still-in-flight job was admitted (0
+  /// when idle): the "is something stuck" signal.
+  double OldestWaitSeconds = 0.0;
+  /// Monotonic counters.
+  std::uint64_t Admitted = 0;
+  std::uint64_t SaturatedRejects = 0;
+  std::uint64_t QuotaRejects = 0;
+};
+
+/// See the file comment.
+class AdmissionController {
+public:
+  explicit AdmissionController(AdmissionOptions Options);
+
+  AdmissionController(const AdmissionController &) = delete;
+  AdmissionController &operator=(const AdmissionController &) = delete;
+
+  /// Tries to admit one \p Class job. Returns a non-zero ticket on
+  /// admission (release it when the job resolves); returns 0 and sets
+  /// \p Reject (when non-null) to the typed reason otherwise. Never
+  /// blocks.
+  std::uint64_t tryAdmit(RepairRequest::Priority Class,
+                         AdmitReject *Reject = nullptr);
+
+  /// Releases an admitted ticket (exactly once per tryAdmit success).
+  /// Unknown / already-released tickets are ignored.
+  void release(std::uint64_t Ticket);
+
+  /// Depth, per-class counts, oldest wait, and reject counters.
+  AdmissionSnapshot queueStats() const;
+
+  const AdmissionOptions &options() const { return Opts; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct InFlight {
+    RepairRequest::Priority Class = RepairRequest::Priority::Neutral;
+    Clock::time_point Admitted;
+  };
+
+  AdmissionOptions Opts;
+
+  mutable std::mutex Mutex;
+  /// Keyed by ticket; tickets are monotonic, so begin() is the oldest
+  /// admission (the queueStats() oldest-wait clock).
+  std::map<std::uint64_t, InFlight> Active;
+  std::array<int, 3> CountByClass{};
+  std::uint64_t NextTicket = 1;
+  std::uint64_t AdmittedCount = 0;
+  std::uint64_t SaturatedRejectCount = 0;
+  std::uint64_t QuotaRejectCount = 0;
+};
+
+} // namespace serve
+} // namespace prdnn
+
+#endif // PRDNN_SERVE_ADMISSIONCONTROLLER_H

@@ -1,0 +1,118 @@
+//===- serve/RepairService.cpp --------------------------------------------===//
+
+#include "serve/RepairService.h"
+
+#include <algorithm>
+
+using namespace prdnn;
+using namespace prdnn::serve;
+
+const char *prdnn::serve::toString(ServeReject Reject) {
+  switch (Reject) {
+  case ServeReject::None:
+    return "none";
+  case ServeReject::Saturated:
+    return "saturated";
+  case ServeReject::ClassQuota:
+    return "class-quota";
+  case ServeReject::UnknownModel:
+    return "unknown-model";
+  case ServeReject::ModelCorrupt:
+    return "model-corrupt";
+  case ServeReject::ModelMismatch:
+    return "model-mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The engine options a service actually runs: the shared directory
+/// wired in, and enough queue capacity that an admitted job never
+/// blocks in engine backpressure (admission is the backpressure).
+EngineOptions serviceEngineOptions(const ServiceOptions &Options) {
+  EngineOptions Engine = Options.Engine;
+  Engine.StoreDirectory = Options.StoreDirectory;
+  Engine.QueueCapacity = std::max(
+      Engine.QueueCapacity, std::max(1, Options.Admission.MaxInFlight));
+  return Engine;
+}
+
+} // namespace
+
+RepairService::RepairService(ServiceOptions Options)
+    : Opts(std::move(Options)), Registry(Opts.StoreDirectory),
+      Admission(Opts.Admission), Engine(serviceEngineOptions(Opts)) {}
+
+ServeSubmission RepairService::submit(ServeRequest Request) {
+  auto RejectWith = [&](ServeReject Reason) {
+    RejectedCount.fetch_add(1, std::memory_order_relaxed);
+    RejectCounts[static_cast<std::size_t>(Reason)].fetch_add(
+        1, std::memory_order_relaxed);
+    ServeSubmission Submission;
+    Submission.Reject = Reason;
+    return Submission;
+  };
+
+  // Admission first: it is the cheap check, and a saturated service
+  // should shed load before spending a disk read on the model.
+  AdmitReject Admit = AdmitReject::None;
+  std::uint64_t Ticket = Admission.tryAdmit(Request.Class, &Admit);
+  if (Ticket == 0)
+    return RejectWith(Admit == AdmitReject::ClassQuota
+                          ? ServeReject::ClassQuota
+                          : ServeReject::Saturated);
+
+  RegistryError RegErr = RegistryError::None;
+  std::shared_ptr<const Network> Net =
+      Registry.resolve(Request.Model, &RegErr);
+  if (!Net) {
+    Admission.release(Ticket);
+    switch (RegErr) {
+    case RegistryError::Corrupt:
+      return RejectWith(ServeReject::ModelCorrupt);
+    case RegistryError::FingerprintMismatch:
+      return RejectWith(ServeReject::ModelMismatch);
+    case RegistryError::NotFound:
+    case RegistryError::IoError:
+    case RegistryError::None:
+      return RejectWith(ServeReject::UnknownModel);
+    }
+    return RejectWith(ServeReject::UnknownModel);
+  }
+
+  RepairRequest Engineside;
+  Engineside.Net = std::move(Net);
+  Engineside.Spec = std::move(Request.Spec);
+  Engineside.LayerIndex = Request.LayerIndex;
+  Engineside.SweepLayers = std::move(Request.SweepLayers);
+  Engineside.JobPriority = Request.Class;
+  Engineside.Options = std::move(Request.Options);
+
+  ServeSubmission Submission;
+  // The completion hook releases the admission slot as the job
+  // resolves - worker thread, teardown cancellation, and backpressure
+  // cancellation paths alike - so Depth tracks truly-in-flight jobs.
+  Submission.Handle = Engine.submit(
+      std::move(Engineside), /*CheckpointHook=*/{},
+      [this, Ticket](const RepairReport &) { Admission.release(Ticket); });
+  AcceptedCount.fetch_add(1, std::memory_order_relaxed);
+  return Submission;
+}
+
+ServiceQueueStats RepairService::queueStats() const {
+  ServiceQueueStats Stats;
+  Stats.Admission = Admission.queueStats();
+  Stats.Engine = Engine.queueStats();
+  return Stats;
+}
+
+ServiceStats RepairService::stats() const {
+  ServiceStats Stats;
+  Stats.Accepted = AcceptedCount.load(std::memory_order_relaxed);
+  Stats.Rejected = RejectedCount.load(std::memory_order_relaxed);
+  for (std::size_t I = 0; I < RejectCounts.size(); ++I)
+    Stats.RejectsByReason[I] =
+        RejectCounts[I].load(std::memory_order_relaxed);
+  return Stats;
+}

@@ -1,0 +1,180 @@
+//===- serve/RepairService.h - fleet serving front end ---------*- C++ -*-===//
+///
+/// \file
+/// The serving tier over the RepairEngine: a front end that accepts
+/// ServeRequests naming a model by NetworkFingerprint instead of
+/// carrying weights, resolves the model through a shared, verified
+/// ModelRegistry (per-process cache over the store directory's
+/// `models/` entries), gates acceptance through an AdmissionController
+/// (bounded in-flight, per-class quotas, typed reject-with-reason when
+/// saturated), and dispatches admitted jobs to its RepairEngine -
+/// whose artifact cache is backed by the same shared store directory,
+/// so every serving process warms every other one.
+///
+/// A fleet deployment runs one RepairService per process, all pointed
+/// at one store directory:
+///
+///   clients --fp--> [Service A: registry cache | admission | engine]
+///   clients --fp--> [Service B: registry cache | admission | engine]
+///                         \          shared <dir>          /
+///                          models/*.net + ab/cd/*.art artifacts
+///
+/// Determinism contract: an accepted request's report is bit-for-bit
+/// identical to RepairEngine::run() of the equivalent RepairRequest on
+/// the same network in-process - the registry serializes bit-exactly
+/// and re-verifies fingerprints on load, and the engine's cache/store
+/// tiers are bit-exact by construction - so *which* process serves a
+/// request (and how warm it is) never changes the answer. Enforced by
+/// tests/serve_test.cpp and bench/bench_serve_fleet.cpp (non-zero exit
+/// on any divergence).
+///
+/// Admission never blocks and never queues beyond the engine: the
+/// service clamps the engine's queue capacity to at least MaxInFlight,
+/// so an admitted submit() cannot park in engine backpressure - the
+/// admission bound *is* the backpressure, surfaced as a typed reject
+/// the caller can act on (retry, shed, or route to another process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_SERVE_REPAIRSERVICE_H
+#define PRDNN_SERVE_REPAIRSERVICE_H
+
+#include "api/RepairEngine.h"
+#include "serve/AdmissionController.h"
+#include "serve/ModelRegistry.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace prdnn {
+namespace serve {
+
+/// One serving request: a repair described as data, with the network
+/// referenced by content fingerprint instead of shipped as weights.
+struct ServeRequest {
+  /// Which registered model to repair (ModelRegistry::publish's
+  /// return value; also discoverable via list()).
+  NetworkFingerprint Model;
+  /// Point spec (Algorithm 1) or polytope spec (Algorithm 2).
+  std::variant<PointSpec, PolytopeSpec> Spec;
+  /// A parameterized linear layer index, or kAutoLayer to sweep.
+  int LayerIndex = kAutoLayer;
+  /// Candidate layers for the sweep; empty = all parameterized.
+  std::vector<int> SweepLayers;
+  /// Scheduling class: admission quota bucket *and* engine queue
+  /// class.
+  RepairRequest::Priority Class = RepairRequest::Priority::Neutral;
+  RepairOptions Options;
+};
+
+/// Why submit() rejected; None means accepted.
+enum class ServeReject : std::uint8_t {
+  None,
+  /// AdmissionController: at MaxInFlight.
+  Saturated,
+  /// AdmissionController: the request's class is at its quota.
+  ClassQuota,
+  /// No registry entry for the requested fingerprint.
+  UnknownModel,
+  /// The registry entry failed codec validation (deleted; republish
+  /// to heal).
+  ModelCorrupt,
+  /// The registry entry's recomputed fingerprint mismatched its
+  /// address (deleted) - never served.
+  ModelMismatch,
+};
+
+const char *toString(ServeReject Reject);
+
+/// What submit() returns: an accepted submission carries the engine
+/// job handle; a rejected one carries the typed reason.
+struct ServeSubmission {
+  ServeReject Reject = ServeReject::None;
+  JobHandle Handle; ///< valid iff accepted
+
+  bool accepted() const { return Reject == ServeReject::None; }
+};
+
+/// Monotonic counters of one RepairService.
+struct ServiceStats {
+  std::uint64_t Accepted = 0;
+  std::uint64_t Rejected = 0;
+  /// Rejections by ServeReject value (index 0, None, stays 0).
+  std::array<std::uint64_t, 6> RejectsByReason{};
+};
+
+/// Combined observability snapshot: the admission tier and the engine
+/// queue in one ProgressSnapshot-style value.
+struct ServiceQueueStats {
+  AdmissionSnapshot Admission;
+  EngineQueueStats Engine;
+};
+
+struct ServiceOptions {
+  /// The shared store directory (required): the engine's L2 artifact
+  /// store *and* the model registry both live here, which is what
+  /// lets N processes share one warm state.
+  std::string StoreDirectory;
+  /// Engine configuration. StoreDirectory is overridden by the field
+  /// above; QueueCapacity is clamped to >= Admission.MaxInFlight (see
+  /// the file comment).
+  EngineOptions Engine;
+  AdmissionOptions Admission;
+};
+
+/// See the file comment.
+class RepairService {
+public:
+  explicit RepairService(ServiceOptions Options);
+
+  RepairService(const RepairService &) = delete;
+  RepairService &operator=(const RepairService &) = delete;
+
+  /// Admission-gates, resolves, and dispatches \p Request. On
+  /// acceptance the returned handle behaves exactly like
+  /// RepairEngine::submit()'s; the admission slot is released
+  /// automatically when the job resolves (completion hook). On
+  /// rejection nothing was enqueued and the typed reason says why.
+  /// Never blocks on queue space.
+  ServeSubmission submit(ServeRequest Request);
+
+  /// The registry this service resolves fingerprints through (also
+  /// the publication side for loaders).
+  ModelRegistry &registry() { return Registry; }
+  const ModelRegistry &registry() const { return Registry; }
+
+  RepairEngine &engine() { return Engine; }
+  const RepairEngine &engine() const { return Engine; }
+
+  /// Admission + engine queue observability in one snapshot.
+  ServiceQueueStats queueStats() const;
+
+  ServiceStats stats() const;
+
+  /// Drains the engine's write-behind store queue (orderly shutdown /
+  /// handoff to a successor process).
+  void flush() { Engine.flushStore(); }
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  ServiceOptions Opts;
+  ModelRegistry Registry;
+  AdmissionController Admission;
+  RepairEngine Engine;
+
+  std::atomic<std::uint64_t> AcceptedCount{0};
+  std::atomic<std::uint64_t> RejectedCount{0};
+  std::array<std::atomic<std::uint64_t>, 6> RejectCounts{};
+};
+
+} // namespace serve
+} // namespace prdnn
+
+#endif // PRDNN_SERVE_REPAIRSERVICE_H
