@@ -5,17 +5,22 @@
 // server processes - share one store directory. A publisher registers
 // two networks through service A's registry; clients then name models
 // by NetworkFingerprint only. Service A resolves from the cache its
-// publish seeded; service B proves the cross-process path by loading
-// (and fingerprint-re-verifying) the same entries from disk.
+// publish seeded and is driven in-process; service B proves BOTH
+// cross-process paths at once: its models come off the shared disk
+// (fingerprint-re-verified), and every request reaches it over TCP
+// localhost through rpc::RpcClient - submit, await, status, all as
+// framed wire messages against the RpcServer wrapping it.
 //
 // A mixed workload - point repairs across layers, polytope repairs,
 // an auto layer sweep, mixed priority classes - is split across both
 // services, and every report is compared bit-for-bit against a serial,
 // cache-free run of the equivalent RepairRequest: which service served
-// a request must never change the answer.
+// a request - and whether a socket sat in the middle - must never
+// change the answer.
 //
 // Then the failure paths, each of which must degrade to a typed reject
-// and never a crash or a silently-wrong model:
+// (now carried across the wire) and never a crash or a silently-wrong
+// model:
 //   - a fingerprint nobody published       -> ServeReject::UnknownModel
 //   - an entry whose bytes live under a
 //     foreign address (copied file)        -> ServeReject::ModelMismatch
@@ -29,6 +34,8 @@
 
 #include "examples/DemoNetworks.h"
 
+#include "rpc/RpcClient.h"
+#include "rpc/RpcServer.h"
 #include "serve/RepairService.h"
 
 #include <chrono>
@@ -69,6 +76,21 @@ int main() {
   Options.Admission.MaxInFlight = 8;
   RepairService ServiceA(Options);
   RepairService ServiceB(Options);
+
+  // Service B goes behind a socket: an RpcServer on an ephemeral
+  // localhost port, and an RpcClient as the only way this "client
+  // side" ever talks to it.
+  rpc::RpcServer ServerB(ServiceB, rpc::RpcServerOptions{});
+  rpc::RpcError RpcErr = rpc::RpcError::None;
+  if (!ServerB.start(&RpcErr)) {
+    std::printf("FAILED: RpcServer start: %s\n", toString(RpcErr));
+    return 1;
+  }
+  rpc::RpcClientOptions ClientOptions;
+  ClientOptions.Port = ServerB.port();
+  rpc::RpcClient ClientB(ClientOptions);
+  Check(ClientB.connect() == rpc::RpcError::None, "RpcClient connect");
+  std::printf("service B listening on 127.0.0.1:%d\n", ServerB.port());
 
   // --- Publish: models become content addresses ------------------------------
   RegistryError PubErr = RegistryError::None;
@@ -136,16 +158,25 @@ int main() {
     Serial.push_back(SerialEngine.run(J.Twin));
 
   // --- Serve the mix, alternating services -----------------------------------
-  std::printf("\nsubmitting %zu fingerprint-addressed jobs across two "
-              "services...\n",
+  std::printf("\nsubmitting %zu fingerprint-addressed jobs: evens "
+              "in-process to A, odds over TCP to B...\n",
               Jobs.size());
-  std::vector<JobHandle> Handles;
+  std::vector<std::pair<size_t, JobHandle>> LocalHandles; // A, in-process
+  std::vector<std::pair<size_t, std::uint64_t>> WireIds;  // B, over the wire
   for (size_t I = 0; I < Jobs.size(); ++I) {
-    RepairService &Service = (I % 2 == 0) ? ServiceA : ServiceB;
-    ServeSubmission Submission = Service.submit(Jobs[I].Serve);
-    Check(Submission.accepted(), "submission accepted");
-    if (Submission.accepted())
-      Handles.push_back(Submission.Handle);
+    if (I % 2 == 0) {
+      ServeSubmission Submission = ServiceA.submit(Jobs[I].Serve);
+      Check(Submission.accepted(), "in-process submission accepted");
+      if (Submission.accepted())
+        LocalHandles.emplace_back(I, Submission.Handle);
+    } else {
+      rpc::SubmitReply Reply;
+      Check(ClientB.submit(Jobs[I].Serve, Reply) == rpc::RpcError::None &&
+                Reply.accepted(),
+            "wire submission accepted");
+      if (Reply.accepted())
+        WireIds.emplace_back(I, Reply.JobId);
+    }
   }
   ServiceQueueStats Queue = ServiceA.queueStats();
   std::printf("service A queue: admission depth %d (oldest wait %.1fms), "
@@ -154,14 +185,28 @@ int main() {
               Queue.Engine.Depth, Queue.Engine.Running);
 
   bool AllMatch = true;
-  for (size_t I = 0; I < Handles.size(); ++I) {
-    const RepairReport &Report = Handles[I].report();
+  size_t Collected = 0;
+  auto Compare = [&](size_t I, const RepairReport &Report) {
     AllMatch = AllMatch && bitIdentical(Report.Result, Serial[I].Result) &&
                Report.Status == Serial[I].Status &&
                Report.RepairedLayer == Serial[I].RepairedLayer;
+    ++Collected;
+  };
+  for (auto &[I, Handle] : LocalHandles)
+    Compare(I, Handle.report());
+  for (auto &[I, JobId] : WireIds) {
+    bool Found = false;
+    RepairReport Report;
+    Check(ClientB.await(JobId, 0, Found, Report) == rpc::RpcError::None &&
+              Found,
+          "wire await delivers the report");
+    if (Found)
+      Compare(I, Report);
   }
-  Check(AllMatch, "served results bit-identical to serial twins");
-  std::printf("all %zu reports %s their serial twins\n", Handles.size(),
+  Check(AllMatch && Collected == Jobs.size(),
+        "served results bit-identical to serial twins");
+  std::printf("all %zu reports (%zu over the wire) %s their serial twins\n",
+              Collected, WireIds.size(),
               AllMatch ? "bit-identical to" : "DIVERGED from");
 
   // Service B never saw a publish: its models came off the shared disk,
@@ -177,11 +222,13 @@ int main() {
               100.0 * StatsB.cacheHitRate());
 
   // --- Typed failure paths ---------------------------------------------------
-  std::printf("\nfailure paths (each a typed reject, never a crash):\n");
+  std::printf("\nfailure paths (each a typed reject carried over the "
+              "wire, never a crash):\n");
   ServeRequest Unknown = Jobs[0].Serve;
   Unknown.Model.Digest.Lo ^= 0x1; // nobody published this address
-  ServeSubmission UnknownSub = ServiceB.submit(Unknown);
-  Check(UnknownSub.Reject == ServeReject::UnknownModel,
+  rpc::SubmitReply UnknownSub;
+  Check(ClientB.submit(Unknown, UnknownSub) == rpc::RpcError::None &&
+            UnknownSub.Reject == ServeReject::UnknownModel,
         "unknown fingerprint -> UnknownModel");
   std::printf("  unknown fingerprint  -> %s\n", toString(UnknownSub.Reject));
 
@@ -194,8 +241,9 @@ int main() {
                 ServiceB.registry().entryPath(BogusFp));
   ServeRequest Mismatched = Jobs[0].Serve;
   Mismatched.Model = BogusFp;
-  ServeSubmission MismatchSub = ServiceB.submit(Mismatched);
-  Check(MismatchSub.Reject == ServeReject::ModelMismatch,
+  rpc::SubmitReply MismatchSub;
+  Check(ClientB.submit(Mismatched, MismatchSub) == rpc::RpcError::None &&
+            MismatchSub.Reject == ServeReject::ModelMismatch,
         "foreign-address entry -> ModelMismatch");
   Check(!fs::exists(ServiceB.registry().entryPath(BogusFp)),
         "mismatched entry deleted");
@@ -211,20 +259,24 @@ int main() {
   }
   ServiceB.registry().dropCache();
   ServeRequest Corrupted = Jobs[3].Serve;
-  ServeSubmission CorruptSub = ServiceB.submit(Corrupted);
-  Check(CorruptSub.Reject == ServeReject::ModelCorrupt,
+  rpc::SubmitReply CorruptSub;
+  Check(ClientB.submit(Corrupted, CorruptSub) == rpc::RpcError::None &&
+            CorruptSub.Reject == ServeReject::ModelCorrupt,
         "truncated entry -> ModelCorrupt");
   std::printf("  truncated entry      -> %s (entry deleted)\n",
               toString(CorruptSub.Reject));
-  // Republish heals: the same fingerprint serves again.
+  // Republish heals: the same fingerprint serves again - and the
+  // client's retail loop (submit + await + shed-retry) delivers the
+  // same bits through the socket.
   ServiceB.registry().publish(Regressor);
-  ServeSubmission Healed = ServiceB.submit(Jobs[3].Serve);
-  Check(Healed.accepted(), "republish heals the corrupt entry");
-  if (Healed.accepted()) {
-    const RepairReport &Report = Healed.Handle.report();
-    Check(bitIdentical(Report.Result, Serial[3].Result),
-          "healed entry still bit-identical");
-  }
+  RepairReport HealedReport;
+  ServeReject HealedReject = ServeReject::None;
+  Check(ClientB.repair(Jobs[3].Serve, HealedReport, HealedReject) ==
+                rpc::RpcError::None &&
+            HealedReject == ServeReject::None,
+        "republish heals the corrupt entry");
+  Check(bitIdentical(HealedReport.Result, Serial[3].Result),
+        "healed entry still bit-identical");
 
   // --- Admission control, deterministically ----------------------------------
   std::printf("\nadmission control (MaxInFlight=3, Low quota=1):\n");
@@ -255,7 +307,10 @@ int main() {
   Check(Admission.tryAdmit(RepairRequest::Priority::Low) != 0,
         "release frees the Low quota slot");
 
-  ServiceStats FinalB = ServiceB.stats();
+  // The fleet-health snapshot travels too: Status over the socket.
+  ServiceStats FinalB;
+  Check(ClientB.status(FinalB) == rpc::RpcError::None,
+        "status over the wire");
   std::printf("\nservice B: %llu accepted, %llu rejected (%llu unknown, "
               "%llu mismatch, %llu corrupt)\n",
               static_cast<unsigned long long>(FinalB.Accepted),
@@ -266,6 +321,24 @@ int main() {
                   ServeReject::ModelMismatch)]),
               static_cast<unsigned long long>(FinalB.RejectsByReason[static_cast<int>(
                   ServeReject::ModelCorrupt)]));
+
+  // Counters are only final once both sides are quiescent: close the
+  // client, drain-stop the server (joining its connection threads),
+  // then cross-check the socket's byte accounting.
+  rpc::RpcClientStats ClientStats = ClientB.stats();
+  ClientB.close();
+  ServerB.stop(); // drain-then-stop: every ticket released
+  rpc::RpcServerStats WireB = ServerB.stats();
+  Check(WireB.BytesReceived == ClientStats.BytesSent &&
+            WireB.BytesSent == ClientStats.BytesReceived,
+        "byte counters agree across the socket");
+  std::printf("wire: %llu connections, %.1f KiB sent / %.1f KiB received "
+              "by the server\n",
+              static_cast<unsigned long long>(WireB.ConnectionsAccepted),
+              static_cast<double>(WireB.BytesSent) / 1024.0,
+              static_cast<double>(WireB.BytesReceived) / 1024.0);
+  Check(ServiceB.stats().Admission.Depth == 0,
+        "no admission ticket outlives the server");
 
   {
     std::error_code Ec;

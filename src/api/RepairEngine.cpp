@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <optional>
 #include <utility>
@@ -63,6 +64,14 @@ void JobHandle::wait() const {
   assert(State && "invalid JobHandle");
   std::unique_lock<std::mutex> Lock(State->Mutex);
   State->Cv.wait(Lock, [&] { return State->Finished; });
+}
+
+bool JobHandle::waitFor(double Seconds) const {
+  assert(State && "invalid JobHandle");
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  return State->Cv.wait_for(
+      Lock, std::chrono::duration<double>(Seconds > 0.0 ? Seconds : 0.0),
+      [&] { return State->Finished; });
 }
 
 const RepairReport &JobHandle::report() const {

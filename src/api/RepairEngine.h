@@ -167,6 +167,12 @@ public:
   /// Blocks until the report is ready.
   void wait() const;
 
+  /// Blocks until the report is ready or \p Seconds elapse; true when
+  /// the job finished. A timeout leaves the job untouched (it keeps
+  /// running and can be waited on again) - the deadline primitive of
+  /// the RPC server's Await exchange.
+  bool waitFor(double Seconds) const;
+
   /// Blocks until ready, then returns the report. The reference stays
   /// valid for the handle's lifetime.
   const RepairReport &report() const;

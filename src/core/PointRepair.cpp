@@ -29,7 +29,9 @@ const char *prdnn::toString(RepairStatus Status) {
   case RepairStatus::Cancelled:
     return "Cancelled";
   }
-  PRDNN_UNREACHABLE("bad RepairStatus");
+  // Statuses now travel over the wire (rpc/Wire.h); a value from a
+  // foreign peer must print, not abort.
+  return "unknown";
 }
 
 namespace {

@@ -21,7 +21,9 @@ const char *prdnn::toString(RepairPhase Phase) {
   case RepairPhase::Done:
     return "Done";
   }
-  PRDNN_UNREACHABLE("bad RepairPhase");
+  // Statuses now travel over the wire (rpc/Wire.h); a value from a
+  // foreign peer must print, not abort.
+  return "unknown";
 }
 
 ProgressSnapshot JobContext::snapshot() const {

@@ -75,7 +75,9 @@ const char *prdnn::lp::toString(SolveStatus Status) {
   case SolveStatus::Cancelled:
     return "Cancelled";
   }
-  PRDNN_UNREACHABLE("bad SolveStatus");
+  // Statuses now travel over the wire (rpc/Wire.h); a value from a
+  // foreign peer must print, not abort.
+  return "unknown";
 }
 
 namespace {

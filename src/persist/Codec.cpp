@@ -2,7 +2,6 @@
 
 #include "persist/Codec.h"
 
-#include "support/Error.h"
 #include "support/Hash.h"
 
 using namespace prdnn;
@@ -23,17 +22,17 @@ const char *prdnn::persist::toString(CodecError Error) {
   case CodecError::Corrupt:
     return "Corrupt";
   }
-  PRDNN_UNREACHABLE("bad CodecError");
+  // A CodecError can arrive over the wire (rpc/Wire.h), so an
+  // out-of-range value must print, not abort.
+  return "unknown";
 }
 
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'P', 'R', 'D', 'A'};
 constexpr std::uint32_t kEndianTag = 0x01020304u;
-/// magic + version + endian tag + kind + payload size.
-constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 1 + 8;
-/// Digest128 (Hi, Lo).
-constexpr std::size_t kTrailerSize = 16;
+constexpr std::size_t kHeaderSize = kFrameHeaderSize;
+constexpr std::size_t kTrailerSize = kFrameTrailerSize;
 
 Digest128 payloadDigest(const std::uint8_t *Data, std::size_t Size) {
   Hasher H;
@@ -113,5 +112,44 @@ CodecError prdnn::persist::unframe(const std::uint8_t *Data,
   Out.BlobKind = Kind;
   Out.Payload = Payload;
   Out.PayloadSize = static_cast<std::size_t>(PayloadSize);
+  return CodecError::None;
+}
+
+CodecError prdnn::persist::peekFrame(const std::uint8_t *Header,
+                                     std::size_t Size,
+                                     std::uint8_t &BlobKind,
+                                     std::uint64_t &PayloadSize) {
+  // Same judgment order as unframe(): magic first so garbage input
+  // reads as BadMagic rather than Truncated.
+  if (Size >= sizeof(kMagic) &&
+      std::memcmp(Header, kMagic, sizeof(kMagic)) != 0)
+    return CodecError::BadMagic;
+  if (Size < kHeaderSize)
+    return CodecError::Truncated;
+
+  ByteReader R(Header + 4, Size - 4);
+  std::uint32_t Version = 0;
+  R.u32(Version);
+  std::uint32_t Endian = 0;
+  R.bytes(&Endian, sizeof(Endian));
+  if (Endian != kEndianTag) {
+    std::uint32_t Swapped = ((Endian & 0x000000ffu) << 24) |
+                            ((Endian & 0x0000ff00u) << 8) |
+                            ((Endian & 0x00ff0000u) >> 8) |
+                            ((Endian & 0xff000000u) >> 24);
+    return Swapped == kEndianTag ? CodecError::ForeignEndian
+                                 : CodecError::Corrupt;
+  }
+  if (Version != kFormatVersion)
+    return CodecError::BadVersion;
+
+  std::uint8_t Kind = 0;
+  std::uint64_t Declared = 0;
+  R.u8(Kind);
+  R.u64(Declared);
+  if (!R.ok())
+    return R.error();
+  BlobKind = Kind;
+  PayloadSize = Declared;
   return CodecError::None;
 }

@@ -64,6 +64,15 @@ const char *toString(CodecError Error);
 /// reject other versions with BadVersion (no silent migrations).
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// Fixed frame prologue: magic + version + endian tag + kind + payload
+/// size. A stream consumer (rpc/Wire.h) reads exactly this many bytes,
+/// peeks the declared payload size with peekFrame(), then reads the
+/// payload + trailer - so a frame's length is known before any large
+/// buffer is committed.
+inline constexpr std::size_t kFrameHeaderSize = 4 + 4 + 4 + 1 + 8;
+/// Digest128 trailer (Hi then Lo).
+inline constexpr std::size_t kFrameTrailerSize = 16;
+
 /// Appends little-endian primitives to a growing byte buffer.
 class ByteWriter {
 public:
@@ -240,6 +249,14 @@ struct FrameView {
 
 CodecError unframe(const std::uint8_t *Data, std::size_t Size,
                    FrameView &Out);
+
+/// Decodes just the fixed prologue of a frame (exactly kFrameHeaderSize
+/// bytes) without touching the payload: validates magic, version, and
+/// endian tag, and reports the blob kind and declared payload size so a
+/// stream reader knows how many more bytes to expect. The digest is NOT
+/// checked here - run the full unframe() once payload + trailer arrive.
+CodecError peekFrame(const std::uint8_t *Header, std::size_t Size,
+                     std::uint8_t &BlobKind, std::uint64_t &PayloadSize);
 
 } // namespace persist
 } // namespace prdnn

@@ -56,19 +56,6 @@ bool plausibleCount(ByteReader &R, std::uint64_t Count,
   return true;
 }
 
-void writeVector(ByteWriter &W, const Vector &V) {
-  W.u32(static_cast<std::uint32_t>(V.size()));
-  W.doubles(V.data(), static_cast<std::size_t>(V.size()));
-}
-
-bool readVector(ByteReader &R, Vector &V) {
-  std::uint32_t Size = 0;
-  if (!R.u32(Size) || !plausibleCount(R, Size, 8))
-    return false;
-  V = Vector(static_cast<int>(Size));
-  return R.doubles(V.data(), Size);
-}
-
 void writeDoubleSeq(ByteWriter &W, const std::vector<double> &Values) {
   W.u64(Values.size());
   W.doubles(Values.data(), Values.size());
@@ -203,14 +190,8 @@ std::shared_ptr<const CacheArtifact> readSyrennTransform(ByteReader &R) {
 
 void writePatternBatch(ByteWriter &W, const PatternBatchArtifact &A) {
   W.u64(A.Patterns.size());
-  for (const NetworkPattern &Pattern : A.Patterns) {
-    W.u32(static_cast<std::uint32_t>(Pattern.Patterns.size()));
-    for (const std::vector<int> &LayerPattern : Pattern.Patterns) {
-      W.u32(static_cast<std::uint32_t>(LayerPattern.size()));
-      for (int V : LayerPattern)
-        W.i32(V);
-    }
-  }
+  for (const NetworkPattern &Pattern : A.Patterns)
+    writePattern(W, Pattern);
 }
 
 std::shared_ptr<const CacheArtifact> readPatternBatch(ByteReader &R) {
@@ -219,21 +200,9 @@ std::shared_ptr<const CacheArtifact> readPatternBatch(ByteReader &R) {
   if (!R.u64(Count) || !plausibleCount(R, Count, 4))
     return nullptr;
   A->Patterns.resize(static_cast<std::size_t>(Count));
-  for (NetworkPattern &Pattern : A->Patterns) {
-    std::uint32_t Layers = 0;
-    if (!R.u32(Layers) || !plausibleCount(R, Layers, 4))
+  for (NetworkPattern &Pattern : A->Patterns)
+    if (!readPattern(R, Pattern))
       return nullptr;
-    Pattern.Patterns.resize(Layers);
-    for (std::vector<int> &LayerPattern : Pattern.Patterns) {
-      std::uint32_t Units = 0;
-      if (!R.u32(Units) || !plausibleCount(R, Units, 4))
-        return nullptr;
-      LayerPattern.resize(Units);
-      for (int &V : LayerPattern)
-        if (!R.i32(V))
-          return nullptr;
-    }
-  }
   return A;
 }
 
@@ -293,6 +262,71 @@ std::shared_ptr<const CacheArtifact> readSimplexBasis(ByteReader &R) {
 }
 
 } // namespace
+
+void prdnn::persist::writeVector(ByteWriter &W, const Vector &V) {
+  W.u32(static_cast<std::uint32_t>(V.size()));
+  W.doubles(V.data(), static_cast<std::size_t>(V.size()));
+}
+
+bool prdnn::persist::readVector(ByteReader &R, Vector &V) {
+  std::uint32_t Size = 0;
+  if (!R.u32(Size) || !plausibleCount(R, Size, 8))
+    return false;
+  V = Vector(static_cast<int>(Size));
+  return R.doubles(V.data(), Size);
+}
+
+void prdnn::persist::writeMatrix(ByteWriter &W, const Matrix &M) {
+  W.u32(static_cast<std::uint32_t>(M.rows()));
+  W.u32(static_cast<std::uint32_t>(M.cols()));
+  for (int Row = 0; Row < M.rows(); ++Row)
+    W.doubles(M.rowData(Row), static_cast<std::size_t>(M.cols()));
+}
+
+bool prdnn::persist::readMatrix(ByteReader &R, Matrix &M) {
+  int Rows = 0, Cols = 0;
+  if (!R.i32(Rows) || !R.i32(Cols))
+    return false;
+  if (Rows < 0 || Cols < 0 || Rows > kMaxDim || Cols > kMaxDim ||
+      (Cols > 0 && static_cast<std::int64_t>(Rows) > kMaxParams / Cols)) {
+    R.fail(CodecError::Corrupt);
+    return false;
+  }
+  if (!plausibleCount(R, static_cast<std::size_t>(Rows) * Cols, 8))
+    return false;
+  M = Matrix(Rows, Cols);
+  for (int Row = 0; Row < Rows; ++Row)
+    if (!R.doubles(M.rowData(Row), static_cast<std::size_t>(Cols)))
+      return false;
+  return true;
+}
+
+void prdnn::persist::writePattern(ByteWriter &W,
+                                  const NetworkPattern &Pattern) {
+  W.u32(static_cast<std::uint32_t>(Pattern.Patterns.size()));
+  for (const std::vector<int> &LayerPattern : Pattern.Patterns) {
+    W.u32(static_cast<std::uint32_t>(LayerPattern.size()));
+    for (int V : LayerPattern)
+      W.i32(V);
+  }
+}
+
+bool prdnn::persist::readPattern(ByteReader &R, NetworkPattern &Pattern) {
+  std::uint32_t Layers = 0;
+  if (!R.u32(Layers) || !plausibleCount(R, Layers, 4))
+    return false;
+  Pattern.Patterns.resize(Layers);
+  for (std::vector<int> &LayerPattern : Pattern.Patterns) {
+    std::uint32_t Units = 0;
+    if (!R.u32(Units) || !plausibleCount(R, Units, 4))
+      return false;
+    LayerPattern.resize(Units);
+    for (int &V : LayerPattern)
+      if (!R.i32(V))
+        return false;
+  }
+  return true;
+}
 
 void prdnn::persist::serializeArtifact(const CacheArtifact &Artifact,
                                        ArtifactKind Kind, ByteWriter &W) {

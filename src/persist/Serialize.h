@@ -24,6 +24,7 @@
 #define PRDNN_PERSIST_SERIALIZE_H
 
 #include "cache/ArtifactCache.h"
+#include "linalg/Matrix.h"
 #include "persist/Codec.h"
 
 #include <memory>
@@ -44,6 +45,21 @@ inline constexpr std::uint8_t kNetworkBlobKind = 0x40;
 inline std::uint8_t blobKindOf(ArtifactKind Kind) {
   return static_cast<std::uint8_t>(Kind);
 }
+
+/// u32 length prefix + IEEE-754 bit patterns: the vector encoding the
+/// artifact payloads use, exposed for other framed formats (rpc/Wire)
+/// so every layer spells doubles the same bit-exact way.
+void writeVector(ByteWriter &W, const Vector &V);
+bool readVector(ByteReader &R, Vector &V);
+
+/// Row-major: u32 rows + u32 cols + rows*cols doubles.
+void writeMatrix(ByteWriter &W, const Matrix &M);
+bool readMatrix(ByteReader &R, Matrix &M);
+
+/// One activation pattern: u32 layer count, then per layer u32 units +
+/// i32 values (the pattern-batch artifact encoding for a single item).
+void writePattern(ByteWriter &W, const NetworkPattern &Pattern);
+bool readPattern(ByteReader &R, NetworkPattern &Pattern);
 
 /// Appends \p Artifact's payload encoding to \p W. \p Kind must match
 /// the artifact's dynamic type.

@@ -1,0 +1,383 @@
+//===- rpc/RpcClient.cpp --------------------------------------------------===//
+
+#include "rpc/RpcClient.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace prdnn;
+using namespace prdnn::rpc;
+using persist::ByteReader;
+using persist::ByteWriter;
+
+namespace {
+
+void setReceiveTimeout(int Fd, double Seconds) {
+  timeval Tv{};
+  if (Seconds > 0.0) {
+    Tv.tv_sec = static_cast<time_t>(Seconds);
+    Tv.tv_usec =
+        static_cast<suseconds_t>((Seconds - std::floor(Seconds)) * 1e6);
+  }
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+/// connect(2) with a deadline: non-blocking connect, poll for
+/// writability, then SO_ERROR tells whether the handshake succeeded.
+bool connectWithTimeout(int Fd, const sockaddr_in &Addr, double Seconds) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  if (::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
+    return false;
+
+  bool Ok = false;
+  int Rc = ::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                     sizeof(Addr));
+  if (Rc == 0) {
+    Ok = true;
+  } else if (errno == EINPROGRESS) {
+    pollfd Pfd{};
+    Pfd.fd = Fd;
+    Pfd.events = POLLOUT;
+    int TimeoutMs =
+        Seconds > 0.0 ? static_cast<int>(Seconds * 1000.0) : -1;
+    if (::poll(&Pfd, 1, TimeoutMs) == 1) {
+      int Err = 0;
+      socklen_t Len = sizeof(Err);
+      if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &Len) == 0 &&
+          Err == 0)
+        Ok = true;
+    }
+  }
+  ::fcntl(Fd, F_SETFL, Flags);
+  return Ok;
+}
+
+} // namespace
+
+RpcClient::RpcClient(RpcClientOptions Options) : Opts(std::move(Options)) {
+  if (Opts.RetryLimit < 0)
+    Opts.RetryLimit = 0;
+  if (Opts.InitialBackoffSeconds < 0.0)
+    Opts.InitialBackoffSeconds = 0.0;
+  if (Opts.MaxBackoffSeconds < Opts.InitialBackoffSeconds)
+    Opts.MaxBackoffSeconds = Opts.InitialBackoffSeconds;
+}
+
+RpcClient::~RpcClient() { close(); }
+
+RpcError RpcClient::connect() {
+  if (connected())
+    return RpcError::None;
+
+  int NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (NewFd < 0)
+    return RpcError::IoError;
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Opts.Port));
+  if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(NewFd);
+    return RpcError::IoError;
+  }
+  if (!connectWithTimeout(NewFd, Addr, Opts.ConnectTimeoutSeconds)) {
+    ::close(NewFd);
+    return RpcError::IoError;
+  }
+  setReceiveTimeout(NewFd, Opts.RequestTimeoutSeconds);
+  Fd = NewFd;
+  return RpcError::None;
+}
+
+void RpcClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+RpcError RpcClient::exchange(MessageKind Kind,
+                             const std::vector<std::uint8_t> &Payload,
+                             std::uint8_t &ReplyKind,
+                             std::vector<std::uint8_t> &ReplyPayload,
+                             double ReceiveTimeoutSeconds) {
+  if (!connected())
+    return RpcError::Closed;
+
+  std::uint64_t Sent = 0;
+  RpcError Err = sendFrame(Fd, Kind, Payload, &Sent);
+  Counters.BytesSent += Sent;
+  if (Err != RpcError::None) {
+    close();
+    return Err;
+  }
+
+  setReceiveTimeout(Fd, ReceiveTimeoutSeconds);
+  std::uint64_t Received = 0;
+  Err = recvFrame(Fd, ReplyKind, ReplyPayload, Opts.Limits, &Received);
+  Counters.BytesReceived += Received;
+  setReceiveTimeout(Fd, Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None) {
+    close();
+    return Err;
+  }
+
+  if (static_cast<MessageKind>(ReplyKind) == MessageKind::ConnectionReject) {
+    // The server shed this connection at its bound; it closes after
+    // sending, so the connection is dead.
+    ByteReader R(ReplyPayload.data(), ReplyPayload.size());
+    std::uint8_t Reason = 0;
+    if (R.u8(Reason) && Reason <= 5)
+      ConnReject = static_cast<serve::ServeReject>(Reason);
+    else
+      ConnReject = serve::ServeReject::Saturated;
+    Counters.ShedRejects += 1;
+    close();
+    return RpcError::Closed;
+  }
+
+  if (static_cast<MessageKind>(ReplyKind) == MessageKind::ErrorReply) {
+    ByteReader R(ReplyPayload.data(), ReplyPayload.size());
+    std::uint8_t Code = 0;
+    std::string Detail;
+    if (!R.u8(Code) || !R.str(Detail) ||
+        Code > static_cast<std::uint8_t>(RpcError::IoError)) {
+      close();
+      return RpcError::Corrupt;
+    }
+    RpcError Remote = static_cast<RpcError>(Code);
+    // Mirror the server's in-sync/desync split: after Corrupt or
+    // Timeout the stream is still aligned; anything else means the
+    // server is about to close (or already has).
+    if (Remote != RpcError::Corrupt && Remote != RpcError::Timeout)
+      close();
+    return Remote == RpcError::None ? RpcError::Corrupt : Remote;
+  }
+
+  return RpcError::None;
+}
+
+RpcError RpcClient::submit(const serve::ServeRequest &Request,
+                           SubmitReply &Reply) {
+  ByteWriter W;
+  writeServeRequest(W, Request);
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err = exchange(MessageKind::Submit, W.buffer(), Kind, Payload,
+                          Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::SubmitReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  std::uint8_t Reject = 0;
+  if (!R.u8(Reject) || Reject > 5 || !R.u64(Reply.JobId) ||
+      R.remaining() != 0) {
+    close();
+    return RpcError::Corrupt;
+  }
+  Reply.Reject = static_cast<serve::ServeReject>(Reject);
+  return RpcError::None;
+}
+
+RpcError RpcClient::await(std::uint64_t JobId, std::uint64_t DeadlineMillis,
+                          bool &Found, RepairReport &Report) {
+  ByteWriter W;
+  W.u64(JobId);
+  W.u64(DeadlineMillis);
+  // The server may legitimately hold the reply for the whole deadline;
+  // give the socket that long plus the ordinary request slack.
+  double Slack = Opts.RequestTimeoutSeconds +
+                 (DeadlineMillis == 0
+                      ? 0.0
+                      : static_cast<double>(DeadlineMillis) / 1000.0);
+  if (DeadlineMillis == 0)
+    Slack = 0.0; // server-default deadline: unknown, wait indefinitely
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err =
+      exchange(MessageKind::Await, W.buffer(), Kind, Payload, Slack);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::ReportReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  std::uint8_t Flag = 0;
+  if (!R.u8(Flag) || Flag > 1) {
+    close();
+    return RpcError::Corrupt;
+  }
+  Found = Flag == 1;
+  if (Found && (!readRepairReport(R, Report) || R.remaining() != 0)) {
+    close();
+    return RpcError::Corrupt;
+  }
+  return RpcError::None;
+}
+
+RpcError RpcClient::progress(std::uint64_t JobId, bool &Found,
+                             ProgressSnapshot &Snapshot) {
+  ByteWriter W;
+  W.u64(JobId);
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err = exchange(MessageKind::Progress, W.buffer(), Kind, Payload,
+                          Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::ProgressReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  std::uint8_t Flag = 0;
+  if (!R.u8(Flag) || Flag > 1) {
+    close();
+    return RpcError::Corrupt;
+  }
+  Found = Flag == 1;
+  if (Found && (!readProgressSnapshot(R, Snapshot) || R.remaining() != 0)) {
+    close();
+    return RpcError::Corrupt;
+  }
+  return RpcError::None;
+}
+
+RpcError RpcClient::status(serve::ServiceStats &Stats) {
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err = exchange(MessageKind::Status, {}, Kind, Payload,
+                          Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::StatusReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  if (!readServiceStats(R, Stats) || R.remaining() != 0) {
+    close();
+    return RpcError::Corrupt;
+  }
+  return RpcError::None;
+}
+
+RpcError RpcClient::cancel(std::uint64_t JobId, bool &Found) {
+  ByteWriter W;
+  W.u64(JobId);
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err = exchange(MessageKind::Cancel, W.buffer(), Kind, Payload,
+                          Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::CancelReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  std::uint8_t Flag = 0;
+  if (!R.u8(Flag) || Flag > 1 || R.remaining() != 0) {
+    close();
+    return RpcError::Corrupt;
+  }
+  Found = Flag == 1;
+  return RpcError::None;
+}
+
+RpcError RpcClient::repair(const serve::ServeRequest &Request,
+                           RepairReport &Report,
+                           serve::ServeReject &Reject) {
+  Reject = serve::ServeReject::None;
+  double Backoff = Opts.InitialBackoffSeconds;
+  RpcError LastErr = RpcError::None;
+
+  for (int Attempt = 0; Attempt <= Opts.RetryLimit; ++Attempt) {
+    if (Attempt > 0) {
+      Counters.Retries += 1;
+      if (Backoff > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(Backoff));
+      Backoff = std::min(Backoff > 0.0 ? Backoff * 2.0
+                                       : Opts.InitialBackoffSeconds,
+                         Opts.MaxBackoffSeconds);
+    }
+
+    if (!connected()) {
+      RpcError Err = connect();
+      if (Err != RpcError::None) {
+        LastErr = Err;
+        continue; // server may be between restarts: keep retrying
+      }
+      if (Attempt > 0)
+        Counters.Reconnects += 1;
+    }
+
+    SubmitReply Submitted;
+    RpcError Err = submit(Request, Submitted);
+    if (Err == RpcError::Closed &&
+        ConnReject != serve::ServeReject::None) {
+      // ConnectionReject at the server's bound: a shed, not a fault.
+      LastErr = Err;
+      ConnReject = serve::ServeReject::None;
+      continue;
+    }
+    if (Err != RpcError::None) {
+      LastErr = Err;
+      continue;
+    }
+
+    if (!Submitted.accepted()) {
+      Counters.ShedRejects +=
+          (Submitted.Reject == serve::ServeReject::Saturated ||
+           Submitted.Reject == serve::ServeReject::ClassQuota)
+              ? 1
+              : 0;
+      if (Submitted.Reject != serve::ServeReject::Saturated &&
+          Submitted.Reject != serve::ServeReject::ClassQuota) {
+        // Not load shedding: retrying cannot help.
+        Reject = Submitted.Reject;
+        return RpcError::None;
+      }
+      Reject = Submitted.Reject;
+      continue; // shed: back off and resubmit
+    }
+
+    // Admitted: await to completion, riding out deadline expiries.
+    for (;;) {
+      bool Found = false;
+      std::uint64_t SliceMillis =
+          Opts.AwaitSliceSeconds > 0.0
+              ? static_cast<std::uint64_t>(Opts.AwaitSliceSeconds * 1000.0)
+              : 0;
+      Err = await(Submitted.JobId, SliceMillis, Found, Report);
+      if (Err == RpcError::Timeout)
+        continue; // job still running; ask again
+      if (Err != RpcError::None)
+        return Err; // connection-level failure mid-await
+      if (!Found)
+        return RpcError::Corrupt; // server forgot an admitted job
+      Reject = serve::ServeReject::None;
+      return RpcError::None;
+    }
+  }
+
+  // Out of attempts: report the last typed outcome we saw.
+  if (Reject != serve::ServeReject::None)
+    return RpcError::None;
+  return LastErr == RpcError::None ? RpcError::IoError : LastErr;
+}

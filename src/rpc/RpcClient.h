@@ -1,0 +1,152 @@
+//===- rpc/RpcClient.h - client library for the repair RPC -----*- C++ -*-===//
+///
+/// \file
+/// The client side of rpc/Wire.h: a blocking, single-connection handle
+/// to a remote RpcServer. One RpcClient owns one TCP connection and
+/// runs one exchange at a time (submit, await, progress, status,
+/// cancel); callers wanting concurrency open more clients - the
+/// server's per-connection threads make that the natural unit.
+///
+/// Every call returns a typed RpcError; None means the out-parameters
+/// hold the server's answer. A server-side ErrorReply surfaces as that
+/// reply's error code (Timeout from an expired Await deadline leaves
+/// the connection - and the remote job - intact; re-await at will).
+/// A ConnectionReject{Saturated} frame, sent when the server is at its
+/// connection bound, marks the connection dead and is remembered in
+/// lastConnectionReject().
+///
+/// repair() is the retail loop the examples and benches use: submit
+/// with bounded retry-with-backoff on load-shed rejects (Saturated /
+/// ClassQuota / connection-level Saturated, reconnecting as needed),
+/// then await until the report arrives - so a briefly overloaded
+/// server costs latency, not failure, and a genuinely unavailable one
+/// fails typed after RetryLimit attempts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_RPC_RPCCLIENT_H
+#define PRDNN_RPC_RPCCLIENT_H
+
+#include "rpc/Wire.h"
+
+#include <cstdint>
+#include <string>
+
+namespace prdnn {
+namespace rpc {
+
+struct RpcClientOptions {
+  std::string Host = "127.0.0.1";
+  int Port = 0;
+  /// connect(2) deadline; IoError past it.
+  double ConnectTimeoutSeconds = 5.0;
+  /// Receive deadline for any non-Await reply (SO_RCVTIMEO). Await
+  /// waits its own deadline plus this much slack.
+  double RequestTimeoutSeconds = 10.0;
+  /// How long repair() lets the server hold each Await before asking
+  /// again (0 = the server's default deadline).
+  double AwaitSliceSeconds = 1.0;
+  /// repair(): attempts beyond the first on load-shed rejects.
+  int RetryLimit = 8;
+  /// repair(): first backoff sleep; doubles per retry.
+  double InitialBackoffSeconds = 0.01;
+  /// repair(): backoff ceiling.
+  double MaxBackoffSeconds = 0.5;
+  WireLimits Limits;
+};
+
+/// Monotonic counters of one client (the benches' wire accounting).
+struct RpcClientStats {
+  std::uint64_t BytesSent = 0;
+  std::uint64_t BytesReceived = 0;
+  /// repair() submits retried after a load-shed reject.
+  std::uint64_t Retries = 0;
+  /// Load-shed rejects observed (Saturated/ClassQuota submits plus
+  /// connection-level rejects).
+  std::uint64_t ShedRejects = 0;
+  std::uint64_t Reconnects = 0;
+};
+
+/// See the file comment.
+class RpcClient {
+public:
+  explicit RpcClient(RpcClientOptions Options);
+
+  /// Closes the connection if open.
+  ~RpcClient();
+
+  RpcClient(const RpcClient &) = delete;
+  RpcClient &operator=(const RpcClient &) = delete;
+
+  /// Establishes the TCP connection (with the configured timeout).
+  /// Idempotent while connected; reconnects after a close.
+  RpcError connect();
+
+  bool connected() const { return Fd >= 0; }
+
+  void close();
+
+  /// Submit -> SubmitReply. None means \p Reply holds the server's
+  /// typed admission decision (which may itself be a reject - check
+  /// Reply.accepted()).
+  RpcError submit(const serve::ServeRequest &Request, SubmitReply &Reply);
+
+  /// Await -> ReportReply. \p DeadlineMillis bounds the server-side
+  /// wait (0 = server default). Timeout means the deadline expired
+  /// with the job still running: re-await later. \p Found false means
+  /// the server does not know \p JobId.
+  RpcError await(std::uint64_t JobId, std::uint64_t DeadlineMillis,
+                 bool &Found, RepairReport &Report);
+
+  /// Progress -> ProgressReply (a poll; never blocks on the job).
+  RpcError progress(std::uint64_t JobId, bool &Found,
+                    ProgressSnapshot &Snapshot);
+
+  /// Status -> StatusReply: the service's aggregated ServiceStats.
+  RpcError status(serve::ServiceStats &Stats);
+
+  /// Cancel -> CancelReply. The job resolves Cancelled; await()
+  /// collects its report.
+  RpcError cancel(std::uint64_t JobId, bool &Found);
+
+  /// The retail loop (see the file comment): submit with bounded
+  /// backoff-retry on load-shed rejects, then await to completion.
+  /// Returns None with \p Reject == None when \p Report holds the
+  /// resolved report; None with \p Reject naming the reason (and
+  /// \p Report untouched) when the service's answer was a typed
+  /// reject - a non-shed reject (UnknownModel/ModelCorrupt/
+  /// ModelMismatch) fails fast, a shed one only after RetryLimit
+  /// attempts; and a wire-level RpcError when the exchange itself
+  /// failed.
+  RpcError repair(const serve::ServeRequest &Request, RepairReport &Report,
+                  serve::ServeReject &Reject);
+
+  /// The ServeReject carried by the last ConnectionReject frame
+  /// received (None if never rejected at the connection level).
+  serve::ServeReject lastConnectionReject() const { return ConnReject; }
+
+  RpcClientStats stats() const { return Counters; }
+
+  const RpcClientOptions &options() const { return Opts; }
+
+private:
+  /// One request->reply exchange: sends \p Payload as \p Kind, then
+  /// receives one frame. ErrorReply is decoded into its RpcError;
+  /// ConnectionReject marks the connection dead and records the
+  /// reject. On None, \p ReplyKind/\p ReplyPayload hold the reply.
+  RpcError exchange(MessageKind Kind,
+                    const std::vector<std::uint8_t> &Payload,
+                    std::uint8_t &ReplyKind,
+                    std::vector<std::uint8_t> &ReplyPayload,
+                    double ReceiveTimeoutSeconds);
+
+  RpcClientOptions Opts;
+  int Fd = -1;
+  serve::ServeReject ConnReject = serve::ServeReject::None;
+  RpcClientStats Counters;
+};
+
+} // namespace rpc
+} // namespace prdnn
+
+#endif // PRDNN_RPC_RPCCLIENT_H

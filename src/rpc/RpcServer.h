@@ -1,0 +1,190 @@
+//===- rpc/RpcServer.h - TCP front end over a RepairService ----*- C++ -*-===//
+///
+/// \file
+/// The network server of the repair fleet: one RpcServer listens on a
+/// TCP socket and exposes a serve/RepairService.h over the rpc/Wire.h
+/// protocol, turning the in-process fleet (N processes over one store
+/// directory) into a multi-host one (clients anywhere on the network).
+///
+/// Threading model (the support/Parallel.h discipline, applied to
+/// connections): one acceptor thread plus one worker thread per live
+/// connection, each a plain blocking loop - connections are long-lived
+/// and block on I/O, so they get dedicated threads instead of pool
+/// slots, and the repair work itself still runs on the
+/// RepairService's engine workers and the one global pool. The
+/// accepted-connection count is bounded (RpcServerOptions::
+/// MaxConnections); a connection beyond the bound is answered with
+/// ConnectionReject{ServeReject::Saturated} - the same typed-reject
+/// vocabulary as admission - and closed, so the accept loop never
+/// wedges and never queues unbounded work.
+///
+/// Robustness contract (test-enforced, tests/rpc_test.cpp):
+///  - a client killed mid-request never crashes the server, never
+///    wedges the accept loop, and never leaks an admission ticket:
+///    the connection's jobs are cancelled on disconnect and every
+///    ticket releases through the service's completion hook as the
+///    job resolves;
+///  - malformed frames get typed replies: in-sync failures (digest
+///    corruption, malformed payloads, unknown kinds) answer
+///    ErrorReply and keep the connection usable; desynchronizing
+///    failures (bad magic, wrong version, truncation, oversized
+///    declarations) answer ErrorReply and close it;
+///  - writes are SIGPIPE-safe (MSG_NOSIGNAL throughout);
+///  - Await deadlines expire with ErrorReply{Timeout}, leaving the
+///    job running and re-awaitable.
+///
+/// Shutdown is drain-then-stop, mirroring engine teardown: stop()
+/// closes the listener, unblocks and joins every connection thread,
+/// then cancels and resolves any job no client will come back for -
+/// so by the time stop() returns, every admission ticket has been
+/// released and the underlying RepairService can be torn down or
+/// handed to a successor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRDNN_RPC_RPCSERVER_H
+#define PRDNN_RPC_RPCSERVER_H
+
+#include "rpc/Wire.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace prdnn {
+namespace rpc {
+
+struct RpcServerOptions {
+  /// Address to bind; loopback by default (the two-host-simulation
+  /// benches and tests talk over localhost).
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int Port = 0;
+  /// listen(2) backlog.
+  int Backlog = 64;
+  /// Live connections served concurrently; an accept beyond this is
+  /// answered ConnectionReject{Saturated} and closed.
+  int MaxConnections = 64;
+  /// Await with DeadlineMillis == 0 blocks this long before answering
+  /// ErrorReply{Timeout}.
+  double DefaultAwaitSeconds = 30.0;
+  /// Hard cap on any client-requested Await deadline: one connection
+  /// cannot park a worker thread forever.
+  double MaxAwaitSeconds = 300.0;
+  /// Per-connection receive timeout (SO_RCVTIMEO): an idle or wedged
+  /// peer is timed out and disconnected after this long between
+  /// frames. 0 disables (connections may idle indefinitely).
+  double ReceiveTimeoutSeconds = 0.0;
+  /// Frame-size bound enforced before buffering (see WireLimits).
+  WireLimits Limits;
+};
+
+/// Monotonic counters of one RpcServer (all safe to read while the
+/// server runs).
+struct RpcServerStats {
+  std::uint64_t ConnectionsAccepted = 0;
+  /// Connections answered ConnectionReject{Saturated} at the bound.
+  std::uint64_t ConnectionsRejected = 0;
+  /// Frames answered ErrorReply for a wire-level failure.
+  std::uint64_t MalformedFrames = 0;
+  /// Awaits answered ErrorReply{Timeout}.
+  std::uint64_t AwaitTimeouts = 0;
+  /// Jobs cancelled because their connection disconnected first.
+  std::uint64_t OrphanedJobs = 0;
+  std::uint64_t BytesSent = 0;
+  std::uint64_t BytesReceived = 0;
+};
+
+/// See the file comment.
+class RpcServer {
+public:
+  /// \p Service must outlive the server. The server does not listen
+  /// until start().
+  RpcServer(serve::RepairService &Service, RpcServerOptions Options);
+
+  /// stop()s if still running.
+  ~RpcServer();
+
+  RpcServer(const RpcServer &) = delete;
+  RpcServer &operator=(const RpcServer &) = delete;
+
+  /// Binds, listens, and spawns the acceptor. False (with \p Error =
+  /// IoError when non-null) on any socket failure; the server can be
+  /// start()ed again after a failure.
+  bool start(RpcError *Error = nullptr);
+
+  /// Graceful drain-then-shutdown; see the file comment. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (the ephemeral port when Options.Port == 0);
+  /// 0 before a successful start().
+  int port() const { return BoundPort.load(std::memory_order_acquire); }
+
+  RpcServerStats stats() const;
+
+  const RpcServerOptions &options() const { return Opts; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::thread Thread;
+    /// Set by the connection thread as its last action; the acceptor
+    /// (or stop()) joins and closes only Done connections, so an fd is
+    /// never closed while its thread may still use it.
+    std::atomic<bool> Done{false};
+  };
+
+  struct JobEntry {
+    JobHandle Handle;
+    std::uint64_t ConnId = 0;
+  };
+
+  void acceptLoop();
+  void connectionMain(std::uint64_t ConnId, int Fd);
+  /// Dispatches one decoded frame; false when the connection must
+  /// close (desynchronized stream or send failure).
+  bool handleFrame(std::uint64_t ConnId, int Fd, std::uint8_t Kind,
+                   const std::vector<std::uint8_t> &Payload);
+  bool sendReply(int Fd, MessageKind Kind,
+                 const std::vector<std::uint8_t> &Payload);
+  bool sendError(int Fd, RpcError Error, const std::string &Detail);
+  /// Cancels and forgets every job submitted over \p ConnId.
+  void orphanJobs(std::uint64_t ConnId);
+  /// Joins and closes connections whose threads have finished.
+  void reapFinished();
+
+  serve::RepairService &Service;
+  RpcServerOptions Opts;
+
+  int ListenFd = -1;
+  std::atomic<int> BoundPort{0};
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+
+  mutable std::mutex ConnMutex;
+  std::map<std::uint64_t, Connection> Connections;
+  std::uint64_t NextConnId = 1;
+
+  mutable std::mutex JobsMutex;
+  std::unordered_map<std::uint64_t, JobEntry> Jobs;
+
+  std::atomic<std::uint64_t> AcceptedCount{0};
+  std::atomic<std::uint64_t> RejectedCount{0};
+  std::atomic<std::uint64_t> MalformedCount{0};
+  std::atomic<std::uint64_t> TimeoutCount{0};
+  std::atomic<std::uint64_t> OrphanCount{0};
+  std::atomic<std::uint64_t> BytesOut{0};
+  std::atomic<std::uint64_t> BytesIn{0};
+};
+
+} // namespace rpc
+} // namespace prdnn
+
+#endif // PRDNN_RPC_RPCSERVER_H

@@ -114,5 +114,9 @@ ServiceStats RepairService::stats() const {
   for (std::size_t I = 0; I < RejectCounts.size(); ++I)
     Stats.RejectsByReason[I] =
         RejectCounts[I].load(std::memory_order_relaxed);
+  Stats.Registry = Registry.stats();
+  Stats.Admission = Admission.queueStats();
+  Stats.Engine = Engine.queueStats();
+  Stats.Cache = Engine.cacheStats();
   return Stats;
 }

@@ -101,12 +101,27 @@ struct ServeSubmission {
   bool accepted() const { return Reject == ServeReject::None; }
 };
 
-/// Monotonic counters of one RepairService.
+/// One aggregated observability snapshot of a RepairService: the front
+/// end's own accept/reject counters plus every tier behind it -
+/// registry, admission, engine queue, cache, and store - so a status
+/// endpoint (rpc/RpcServer.h's Status exchange) is a single stats()
+/// call rather than four.
 struct ServiceStats {
   std::uint64_t Accepted = 0;
   std::uint64_t Rejected = 0;
   /// Rejections by ServeReject value (index 0, None, stays 0).
   std::array<std::uint64_t, 6> RejectsByReason{};
+  /// ModelRegistry::stats(): publish/resolve/corrupt counters.
+  RegistryStats Registry;
+  /// AdmissionController::queueStats(): in-flight depth, per-class
+  /// counts, saturation/quota rejects.
+  AdmissionSnapshot Admission;
+  /// RepairEngine::queueStats(): queue depth, running jobs, oldest
+  /// wait.
+  EngineQueueStats Engine;
+  /// Engine artifact-cache counters (store counters ride along in
+  /// Cache.Store when a persistent store is attached).
+  CacheStats Cache;
 };
 
 /// Combined observability snapshot: the admission tier and the engine
@@ -155,6 +170,9 @@ public:
   /// Admission + engine queue observability in one snapshot.
   ServiceQueueStats queueStats() const;
 
+  /// Aggregated snapshot of every tier (see ServiceStats): front-end
+  /// accept/reject counters, registry, admission, engine queue, and
+  /// cache/store counters in one call.
   ServiceStats stats() const;
 
   /// Drains the engine's write-behind store queue (orderly shutdown /

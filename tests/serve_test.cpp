@@ -737,6 +737,66 @@ TEST(RepairService, SaturationShedsLoadWithTypedRejects) {
   EXPECT_EQ(Service.queueStats().Admission.Depth, 0);
 }
 
+TEST(RepairService, StatsAggregateEveryTierAndCountersMove) {
+  TempDir Dir("service-stats");
+  Rng R(8115);
+  Network Classifier = makeClassifier(R);
+
+  ServiceOptions Options;
+  Options.StoreDirectory = Dir.str();
+  Options.Engine.NumWorkers = 2;
+  RepairService Service(Options);
+
+  // Idle snapshot: everything zero.
+  ServiceStats Before = Service.stats();
+  EXPECT_EQ(Before.Accepted, 0u);
+  EXPECT_EQ(Before.Rejected, 0u);
+  EXPECT_EQ(Before.Registry.Resolves, 0u);
+  EXPECT_EQ(Before.Admission.Admitted, 0u);
+  EXPECT_EQ(Before.Engine.Depth, 0);
+
+  NetworkFingerprint Fp = Service.registry().publish(Classifier);
+  Rng SpecR(9450);
+  PointSpec Spec = makeFlipSpec(Classifier, SpecR, 6);
+
+  // One accepted job and one typed reject move every tier's counters
+  // through the single aggregated snapshot.
+  ServeRequest Good;
+  Good.Model = Fp;
+  Good.Spec = Spec;
+  Good.LayerIndex = 0;
+  ServeSubmission Accepted = Service.submit(Good);
+  ASSERT_TRUE(Accepted.accepted());
+  EXPECT_EQ(Accepted.Handle.report().Status, RepairStatus::Success);
+
+  ServeRequest Bad;
+  Bad.Model.Digest.Hi = 0x1;
+  Bad.Spec = std::move(Spec);
+  Bad.LayerIndex = 0;
+  ServeSubmission Rejected = Service.submit(Bad);
+  EXPECT_EQ(Rejected.Reject, ServeReject::UnknownModel);
+
+  ServiceStats After = Service.stats();
+  EXPECT_EQ(After.Accepted, 1u);
+  EXPECT_EQ(After.Rejected, 1u);
+  EXPECT_EQ(
+      After.RejectsByReason[static_cast<int>(ServeReject::UnknownModel)],
+      1u);
+  EXPECT_EQ(After.Registry.Publishes, 1u);
+  // The accepted job resolved the model; the reject probed and missed.
+  EXPECT_EQ(After.Registry.Resolves, 2u);
+  EXPECT_EQ(After.Registry.NotFound, 1u);
+  // Admission grants a ticket before registry resolution, so the
+  // UnknownModel probe also admitted (then released) one.
+  EXPECT_EQ(After.Admission.Admitted, 2u);
+  EXPECT_EQ(After.Admission.Depth, 0);
+  EXPECT_EQ(After.Engine.Depth, 0);
+  EXPECT_EQ(After.Engine.Running, 0);
+  // The engine ran with its cache on: lookups moved through the
+  // aggregate too.
+  EXPECT_GT(After.Cache.Hits + After.Cache.Misses, 0u);
+}
+
 TEST(RepairService, TwoServicesShareOneDirectory) {
   TempDir Dir("service-pair");
   Rng R(8114);
