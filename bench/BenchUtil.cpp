@@ -94,28 +94,30 @@ double prdnn::bench::percentile(std::vector<double> Values, double P) {
   return Values[Index];
 }
 
-LatencySummary prdnn::bench::summarizeLatency(std::vector<double> Seconds) {
-  LatencySummary Summary;
-  if (Seconds.empty())
-    return Summary;
-  std::sort(Seconds.begin(), Seconds.end());
-  auto At = [&](double P) {
-    size_t Index = static_cast<size_t>(
-        std::min<double>(static_cast<double>(Seconds.size()) - 1.0,
-                         P * static_cast<double>(Seconds.size())));
-    return Seconds[Index];
-  };
-  Summary.P50 = At(0.50);
-  Summary.P95 = At(0.95);
-  Summary.P99 = At(0.99);
-  return Summary;
+void prdnn::bench::addLatencyRecord(BenchJson &Json,
+                                    const obs::HistogramSnapshot &Latency) {
+  Json.add("p50_latency_seconds", Latency.quantile(0.50));
+  Json.add("p95_latency_seconds", Latency.quantile(0.95));
+  Json.add("p99_latency_seconds", Latency.quantile(0.99));
 }
 
-void prdnn::bench::addLatencyRecord(BenchJson &Json,
-                                    const LatencySummary &Latency) {
-  Json.add("p50_latency_seconds", Latency.P50);
-  Json.add("p95_latency_seconds", Latency.P95);
-  Json.add("p99_latency_seconds", Latency.P99);
+void prdnn::bench::writeLatencyHistogram(
+    std::ostream &Os, const obs::HistogramSnapshot &Latency) {
+  for (std::uint64_t Count : Latency.Counts)
+    Os << "lat_bucket " << Count << "\n";
+  Os << "lat_sum " << Latency.Sum << "\n";
+}
+
+obs::HistogramSnapshot prdnn::bench::latencySnapshotFromCounts(
+    const std::vector<std::uint64_t> &Counts, double Sum) {
+  obs::HistogramSnapshot Snapshot;
+  Snapshot.Edges = obs::defaultLatencyBuckets();
+  Snapshot.Counts.assign(Snapshot.Edges.size() + 1, 0);
+  if (Counts.size() == Snapshot.Counts.size()) {
+    Snapshot.Counts = Counts;
+    Snapshot.Sum = Sum;
+  }
+  return Snapshot;
 }
 
 Task1Workload prdnn::bench::makeTask1Workload(int AdversarialCount) {

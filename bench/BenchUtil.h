@@ -15,8 +15,11 @@
 #include "data/Corruptions.h"
 #include "data/Digits.h"
 #include "data/ShapeWorld.h"
+#include "obs/Metrics.h"
 #include "train/FineTune.h"
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <variant>
 #include <vector>
@@ -132,26 +135,33 @@ private:
 };
 
 /// Nearest-rank percentile of \p Values at \p P in [0, 1] (sorts a
-/// copy; 0 on empty input): index = min(n - 1, floor(P * n)). The one
-/// percentile definition every latency-reporting bench shares, so
-/// p50/p95/p99 stay comparable across BENCH_*.json files and PRs.
+/// copy; 0 on empty input): index = min(n - 1, floor(P * n)). For
+/// small exact sample sets (a dozen engine jobs); the fleet benches
+/// summarize through obs::Histogram instead, so their p50/p95/p99 are
+/// the same numbers a live scrape of the serving registry reports.
 double percentile(std::vector<double> Values, double P);
 
-/// The p50/p95/p99 triple of one latency sample set, in seconds.
-struct LatencySummary {
-  double P50 = 0.0;
-  double P95 = 0.0;
-  double P99 = 0.0;
-};
+/// Adds the p50/p95/p99 of \p Latency (an obs::Histogram snapshot over
+/// defaultLatencyBuckets()) to \p Json under "p50_latency_seconds" /
+/// "p95..." / "p99..." - the shared key schema of the latency benches.
+void addLatencyRecord(BenchJson &Json, const obs::HistogramSnapshot &Latency);
 
-/// Summarizes \p Seconds with one sort (cheaper than three
-/// percentile() calls on large fleets of samples).
-LatencySummary summarizeLatency(std::vector<double> Seconds);
+/// Streams \p Latency into a multi-process stats file: one
+/// "lat_bucket <count>" line per bucket (in edge order, overflow
+/// last) plus "lat_sum <seconds>". The inverse of
+/// latencySnapshotFromCounts - the fleet benches' children report
+/// bucket counts, not raw samples, so a parent merge is exact and
+/// O(buckets) regardless of job count.
+void writeLatencyHistogram(std::ostream &Os,
+                           const obs::HistogramSnapshot &Latency);
 
-/// Adds the p50/p95/p99 of \p Seconds to \p Json under
-/// "p50_latency_seconds" / "p95..." / "p99..." - the shared key
-/// schema of the latency benches.
-void addLatencyRecord(BenchJson &Json, const LatencySummary &Latency);
+/// Rebuilds a snapshot over defaultLatencyBuckets() from parsed
+/// "lat_bucket"/"lat_sum" values. A count vector of the wrong length
+/// (torn stats file) yields an all-zero snapshot, which the benches'
+/// jobs-served cross-checks then flag.
+obs::HistogramSnapshot
+latencySnapshotFromCounts(const std::vector<std::uint64_t> &Counts,
+                          double Sum);
 
 /// Fraction of \p Points whose advisory under \p Classify is safe.
 template <typename ClassifyT>

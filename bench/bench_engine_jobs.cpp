@@ -9,9 +9,18 @@
 // (submit -> report, i.e. queue wait + execution) per concurrency
 // level, the speedup over serial, and the max Delta divergence from
 // the serial results (must be exactly 0: the engine's determinism
-// contract). Jobs/sec gains come from overlapping the single-threaded
-// phases of different jobs (above all the simplex solves), so the
-// speedup tracks the machine's core count; the JSON records both.
+// contract - the bench exits non-zero on any divergence). Jobs/sec
+// gains come from overlapping the single-threaded phases of different
+// jobs (above all the simplex solves), so the speedup tracks the
+// machine's core count; the JSON records both.
+//
+// --trace runs the engine legs with an obs::Telemetry sink attached
+// and writes TRACE_engine_jobs.json (Chrome trace-event JSON; open in
+// Perfetto) plus METRICS_engine_jobs.prom (Prometheus text exposition)
+// next to the BENCH json. Because the serial baseline runs without
+// telemetry, the max-divergence check doubles as the inertness proof:
+// tracing on vs. off must not move a single bit. --smoke shrinks the
+// job pool for CI.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,8 +36,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -100,9 +111,22 @@ double maxDeltaDiff(const RepairResult &A, const RepairResult &B) {
 
 } // namespace
 
-int main() {
-  const int NumJobs = 16;
-  const int PointsPerJob = 60;
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  bool Trace = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg == "--trace")
+      Trace = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--trace]\n", Argv[0]);
+      return 2;
+    }
+  }
+  const int NumJobs = Smoke ? 6 : 16;
+  const int PointsPerJob = Smoke ? 24 : 60;
 
   Rng R(67001);
   auto Net = std::make_shared<Network>(makeClassifier(R));
@@ -165,10 +189,18 @@ int main() {
                 "1.00", "0"});
 
   // --- Engine at 1 / 4 / 8 concurrent workers -------------------------------
+  // One telemetry sink shared by every engine leg (when --trace): the
+  // trace ring accumulates all legs' spans, and the exposition page at
+  // the end is the sum over them - exactly what a long-lived serving
+  // process would show a scraper.
+  std::shared_ptr<obs::Telemetry> Telemetry =
+      Trace ? std::make_shared<obs::Telemetry>() : nullptr;
+  double MaxDiffOverall = 0.0;
   for (int Workers : {1, 4, 8}) {
     EngineOptions Options;
     Options.NumWorkers = Workers;
     Options.QueueCapacity = NumJobs;
+    Options.Telemetry = Telemetry;
     RepairEngine Engine(Options);
 
     std::vector<JobHandle> Handles;
@@ -216,11 +248,35 @@ int main() {
                   formatDouble(1e3 * percentile(Latency, 0.95), 1),
                   formatDouble(Speedup, 2),
                   MaxDiff == 0.0 ? "0" : formatDouble(MaxDiff, 12)});
+    MaxDiffOverall = std::max(MaxDiffOverall, MaxDiff);
   }
 
   Table.print(std::cout);
   std::string JsonFile = Json.write();
   if (!JsonFile.empty())
     std::printf("\nwrote %s\n", JsonFile.c_str());
+
+  if (Telemetry) {
+    if (Telemetry->Trace.writeChromeTrace("TRACE_engine_jobs.json"))
+      std::printf("wrote TRACE_engine_jobs.json (%llu spans; open in "
+                  "Perfetto)\n",
+                  static_cast<unsigned long long>(
+                      Telemetry->Trace.recorded()));
+    std::ofstream Prom("METRICS_engine_jobs.prom");
+    if (Prom) {
+      Prom << Telemetry->Registry.renderPrometheus();
+      Prom.close();
+      std::printf("wrote METRICS_engine_jobs.prom\n");
+    }
+  }
+
+  // The determinism contract doubles as the telemetry-inertness proof:
+  // the serial baseline ran without a sink, the engine legs (with
+  // --trace) ran with one, and the bits must agree exactly.
+  if (MaxDiffOverall != 0.0) {
+    std::printf("FAILED: engine diverged from serial by %g%s\n",
+                MaxDiffOverall, Trace ? " with tracing enabled" : "");
+    return 1;
+  }
   return 0;
 }

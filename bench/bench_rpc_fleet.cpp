@@ -277,12 +277,13 @@ int clientMain(int Role, const std::string &Dir,
   std::atomic<int> Unserved{0};
   std::atomic<std::uint64_t> BytesSent{0}, BytesReceived{0};
   std::atomic<std::uint64_t> Retries{0}, ShedRejects{0}, Reconnects{0};
-  std::vector<std::vector<double>> LatencyPerThread(
-      static_cast<size_t>(Config.ThreadsPerClient));
+  // Thread-sharded: every connection thread observes into the one
+  // histogram, and the snapshot below is the exact per-bucket merge.
+  obs::Histogram LatencyHist(obs::defaultLatencyBuckets());
   WallTimer ReplayTimer;
   std::vector<std::thread> Threads;
   for (int C = 0; C < Config.ThreadsPerClient; ++C) {
-    Threads.emplace_back([&, C] {
+    Threads.emplace_back([&] {
       RpcClientOptions ClientOptions;
       ClientOptions.Port = Port;
       // Saturation is the designed backpressure: retry essentially
@@ -292,8 +293,6 @@ int clientMain(int Role, const std::string &Dir,
       ClientOptions.InitialBackoffSeconds = 0.0002;
       ClientOptions.MaxBackoffSeconds = 0.002;
       RpcClient Client(ClientOptions);
-      std::vector<double> &Latency =
-          LatencyPerThread[static_cast<size_t>(C)];
       for (;;) {
         int Job = NextJob.fetch_add(1, std::memory_order_relaxed);
         if (Job >= Config.JobsPerClient)
@@ -312,7 +311,7 @@ int clientMain(int Role, const std::string &Dir,
           Unserved.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        Latency.push_back(JobTimer.seconds());
+        LatencyHist.observe(JobTimer.seconds());
         const RepairReport &Twin = Twins[Slot];
         if (!bitIdentical(Report.Result, Twin.Result) ||
             Report.Status != Twin.Status ||
@@ -332,12 +331,11 @@ int clientMain(int Role, const std::string &Dir,
     T.join();
   double ReplaySeconds = ReplayTimer.seconds();
 
-  std::vector<double> Latency;
-  for (const auto &PerThread : LatencyPerThread)
-    Latency.insert(Latency.end(), PerThread.begin(), PerThread.end());
+  const obs::HistogramSnapshot Latency = LatencyHist.snapshot();
+  const auto Jobs = static_cast<long long>(Latency.count());
 
   bool ClientOk = Divergences.load() == 0 && Unserved.load() == 0 &&
-                  static_cast<int>(Latency.size()) == Config.JobsPerClient;
+                  Jobs == Config.JobsPerClient;
   std::ofstream Os(StatsFile);
   if (!Os) {
     std::fprintf(stderr, "[client %d] cannot write %s\n", Role,
@@ -345,7 +343,7 @@ int clientMain(int Role, const std::string &Dir,
     return 1;
   }
   Os << "ok " << (ClientOk ? 1 : 0) << "\n"
-     << "jobs " << Latency.size() << "\n"
+     << "jobs " << Jobs << "\n"
      << "replay_seconds " << ReplaySeconds << "\n"
      << "divergences " << Divergences.load() << "\n"
      << "unserved " << Unserved.load() << "\n"
@@ -354,15 +352,14 @@ int clientMain(int Role, const std::string &Dir,
      << "reconnects " << Reconnects.load() << "\n"
      << "bytes_sent " << BytesSent.load() << "\n"
      << "bytes_received " << BytesReceived.load() << "\n";
-  for (double Seconds : Latency)
-    Os << "lat " << Seconds << "\n";
+  writeLatencyHistogram(Os, Latency);
   Os.close();
 
   if (!ClientOk)
     std::fprintf(stderr,
-                 "[client %d] FAILED: %d divergences, %d unserved, %zu/%d "
+                 "[client %d] FAILED: %d divergences, %d unserved, %lld/%d "
                  "jobs\n",
-                 Role, Divergences.load(), Unserved.load(), Latency.size(),
+                 Role, Divergences.load(), Unserved.load(), Jobs,
                  Config.JobsPerClient);
   return ClientOk ? 0 : 1;
 }
@@ -380,7 +377,11 @@ struct SideStats {
   long long Connections = 0, ConnectionRejects = 0;
   long long MalformedFrames = 0, AwaitTimeouts = 0, OrphanedJobs = 0;
   long long AdmissionDepth = 0;
-  std::vector<double> Latency;
+  /// Bucket counts as read off the stats file; finalized into
+  /// LatencyHist once the file is fully parsed.
+  std::vector<std::uint64_t> LatencyCounts;
+  double LatencySum = 0.0;
+  obs::HistogramSnapshot LatencyHist;
 };
 
 bool readSideStats(const std::string &File, SideStats &Stats) {
@@ -427,15 +428,19 @@ bool readSideStats(const std::string &File, SideStats &Stats) {
       Is >> Stats.OrphanedJobs;
     else if (Key == "admission_depth")
       Is >> Stats.AdmissionDepth;
-    else if (Key == "lat") {
-      double Seconds;
-      Is >> Seconds;
-      Stats.Latency.push_back(Seconds);
-    } else {
+    else if (Key == "lat_bucket") {
+      std::uint64_t Count;
+      Is >> Count;
+      Stats.LatencyCounts.push_back(Count);
+    } else if (Key == "lat_sum")
+      Is >> Stats.LatencySum;
+    else {
       std::string Skip;
       Is >> Skip;
     }
   }
+  Stats.LatencyHist =
+      latencySnapshotFromCounts(Stats.LatencyCounts, Stats.LatencySum);
   return true;
 }
 
@@ -504,7 +509,7 @@ int parentMain(const std::string &Argv0, bool Smoke) {
         readSideStats(ClientStats[static_cast<size_t>(P)], Stats);
     Ok = Ok && Read && Stats.Ok &&
          ClientExits[static_cast<size_t>(P)] == 0;
-    LatencySummary Latency = summarizeLatency(Stats.Latency);
+    const obs::HistogramSnapshot &Latency = Stats.LatencyHist;
     double JobsPerSec =
         Stats.ReplaySeconds > 0
             ? static_cast<double>(Stats.Jobs) / Stats.ReplaySeconds
@@ -513,8 +518,9 @@ int parentMain(const std::string &Argv0, bool Smoke) {
                 "p99 %.1fms, %lld shed rejects, %lld retries, %lld "
                 "reconnects, %.1f KiB out / %.1f KiB in\n",
                 P, ClientExits[static_cast<size_t>(P)], Stats.Jobs,
-                JobsPerSec, 1e3 * Latency.P50, 1e3 * Latency.P99,
-                Stats.ShedRejects, Stats.Retries, Stats.Reconnects,
+                JobsPerSec, 1e3 * Latency.quantile(0.50),
+                1e3 * Latency.quantile(0.99), Stats.ShedRejects,
+                Stats.Retries, Stats.Reconnects,
                 static_cast<double>(Stats.BytesSent) / 1024.0,
                 static_cast<double>(Stats.BytesReceived) / 1024.0);
 
@@ -541,8 +547,8 @@ int parentMain(const std::string &Argv0, bool Smoke) {
     Total.Reconnects += Stats.Reconnects;
     Total.BytesSent += Stats.BytesSent;
     Total.BytesReceived += Stats.BytesReceived;
-    Total.Latency.insert(Total.Latency.end(), Stats.Latency.begin(),
-                         Stats.Latency.end());
+    // Exact cross-process merge: bucket counts add, no re-sampling.
+    Total.LatencyHist.merge(Stats.LatencyHist);
   }
 
   SideStats Server;
@@ -563,7 +569,7 @@ int parentMain(const std::string &Argv0, bool Smoke) {
     Ok = false;
   }
 
-  LatencySummary FleetLatency = summarizeLatency(Total.Latency);
+  const obs::HistogramSnapshot &FleetLatency = Total.LatencyHist;
   double FleetJobsPerSec =
       FleetSeconds > 0 ? static_cast<double>(Total.Jobs) / FleetSeconds
                        : 0.0;
@@ -577,8 +583,9 @@ int parentMain(const std::string &Argv0, bool Smoke) {
   std::printf("\nfleet: %lld jobs in %.1fs (%.1f jobs/s), p50 %.1fms "
               "p95 %.1fms p99 %.1fms, %.1f MiB on the wire\n",
               Total.Jobs, FleetSeconds, FleetJobsPerSec,
-              1e3 * FleetLatency.P50, 1e3 * FleetLatency.P95,
-              1e3 * FleetLatency.P99,
+              1e3 * FleetLatency.quantile(0.50),
+              1e3 * FleetLatency.quantile(0.95),
+              1e3 * FleetLatency.quantile(0.99),
               static_cast<double>(Total.BytesSent + Total.BytesReceived) /
                   (1024.0 * 1024.0));
 

@@ -189,13 +189,13 @@ int childMain(int Role, const std::string &Dir,
   std::atomic<int> Divergences{0};
   std::atomic<int> GiveUps{0};
   std::atomic<std::uint64_t> RetriedRejects{0};
-  std::vector<std::vector<double>> LatencyPerThread(
-      static_cast<size_t>(Config.ClientThreads));
+  // Thread-sharded: every client thread observes into the one
+  // histogram, and the snapshot below is the exact per-bucket merge.
+  obs::Histogram LatencyHist(obs::defaultLatencyBuckets());
   WallTimer ReplayTimer;
   std::vector<std::thread> Clients;
   for (int C = 0; C < Config.ClientThreads; ++C) {
-    Clients.emplace_back([&, C] {
-      std::vector<double> &Latency = LatencyPerThread[static_cast<size_t>(C)];
+    Clients.emplace_back([&] {
       for (;;) {
         int Job = NextJob.fetch_add(1, std::memory_order_relaxed);
         if (Job >= Config.JobsPerProcess)
@@ -226,7 +226,7 @@ int childMain(int Role, const std::string &Dir,
           continue;
         }
         const RepairReport &Report = Submission.Handle.report();
-        Latency.push_back(JobTimer.seconds());
+        LatencyHist.observe(JobTimer.seconds());
         const RepairReport &Twin =
             Twins[static_cast<size_t>(Job) % W.Templates.size()];
         if (!bitIdentical(Report.Result, Twin.Result) ||
@@ -259,9 +259,8 @@ int childMain(int Role, const std::string &Dir,
   double ReplaySeconds = ReplayTimer.seconds();
   Service.flush(); // leave the store fully published for the other child
 
-  std::vector<double> Latency;
-  for (const auto &PerThread : LatencyPerThread)
-    Latency.insert(Latency.end(), PerThread.begin(), PerThread.end());
+  const obs::HistogramSnapshot Latency = LatencyHist.snapshot();
+  const auto Jobs = static_cast<long long>(Latency.count());
 
   RegistryStats Registry = Service.registry().stats();
   CacheStats Cache = Service.engine().cacheStats();
@@ -276,9 +275,9 @@ int childMain(int Role, const std::string &Dir,
     return 1;
   }
   bool ChildOk = Divergences.load() == 0 && GiveUps.load() == 0 && ProbeOk &&
-                 static_cast<int>(Latency.size()) == Config.JobsPerProcess;
+                 Jobs == Config.JobsPerProcess;
   Os << "ok " << (ChildOk ? 1 : 0) << "\n"
-     << "jobs " << Latency.size() << "\n"
+     << "jobs " << Jobs << "\n"
      << "replay_seconds " << ReplaySeconds << "\n"
      << "accepted " << Stats.Accepted << "\n"
      << "saturated_rejects " << Admission.SaturatedRejects << "\n"
@@ -291,16 +290,15 @@ int childMain(int Role, const std::string &Dir,
      << "cache_misses " << Cache.Misses << "\n"
      << "store_hits " << Store.Hits << "\n"
      << "store_writes " << Store.Writes << "\n";
-  for (double Seconds : Latency)
-    Os << "lat " << Seconds << "\n";
+  writeLatencyHistogram(Os, Latency);
   Os.close();
 
   if (!ChildOk)
     std::fprintf(stderr,
                  "[child %d] FAILED: %d divergences, %d give-ups, probe %s, "
-                 "%zu/%d jobs\n",
+                 "%lld/%d jobs\n",
                  Role, Divergences.load(), GiveUps.load(),
-                 ProbeOk ? "ok" : "FAILED", Latency.size(),
+                 ProbeOk ? "ok" : "FAILED", Jobs,
                  Config.JobsPerProcess);
   return ChildOk ? 0 : 1;
 }
@@ -317,7 +315,11 @@ struct ChildStats {
             RegistryDiskLoads = 0;
   long long CacheHits = 0, CacheMisses = 0;
   long long StoreHits = 0, StoreWrites = 0;
-  std::vector<double> Latency;
+  /// Bucket counts as read off the stats file; finalized into
+  /// LatencyHist once the file is fully parsed.
+  std::vector<std::uint64_t> LatencyCounts;
+  double LatencySum = 0.0;
+  obs::HistogramSnapshot LatencyHist;
 };
 
 bool readChildStats(const std::string &File, ChildStats &Stats) {
@@ -354,15 +356,19 @@ bool readChildStats(const std::string &File, ChildStats &Stats) {
       Is >> Stats.StoreHits;
     else if (Key == "store_writes")
       Is >> Stats.StoreWrites;
-    else if (Key == "lat") {
-      double Seconds;
-      Is >> Seconds;
-      Stats.Latency.push_back(Seconds);
-    } else {
+    else if (Key == "lat_bucket") {
+      std::uint64_t Count;
+      Is >> Count;
+      Stats.LatencyCounts.push_back(Count);
+    } else if (Key == "lat_sum")
+      Is >> Stats.LatencySum;
+    else {
       std::string Skip;
       Is >> Skip;
     }
   }
+  Stats.LatencyHist =
+      latencySnapshotFromCounts(Stats.LatencyCounts, Stats.LatencySum);
   return true;
 }
 
@@ -415,7 +421,7 @@ int parentMain(const std::string &Argv0, bool Smoke) {
     ChildStats Stats;
     bool Read = readChildStats(StatsFiles[static_cast<size_t>(P)], Stats);
     Ok = Ok && Read && Stats.Ok && ExitCodes[static_cast<size_t>(P)] == 0;
-    LatencySummary Latency = summarizeLatency(Stats.Latency);
+    const obs::HistogramSnapshot &Latency = Stats.LatencyHist;
     double JobsPerSec = Stats.ReplaySeconds > 0
                             ? static_cast<double>(Stats.Jobs) /
                                   Stats.ReplaySeconds
@@ -424,7 +430,7 @@ int parentMain(const std::string &Argv0, bool Smoke) {
                 "p99 %.1fms, %lld saturated rejects, registry %lld "
                 "cache hits / %lld disk loads, %lld L2 store hits\n",
                 P, ExitCodes[static_cast<size_t>(P)], Stats.Jobs, JobsPerSec,
-                1e3 * Latency.P50, 1e3 * Latency.P99,
+                1e3 * Latency.quantile(0.50), 1e3 * Latency.quantile(0.99),
                 Stats.SaturatedRejects, Stats.RegistryCacheHits,
                 Stats.RegistryDiskLoads, Stats.StoreHits);
 
@@ -464,8 +470,8 @@ int parentMain(const std::string &Argv0, bool Smoke) {
     Total.CacheMisses += Stats.CacheMisses;
     Total.StoreHits += Stats.StoreHits;
     Total.StoreWrites += Stats.StoreWrites;
-    Total.Latency.insert(Total.Latency.end(), Stats.Latency.begin(),
-                         Stats.Latency.end());
+    // Exact cross-process merge: bucket counts add, no re-sampling.
+    Total.LatencyHist.merge(Stats.LatencyHist);
   }
 
   // The publication race is real: with both children publishing the
@@ -476,7 +482,7 @@ int parentMain(const std::string &Argv0, bool Smoke) {
     // Not a failure: the children may simply not have overlapped.
   }
 
-  LatencySummary FleetLatency = summarizeLatency(Total.Latency);
+  const obs::HistogramSnapshot &FleetLatency = Total.LatencyHist;
   double FleetJobsPerSec =
       FleetSeconds > 0 ? static_cast<double>(Total.Jobs) / FleetSeconds
                        : 0.0;
@@ -508,8 +514,9 @@ int parentMain(const std::string &Argv0, bool Smoke) {
   std::printf("\nfleet: %lld jobs in %.1fs (%.1f jobs/s), p50 %.1fms "
               "p95 %.1fms p99 %.1fms\n",
               Total.Jobs, FleetSeconds, FleetJobsPerSec,
-              1e3 * FleetLatency.P50, 1e3 * FleetLatency.P95,
-              1e3 * FleetLatency.P99);
+              1e3 * FleetLatency.quantile(0.50),
+              1e3 * FleetLatency.quantile(0.95),
+              1e3 * FleetLatency.quantile(0.99));
   std::string JsonFile = Json.write();
   if (!JsonFile.empty())
     std::printf("wrote %s\n", JsonFile.c_str());

@@ -108,6 +108,118 @@ RepairEngine::RepairEngine(EngineOptions Options) : Opts(Options) {
     Cache = std::make_shared<ArtifactCache>(Opts.CacheBudgetBytes,
                                             Opts.CacheShards, Store);
   }
+  T = Opts.Telemetry.get();
+  if (T)
+    registerTelemetry();
+}
+
+void RepairEngine::registerTelemetry() {
+  obs::MetricsRegistry &Reg = T->Registry;
+  // Queue / worker state, sampled live at every snapshot. The
+  // collectors capture `this`; the destructor removes them (owner
+  // tag) before any engine state goes away.
+  Reg.addCollector(this, "prdnn_engine_queue_depth", obs::MetricType::Gauge,
+                   "Jobs queued across priority classes",
+                   [this] { return double(queueStats().Depth); });
+  Reg.addCollector(this, "prdnn_engine_jobs_running", obs::MetricType::Gauge,
+                   "Jobs a worker is executing now",
+                   [this] { return double(queueStats().Running); });
+  Reg.addCollector(this, "prdnn_engine_queue_oldest_wait_seconds",
+                   obs::MetricType::Gauge,
+                   "Longest current queue wait in seconds",
+                   [this] { return queueStats().OldestWaitSeconds; });
+  // Cache / store counters, mirrored rather than owned: the cache
+  // keeps its own atomics (older callers read cacheStats() directly),
+  // the registry samples them.
+  if (Cache) {
+    auto CacheVal = [this](auto Member) {
+      return [this, Member]() { return double(cacheStats().*Member); };
+    };
+    Reg.addCollector(this, "prdnn_cache_hits_total",
+                     obs::MetricType::Counter, "Artifact-cache hits",
+                     CacheVal(&CacheStats::Hits));
+    Reg.addCollector(this, "prdnn_cache_misses_total",
+                     obs::MetricType::Counter, "Artifact-cache misses",
+                     CacheVal(&CacheStats::Misses));
+    Reg.addCollector(this, "prdnn_cache_evictions_total",
+                     obs::MetricType::Counter, "Artifact-cache evictions",
+                     CacheVal(&CacheStats::Evictions));
+    Reg.addCollector(this, "prdnn_cache_insertions_total",
+                     obs::MetricType::Counter, "Artifact-cache insertions",
+                     CacheVal(&CacheStats::Insertions));
+    Reg.addCollector(this, "prdnn_cache_bytes_held", obs::MetricType::Gauge,
+                     "Bytes of retained artifacts",
+                     CacheVal(&CacheStats::BytesHeld));
+    Reg.addCollector(this, "prdnn_cache_entries", obs::MetricType::Gauge,
+                     "Retained artifact count",
+                     CacheVal(&CacheStats::Entries));
+  }
+  if (Store) {
+    auto StoreVal = [this](auto Member) {
+      return [this, Member]() { return double(storeStats().*Member); };
+    };
+    Reg.addCollector(this, "prdnn_store_hits_total",
+                     obs::MetricType::Counter, "L2 store load hits",
+                     StoreVal(&persist::StoreStats::Hits));
+    Reg.addCollector(this, "prdnn_store_misses_total",
+                     obs::MetricType::Counter, "L2 store load misses",
+                     StoreVal(&persist::StoreStats::Misses));
+    Reg.addCollector(this, "prdnn_store_writes_total",
+                     obs::MetricType::Counter, "L2 store entries published",
+                     StoreVal(&persist::StoreStats::Writes));
+    Reg.addCollector(this, "prdnn_store_evictions_total",
+                     obs::MetricType::Counter, "L2 store GC evictions",
+                     StoreVal(&persist::StoreStats::Evictions));
+    Reg.addCollector(this, "prdnn_store_corrupt_skips_total",
+                     obs::MetricType::Counter,
+                     "L2 entries rejected by validation",
+                     StoreVal(&persist::StoreStats::CorruptSkips));
+    Reg.addCollector(this, "prdnn_store_bytes_held", obs::MetricType::Gauge,
+                     "Approximate on-disk footprint",
+                     StoreVal(&persist::StoreStats::BytesHeld));
+  }
+  // The uniform-reset hook: MetricsRegistry::reset() reaches the
+  // cache/store counters the collectors above mirror.
+  Reg.addResetHook(this, [this] { resetCacheStats(); });
+}
+
+void RepairEngine::recordJobMetrics(const RepairReport &Report) {
+  if (!T)
+    return;
+  T->JobsCompleted->inc();
+  switch (Report.Status) {
+  case RepairStatus::Success:
+    T->JobsSucceeded->inc();
+    break;
+  case RepairStatus::Infeasible:
+    T->JobsInfeasible->inc();
+    break;
+  case RepairStatus::Cancelled:
+    T->JobsCancelled->inc();
+    break;
+  case RepairStatus::SolverFailure:
+    T->JobsFailed->inc();
+    break;
+  }
+  T->QueueWaitSeconds->observe(Report.QueueSeconds);
+  T->JobSeconds->observe(Report.TotalSeconds);
+  for (const SweepAttempt &Attempt : Report.Sweep) {
+    T->SweepAttempts->inc();
+    T->JacobianSeconds->observe(Attempt.JacobianSeconds);
+    T->LpSeconds->observe(Attempt.LpSeconds);
+    if (Attempt.LinRegionsSeconds > 0.0)
+      T->LinRegionsSeconds->observe(Attempt.LinRegionsSeconds);
+  }
+  // Kernel totals ride on the winning (or last) attempt's RepairStats.
+  const lp::SimplexStats &K = Report.Result.Stats.LpKernels;
+  T->LpIterations->add(double(K.Iterations));
+  T->LpRefactors->add(double(K.Refactors));
+  T->LpPricingSeconds->add(K.PricingSeconds);
+  T->LpFtranSeconds->add(K.FtranSeconds);
+  T->LpBtranSeconds->add(K.BtranSeconds);
+  T->LpRatioSeconds->add(K.RatioSeconds);
+  T->LpUpdateSeconds->add(K.UpdateSeconds);
+  T->LpRefactorSeconds->add(K.RefactorSeconds);
 }
 
 bool RepairEngine::hasStore() const { return Store != nullptr; }
@@ -176,6 +288,10 @@ std::shared_ptr<detail::EngineJob> RepairEngine::popNext() {
 }
 
 RepairEngine::~RepairEngine() {
+  // First thing: detach our collectors/hook from the registry so a
+  // Telemetry outliving this engine never samples torn-down state.
+  if (T)
+    T->Registry.removeOwner(this);
   std::deque<std::shared_ptr<detail::EngineJob>> Orphans;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -198,6 +314,7 @@ RepairEngine::~RepairEngine() {
     Report.Status = RepairStatus::Cancelled;
     Report.QueueSeconds = Job->Submitted.seconds();
     Job->Ctx.markDone();
+    recordJobMetrics(Report);
     Job->resolve(std::move(Report));
   }
   {
@@ -244,6 +361,8 @@ JobHandle RepairEngine::submit(RepairRequest Request,
     --WaitingSubmitters;
     Job->Id = NextJobId++;
     Job->Submitted.reset();
+    if (T)
+      T->JobsSubmitted->inc();
     if (Stopping) {
       // Destruction began while we were parked in backpressure (the
       // destructor waits for us before tearing anything down): resolve
@@ -255,6 +374,7 @@ JobHandle RepairEngine::submit(RepairRequest Request,
       Report.JobId = Job->Id;
       Report.Status = RepairStatus::Cancelled;
       Job->Ctx.markDone();
+      recordJobMetrics(Report);
       Job->resolve(std::move(Report));
       return JobHandle(Job);
     }
@@ -297,6 +417,20 @@ void RepairEngine::workerMain() {
     Lock.unlock();
 
     double QueueSeconds = Job->Submitted.seconds();
+    if (T) {
+      // The Queued span is the engine's to emit: the job context only
+      // sees the job from execution onward.
+      obs::TraceEvent E;
+      E.JobId = Job->Id;
+      E.Name = "Queued";
+      E.ThreadId = obs::threadOrdinal();
+      const auto QueueNanos =
+          static_cast<std::uint64_t>(QueueSeconds * 1e9);
+      const std::uint64_t Now = obs::TraceBuffer::nowNanos();
+      E.StartNanos = Now > QueueNanos ? Now - QueueNanos : 0;
+      E.DurationNanos = QueueNanos;
+      T->Trace.record(E);
+    }
     RepairReport Report =
         execute(Job->Request, Job->Ctx, Job->Id, QueueSeconds);
 
@@ -305,6 +439,7 @@ void RepairEngine::workerMain() {
     Lock.lock();
     --Running;
     Lock.unlock();
+    recordJobMetrics(Report);
     Job->resolve(std::move(Report));
     Lock.lock();
   }
@@ -326,6 +461,10 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   // networks can never alias each other's entries.
   if (Cache && Request.Options.UseCache)
     Ctx.setCache(Cache.get(), fingerprintNetwork(Net));
+  // Same written-before-run contract as setCache. run() calls land
+  // here too (JobId 0), so inline runs trace alongside queued jobs.
+  if (T)
+    Ctx.setTrace(&T->Trace, JobId);
   std::vector<int> Candidates;
   if (Request.isSweep())
     Candidates = Request.SweepLayers.empty()

@@ -63,6 +63,7 @@
 #include "api/RepairRequest.h"
 #include "cache/ArtifactCache.h"
 #include "core/RepairContext.h"
+#include "obs/Telemetry.h"
 
 #include <array>
 #include <condition_variable>
@@ -132,6 +133,15 @@ struct EngineOptions {
   /// throughput knob only. Jobs submitted with a checkpoint hook are
   /// always serialized, preserving the hook's job-thread contract.
   int SweepShards = 0;
+  /// Telemetry sink (obs/Telemetry.h): when set, the engine registers
+  /// queue/cache/store collectors with its MetricsRegistry, records
+  /// job lifecycle counters and phase/kernel timings, and feeds each
+  /// job's phase spans into its TraceBuffer. Null (the default) is
+  /// "off": no registration, no recording, and - by the standing
+  /// invariant, test-enforced - bit-for-bit identical repair results.
+  /// Sharing one Telemetry across an engine, a RepairService, and an
+  /// RpcServer yields one unified exposition page.
+  std::shared_ptr<obs::Telemetry> Telemetry;
 };
 
 /// One observation of an engine's job queue, in the spirit of
@@ -267,6 +277,26 @@ public:
       Cache->resetStats();
   }
 
+  /// The uniform counter reset (the registry-wide analogue of
+  /// resetCacheStats): with telemetry installed, delegates to
+  /// MetricsRegistry::reset(), which zeroes every engine instrument
+  /// *and* - via the registered reset hooks - the cache and store
+  /// counters mirrored by collectors, in one call. Without telemetry
+  /// it falls back to resetCacheStats(), the only counters the
+  /// pre-obs engine could reset. Live state (queue depth, running
+  /// jobs, cached entries) is untouched either way.
+  void resetStats() {
+    if (Opts.Telemetry)
+      Opts.Telemetry->Registry.reset();
+    else
+      resetCacheStats();
+  }
+
+  /// This engine's telemetry sink, or null when telemetry is off.
+  const std::shared_ptr<obs::Telemetry> &telemetry() const {
+    return Opts.Telemetry;
+  }
+
   /// True when this engine's cache is backed by a persistent store
   /// (EngineOptions::StoreDirectory).
   bool hasStore() const;
@@ -286,6 +316,15 @@ private:
   RepairReport execute(const RepairRequest &Request, JobContext &Ctx,
                        std::uint64_t JobId, double QueueSeconds);
 
+  /// Registers the queue/cache/store collectors and the uniform-reset
+  /// hook with the telemetry registry (ctor; T non-null).
+  void registerTelemetry();
+  /// Folds one resolved job's report into the lifecycle counters and
+  /// phase/kernel histograms (no-op when T is null). Called at every
+  /// resolve site: worker completion, teardown orphans, and
+  /// submit-during-stop cancellations.
+  void recordJobMetrics(const RepairReport &Report);
+
   /// Queued jobs across all priority classes.
   int queuedCount() const;
   /// Pops the front of the highest non-empty priority class (caller
@@ -293,6 +332,8 @@ private:
   std::shared_ptr<detail::EngineJob> popNext();
 
   EngineOptions Opts;
+  /// Raw view of Opts.Telemetry (null = off), checked on the hot paths.
+  obs::Telemetry *T = nullptr;
   std::shared_ptr<persist::ArtifactStore> Store; ///< null without L2
   std::shared_ptr<ArtifactCache> Cache; ///< null when caching is off
   mutable std::mutex Mutex;

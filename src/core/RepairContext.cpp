@@ -2,6 +2,8 @@
 
 #include "core/RepairContext.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 
 using namespace prdnn;
@@ -52,7 +54,83 @@ bool JobContext::checkpoint(RepairPhase Phase) {
 }
 
 void JobContext::beginPhase(RepairPhase Phase, std::int64_t NewTotal) {
+  // Trace first: the close of the previous span reads the outgoing
+  // phase's item counters before they reset.
+  if (TraceV)
+    tracePhase(Phase);
   Done.store(0, std::memory_order_relaxed);
   Total.store(NewTotal, std::memory_order_relaxed);
   PhaseV.store(static_cast<int>(Phase), std::memory_order_relaxed);
+}
+
+// Builds the TraceEvent for \p Span closing now; TraceMutex held.
+obs::TraceEvent JobContext::closeEvent(const OpenSpan &Span,
+                                       std::uint32_t ThreadId,
+                                       std::uint64_t Now) const {
+  obs::TraceEvent E;
+  E.JobId = TraceJobId;
+  E.Name = Span.Name;
+  E.ThreadId = ThreadId;
+  E.StartNanos = Span.StartNanos;
+  E.DurationNanos = Now > Span.StartNanos ? Now - Span.StartNanos : 0;
+  E.SweepLayer = Span.Layer;
+  const auto Delta = [](std::int64_t Cur, std::int64_t Base) {
+    return Cur > Base ? static_cast<std::uint64_t>(Cur - Base) : 0;
+  };
+  E.CacheHits = Delta(CacheHitsV.load(std::memory_order_relaxed),
+                      Span.CacheHits0);
+  E.CacheMisses = Delta(CacheMissesV.load(std::memory_order_relaxed),
+                        Span.CacheMisses0);
+  E.StoreHits = Delta(StoreHitsV.load(std::memory_order_relaxed),
+                      Span.StoreHits0);
+  const std::int64_t ItemsDone = Done.load(std::memory_order_relaxed);
+  const std::int64_t ItemsTotal = Total.load(std::memory_order_relaxed);
+  E.ItemsDone = ItemsDone > 0 ? static_cast<std::uint64_t>(ItemsDone) : 0;
+  E.ItemsTotal = ItemsTotal > 0 ? static_cast<std::uint64_t>(ItemsTotal) : 0;
+  return E;
+}
+
+void JobContext::tracePhase(RepairPhase Phase) {
+  const std::uint32_t Tid = obs::threadOrdinal();
+  const std::uint64_t Now = obs::TraceBuffer::nowNanos();
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  if (Phase == RepairPhase::Done) {
+    // Job over: flush every thread's open span (sharded sweeps may
+    // have left shard spans open after a cancellation).
+    for (auto &[ThreadId, Span] : TraceSpans) {
+      if (!Span.Open)
+        continue;
+      TraceV->record(closeEvent(Span, ThreadId, Now));
+      Span.Open = false;
+    }
+    return;
+  }
+  OpenSpan &Span = TraceSpans[Tid];
+  if (Span.Open)
+    TraceV->record(closeEvent(Span, Tid, Now));
+  Span.Name = prdnn::toString(Phase);
+  Span.StartNanos = Now;
+  Span.CacheHits0 = CacheHitsV.load(std::memory_order_relaxed);
+  Span.CacheMisses0 = CacheMissesV.load(std::memory_order_relaxed);
+  Span.StoreHits0 = StoreHitsV.load(std::memory_order_relaxed);
+  Span.Open = true;
+}
+
+void JobContext::traceEnd() {
+  const std::uint32_t Tid = obs::threadOrdinal();
+  const std::uint64_t Now = obs::TraceBuffer::nowNanos();
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  auto It = TraceSpans.find(Tid);
+  if (It == TraceSpans.end() || !It->second.Open)
+    return;
+  TraceV->record(closeEvent(It->second, Tid, Now));
+  It->second.Open = false;
+}
+
+void JobContext::traceSetLayer(int Layer) {
+  const std::uint32_t Tid = obs::threadOrdinal();
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  // Sticky per-thread tag: spans opened by this thread from here on
+  // (and the one currently open, if any) belong to this sweep layer.
+  TraceSpans[Tid].Layer = Layer;
 }

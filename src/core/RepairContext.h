@@ -32,10 +32,17 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 
 namespace prdnn {
 
 class ArtifactCache;
+
+namespace obs {
+class TraceBuffer;
+struct TraceEvent;
+} // namespace obs
 
 /// Phases of an engine repair job, in execution order. LinRegions only
 /// occurs for polytope requests (Algorithm 2's SyReNN transform);
@@ -119,12 +126,30 @@ public:
   }
   void beginSweepLayer(int Layer) {
     SweepLayerV.store(Layer, std::memory_order_relaxed);
+    if (TraceV)
+      traceSetLayer(Layer);
   }
   void finishSweepLayer() {
     SweepDoneV.fetch_add(1, std::memory_order_relaxed);
+    if (TraceV)
+      traceEnd();
   }
 
   void markDone() { beginPhase(RepairPhase::Done, 0); }
+
+  // --- Tracing (obs/Trace.h) ------------------------------------------------
+
+  /// Installs the telemetry trace sink for this job. Same contract as
+  /// setCache: written before the job runs, read from job (and sweep
+  /// shard) threads. A null buffer (the default) makes every trace
+  /// path a no-op - the telemetry-off configuration.
+  void setTrace(obs::TraceBuffer *Buffer, std::uint64_t JobId) {
+    TraceV = Buffer;
+    TraceJobId = JobId;
+  }
+
+  obs::TraceBuffer *trace() const { return TraceV; }
+  std::uint64_t traceJobId() const { return TraceJobId; }
 
   // --- Artifact cache (cache/ArtifactCache.h) -------------------------------
 
@@ -170,6 +195,32 @@ public:
   bool hasCheckpointHook() const { return static_cast<bool>(Hook); }
 
 private:
+  /// One per-thread open span, keyed by obs::threadOrdinal(): the
+  /// serialized path only ever holds one entry, the sharded sweep path
+  /// one per shard thread. Guarded by TraceMutex; all trace methods
+  /// are no-ops when TraceV is null, so the lock is never taken (and
+  /// telemetry-off runs take no new synchronization at all).
+  struct OpenSpan {
+    const char *Name = "";
+    std::uint64_t StartNanos = 0;
+    std::int32_t Layer = -1;
+    std::int64_t CacheHits0 = 0;
+    std::int64_t CacheMisses0 = 0;
+    std::int64_t StoreHits0 = 0;
+    bool Open = false;
+  };
+
+  obs::TraceEvent closeEvent(const OpenSpan &Span, std::uint32_t ThreadId,
+                             std::uint64_t Now) const;
+  /// Closes the calling thread's span (if open) and opens a new one
+  /// named after \p Phase; Done instead closes every remaining span.
+  void tracePhase(RepairPhase Phase);
+  /// Closes the calling thread's span (sharded sweeps: each shard
+  /// thread closes its own layer span).
+  void traceEnd();
+  /// Tags the calling thread's spans with \p Layer.
+  void traceSetLayer(int Layer);
+
   std::atomic<bool> Cancel{false};
   std::atomic<int> PhaseV{static_cast<int>(RepairPhase::Queued)};
   std::atomic<std::int64_t> Done{0};
@@ -185,6 +236,11 @@ private:
   NetworkFingerprint NetFp;
   /// Written before the job runs, read only from the job thread.
   std::function<void(RepairPhase)> Hook;
+  /// Written before the job runs (setTrace), read from job threads.
+  obs::TraceBuffer *TraceV = nullptr;
+  std::uint64_t TraceJobId = 0;
+  std::mutex TraceMutex;
+  std::map<std::uint32_t, OpenSpan> TraceSpans;
 };
 
 } // namespace prdnn

@@ -1,0 +1,96 @@
+//===- obs/Trace.cpp - span ring buffer + Chrome trace export -------------===//
+
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace prdnn {
+namespace obs {
+
+TraceBuffer::TraceBuffer(std::size_t Cap) : Capacity(Cap == 0 ? 1 : Cap) {
+  Ring.reserve(Capacity);
+}
+
+void TraceBuffer::record(const TraceEvent &Event) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Ring.size() < Capacity) {
+    Ring.push_back(Event);
+  } else {
+    Ring[Head] = Event;
+    Head = (Head + 1) % Capacity;
+  }
+  ++Recorded;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<TraceEvent> Out;
+  Out.reserve(Ring.size());
+  // Once full the ring wraps: Head is the oldest slot.
+  for (std::size_t I = 0; I < Ring.size(); ++I)
+    Out.push_back(Ring[(Head + I) % Ring.size()]);
+  return Out;
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Recorded;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Recorded - Ring.size();
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.clear();
+  Head = 0;
+  Recorded = 0;
+}
+
+std::string TraceBuffer::exportChromeTrace() const {
+  const std::vector<TraceEvent> Events = events();
+  std::string Out = "{\"traceEvents\":[";
+  Out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"prdnn\"}}";
+  char Buf[512];
+  for (const TraceEvent &E : Events) {
+    // ts/dur are microseconds (double) in the trace-event format.
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32 ",\"name\":\"%s\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"job\":%" PRIu64
+        ",\"sweep_layer\":%" PRId32 ",\"cache_hits\":%" PRIu64
+        ",\"cache_misses\":%" PRIu64 ",\"store_hits\":%" PRIu64
+        ",\"items_done\":%" PRIu64 ",\"items_total\":%" PRIu64 "}}",
+        E.ThreadId, E.Name, static_cast<double>(E.StartNanos) / 1e3,
+        static_cast<double>(E.DurationNanos) / 1e3, E.JobId, E.SweepLayer,
+        E.CacheHits, E.CacheMisses, E.StoreHits, E.ItemsDone, E.ItemsTotal);
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool TraceBuffer::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  const std::string Json = exportChromeTrace();
+  Out.write(Json.data(), static_cast<std::streamsize>(Json.size()));
+  return static_cast<bool>(Out);
+}
+
+std::uint64_t TraceBuffer::nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace obs
+} // namespace prdnn

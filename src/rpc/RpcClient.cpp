@@ -277,6 +277,25 @@ RpcError RpcClient::status(serve::ServiceStats &Stats) {
   return RpcError::None;
 }
 
+RpcError RpcClient::metrics(obs::MetricsSnapshot &Snapshot) {
+  std::uint8_t Kind = 0;
+  std::vector<std::uint8_t> Payload;
+  RpcError Err = exchange(MessageKind::Metrics, {}, Kind, Payload,
+                          Opts.RequestTimeoutSeconds);
+  if (Err != RpcError::None)
+    return Err;
+  if (static_cast<MessageKind>(Kind) != MessageKind::MetricsReply) {
+    close();
+    return RpcError::BadKind;
+  }
+  ByteReader R(Payload.data(), Payload.size());
+  if (!readMetricsSnapshot(R, Snapshot) || R.remaining() != 0) {
+    close();
+    return RpcError::Corrupt;
+  }
+  return RpcError::None;
+}
+
 RpcError RpcClient::cancel(std::uint64_t JobId, bool &Found) {
   ByteWriter W;
   W.u64(JobId);

@@ -105,6 +105,15 @@ public:
   /// Status -> StatusReply: the service's aggregated ServiceStats.
   RpcError status(serve::ServiceStats &Stats);
 
+  /// Metrics -> MetricsReply: one coherent snapshot of the server's
+  /// whole metrics registry (engine, cache, store, admission,
+  /// registry, and RPC instruments). A server running without
+  /// telemetry answers an empty snapshot - not an error - so a
+  /// scraper can poll any fleet member uniformly. Render it with
+  /// MetricsSnapshot::renderPrometheus() (tools/prdnn_stats.cpp is
+  /// the retail scraper).
+  RpcError metrics(obs::MetricsSnapshot &Snapshot);
+
   /// Cancel -> CancelReply. The job resolves Cancelled; await()
   /// collects its report.
   RpcError cancel(std::uint64_t JobId, bool &Found);

@@ -28,6 +28,15 @@ void setReceiveTimeout(int Fd, double Seconds) {
   ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
 }
 
+/// Metric-safe spelling of an error kind ("bad-magic" -> "bad_magic").
+std::string errorSlug(RpcError Error) {
+  std::string Slug = toString(Error);
+  for (char &C : Slug)
+    if (C == '-')
+      C = '_';
+  return Slug;
+}
+
 } // namespace
 
 RpcServer::RpcServer(serve::RepairService &Service, RpcServerOptions Options)
@@ -38,9 +47,72 @@ RpcServer::RpcServer(serve::RepairService &Service, RpcServerOptions Options)
     Opts.DefaultAwaitSeconds = 30.0;
   if (Opts.MaxAwaitSeconds < Opts.DefaultAwaitSeconds)
     Opts.MaxAwaitSeconds = Opts.DefaultAwaitSeconds;
+  T = Service.telemetry().get();
+  if (T)
+    registerTelemetry();
 }
 
-RpcServer::~RpcServer() { stop(); }
+RpcServer::~RpcServer() {
+  stop();
+  // The telemetry sink may outlive this server (shared_ptr held by the
+  // service or a scraper): stop sampling our freed atomics.
+  if (T)
+    T->Registry.removeOwner(this);
+}
+
+void RpcServer::registerTelemetry() {
+  obs::MetricsRegistry &Reg = T->Registry;
+  auto Val = [](const std::atomic<std::uint64_t> &Count) {
+    return [&Count]() { return double(Count.load(std::memory_order_relaxed)); };
+  };
+  Reg.addCollector(this, "prdnn_rpc_connections_accepted_total",
+                   obs::MetricType::Counter, "TCP connections accepted",
+                   Val(AcceptedCount));
+  Reg.addCollector(this, "prdnn_rpc_connections_rejected_total",
+                   obs::MetricType::Counter,
+                   "Connections rejected at MaxConnections",
+                   Val(RejectedCount));
+  Reg.addCollector(this, "prdnn_rpc_malformed_frames_total",
+                   obs::MetricType::Counter,
+                   "Frames answered ErrorReply for a wire-level failure",
+                   Val(MalformedCount));
+  Reg.addCollector(this, "prdnn_rpc_await_timeouts_total",
+                   obs::MetricType::Counter,
+                   "Awaits answered ErrorReply{Timeout}", Val(TimeoutCount));
+  Reg.addCollector(this, "prdnn_rpc_orphaned_jobs_total",
+                   obs::MetricType::Counter,
+                   "Jobs cancelled because their connection disconnected",
+                   Val(OrphanCount));
+  Reg.addCollector(this, "prdnn_rpc_bytes_sent_total",
+                   obs::MetricType::Counter, "Framed bytes written to peers",
+                   Val(BytesOut));
+  Reg.addCollector(this, "prdnn_rpc_bytes_received_total",
+                   obs::MetricType::Counter, "Framed bytes read from peers",
+                   Val(BytesIn));
+  // Owned instruments (registry-allocated; survive this server).
+  FramesInCount = Reg.counter("prdnn_rpc_frames_received_total",
+                              "Well-formed frames decoded from peers");
+  FramesOutCount =
+      Reg.counter("prdnn_rpc_frames_sent_total", "Frames written to peers");
+  for (std::size_t I = 1; I < ErrorCounters.size(); ++I) {
+    const auto Error = static_cast<RpcError>(I);
+    ErrorCounters[I] =
+        Reg.counter("prdnn_rpc_errors_" + errorSlug(Error) + "_total",
+                    std::string("ErrorReply frames sent with kind ") +
+                        toString(Error));
+  }
+  Reg.addResetHook(this, [this] { resetStats(); });
+}
+
+void RpcServer::resetStats() {
+  AcceptedCount.store(0, std::memory_order_relaxed);
+  RejectedCount.store(0, std::memory_order_relaxed);
+  MalformedCount.store(0, std::memory_order_relaxed);
+  TimeoutCount.store(0, std::memory_order_relaxed);
+  OrphanCount.store(0, std::memory_order_relaxed);
+  BytesOut.store(0, std::memory_order_relaxed);
+  BytesIn.store(0, std::memory_order_relaxed);
+}
 
 bool RpcServer::start(RpcError *Error) {
   auto Fail = [&](int Fd) {
@@ -208,8 +280,11 @@ void RpcServer::acceptLoop() {
       ByteWriter W;
       W.u8(static_cast<std::uint8_t>(serve::ServeReject::Saturated));
       std::uint64_t Sent = 0;
-      sendFrame(Fd, MessageKind::ConnectionReject, W.buffer(), &Sent);
+      RpcError Err =
+          sendFrame(Fd, MessageKind::ConnectionReject, W.buffer(), &Sent);
       BytesOut.fetch_add(Sent, std::memory_order_relaxed);
+      if (Err == RpcError::None && FramesOutCount)
+        FramesOutCount->inc();
       RejectedCount.fetch_add(1, std::memory_order_relaxed);
       ::close(Fd);
       continue;
@@ -232,6 +307,8 @@ void RpcServer::connectionMain(std::uint64_t ConnId, int Fd) {
     std::uint64_t Received = 0;
     RpcError Err = recvFrame(Fd, Kind, Payload, Opts.Limits, &Received);
     BytesIn.fetch_add(Received, std::memory_order_relaxed);
+    if (Err == RpcError::None && FramesInCount)
+      FramesInCount->inc();
 
     if (Err == RpcError::Closed)
       break; // orderly EOF between frames
@@ -273,11 +350,16 @@ bool RpcServer::sendReply(int Fd, MessageKind Kind,
   std::uint64_t Sent = 0;
   RpcError Err = sendFrame(Fd, Kind, Payload, &Sent);
   BytesOut.fetch_add(Sent, std::memory_order_relaxed);
+  if (Err == RpcError::None && FramesOutCount)
+    FramesOutCount->inc();
   return Err == RpcError::None;
 }
 
 bool RpcServer::sendError(int Fd, RpcError Error,
                           const std::string &Detail) {
+  const auto Index = static_cast<std::size_t>(Error);
+  if (Index < ErrorCounters.size() && ErrorCounters[Index])
+    ErrorCounters[Index]->inc();
   ByteWriter W;
   W.u8(static_cast<std::uint8_t>(Error));
   W.str(Detail);
@@ -401,6 +483,23 @@ bool RpcServer::handleFrame(std::uint64_t ConnId, int Fd, std::uint8_t Kind,
     return sendReply(Fd, MessageKind::StatusReply, W.buffer());
   }
 
+  case MessageKind::Metrics: {
+    if (R.remaining() != 0) {
+      MalformedCount.fetch_add(1, std::memory_order_relaxed);
+      return sendError(Fd, RpcError::Corrupt, "malformed Metrics");
+    }
+    // Snapshot the service's whole registry (every tier registered its
+    // instruments there, this server included); a telemetry-less
+    // service answers an empty snapshot rather than an error, so a
+    // scraper can poll any fleet member uniformly.
+    obs::MetricsSnapshot Snapshot;
+    if (const auto &Telem = Service.telemetry())
+      Snapshot = Telem->Registry.snapshot();
+    ByteWriter W;
+    writeMetricsSnapshot(W, Snapshot);
+    return sendReply(Fd, MessageKind::MetricsReply, W.buffer());
+  }
+
   case MessageKind::Cancel: {
     std::uint64_t JobId = 0;
     if (!R.u64(JobId) || R.remaining() != 0) {
@@ -427,6 +526,7 @@ bool RpcServer::handleFrame(std::uint64_t ConnId, int Fd, std::uint8_t Kind,
   case MessageKind::ProgressReply:
   case MessageKind::StatusReply:
   case MessageKind::CancelReply:
+  case MessageKind::MetricsReply:
   case MessageKind::ErrorReply:
   case MessageKind::ConnectionReject:
     // Reply kinds arriving at the server: a confused peer. Typed

@@ -47,6 +47,7 @@
 
 #include "rpc/Wire.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -128,6 +129,12 @@ public:
 
   RpcServerStats stats() const;
 
+  /// Zeroes the monotonic counters (connections, frames, bytes,
+  /// per-error counts). Live connections and in-flight jobs are
+  /// untouched. With the service's telemetry on, the registry's reset
+  /// hook reaches these too - this is the manual path.
+  void resetStats();
+
   const RpcServerOptions &options() const { return Opts; }
 
 private:
@@ -158,9 +165,23 @@ private:
   void orphanJobs(std::uint64_t ConnId);
   /// Joins and closes connections whose threads have finished.
   void reapFinished();
+  /// Registers this server's counters with the service's telemetry
+  /// registry (ctor, only when the service carries one).
+  void registerTelemetry();
 
   serve::RepairService &Service;
   RpcServerOptions Opts;
+
+  /// The service's telemetry sink, or null: the server publishes its
+  /// connection/frame/error counters into the same registry the
+  /// Metrics exchange snapshots.
+  obs::Telemetry *T = nullptr;
+  obs::Counter *FramesInCount = nullptr;
+  obs::Counter *FramesOutCount = nullptr;
+  /// Indexed by RpcError value; counts ErrorReply frames sent, by
+  /// kind. Null entries when telemetry is off (and at index None,
+  /// which is never an error reply).
+  std::array<obs::Counter *, 10> ErrorCounters{};
 
   int ListenFd = -1;
   std::atomic<int> BoundPort{0};

@@ -6,6 +6,7 @@
 #include "nn/Network.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <sys/socket.h>
 
@@ -665,6 +666,71 @@ bool prdnn::rpc::readServiceStats(ByteReader &R,
          R.u64(Stats.Cache.Store.Entries) &&
          R.u64(Stats.Cache.Store.BudgetBytes) &&
          R.u64(Stats.Cache.Store.PendingWrites);
+}
+
+void prdnn::rpc::writeMetricsSnapshot(ByteWriter &W,
+                                      const obs::MetricsSnapshot &Snapshot) {
+  W.u64(Snapshot.Samples.size());
+  for (const obs::MetricSample &S : Snapshot.Samples) {
+    W.str(S.Name);
+    W.str(S.Help);
+    W.u8(static_cast<std::uint8_t>(S.Type));
+    if (S.Type != obs::MetricType::Histogram) {
+      W.f64(S.Value);
+      continue;
+    }
+    writeDoubleSeq(W, S.Hist.Edges);
+    // Counts are Edges + 1 by construction; the count is implied.
+    for (std::uint64_t Count : S.Hist.Counts)
+      W.u64(Count);
+    W.f64(S.Hist.Sum);
+  }
+}
+
+bool prdnn::rpc::readMetricsSnapshot(ByteReader &R,
+                                     obs::MetricsSnapshot &Snapshot) {
+  std::uint64_t NumSamples = 0;
+  // Each sample is at least 2 length-prefixed strings + a kind byte.
+  if (!R.u64(NumSamples) || !plausible(R, NumSamples, 17))
+    return false;
+  Snapshot.Samples.clear();
+  Snapshot.Samples.reserve(static_cast<std::size_t>(NumSamples));
+  for (std::uint64_t I = 0; I < NumSamples; ++I) {
+    obs::MetricSample S;
+    std::uint8_t Type = 0;
+    if (!R.str(S.Name) || !R.str(S.Help) ||
+        !readEnum8(R, Type,
+                   static_cast<std::uint8_t>(obs::MetricType::Histogram)))
+      return false;
+    S.Type = static_cast<obs::MetricType>(Type);
+    if (S.Type != obs::MetricType::Histogram) {
+      if (!R.f64(S.Value))
+        return false;
+    } else {
+      if (!readDoubleSeq(R, S.Hist.Edges))
+        return false;
+      // A histogram's edges must be strictly ascending and finite - a
+      // malformed preset would poison downstream merges.
+      for (std::size_t E = 0; E < S.Hist.Edges.size(); ++E) {
+        if (!std::isfinite(S.Hist.Edges[E]) ||
+            (E > 0 && S.Hist.Edges[E] <= S.Hist.Edges[E - 1])) {
+          R.fail(CodecError::Corrupt);
+          return false;
+        }
+      }
+      const std::size_t NumBuckets = S.Hist.Edges.size() + 1;
+      if (!plausible(R, NumBuckets, 8))
+        return false;
+      S.Hist.Counts.resize(NumBuckets);
+      for (std::uint64_t &Count : S.Hist.Counts)
+        if (!R.u64(Count))
+          return false;
+      if (!R.f64(S.Hist.Sum))
+        return false;
+    }
+    Snapshot.Samples.push_back(std::move(S));
+  }
+  return true;
 }
 
 // --- Frame transport --------------------------------------------------------

@@ -21,6 +21,9 @@
 ///   Progress{JobId}          -> ProgressReply{Found, ProgressSnapshot}
 ///   Status{}                 -> StatusReply{ServiceStats}
 ///   Cancel{JobId}            -> CancelReply{Found}
+///   Metrics{}                -> MetricsReply{obs::MetricsSnapshot}
+///                               (empty snapshot when the service runs
+///                               without telemetry)
 ///
 /// plus two server-initiated frames: ConnectionReject{ServeReject},
 /// sent (then the socket closed) when the accepted-connection bound is
@@ -101,6 +104,8 @@ enum class MessageKind : std::uint8_t {
   CancelReply = 0x59,
   ErrorReply = 0x5A,
   ConnectionReject = 0x5B,
+  Metrics = 0x5C,
+  MetricsReply = 0x5D,
 };
 
 /// Bounds a receiver enforces before buffering a frame.
@@ -161,6 +166,11 @@ bool readProgressSnapshot(persist::ByteReader &R,
 void writeServiceStats(persist::ByteWriter &W,
                        const serve::ServiceStats &Stats);
 bool readServiceStats(persist::ByteReader &R, serve::ServiceStats &Stats);
+
+void writeMetricsSnapshot(persist::ByteWriter &W,
+                          const obs::MetricsSnapshot &Snapshot);
+bool readMetricsSnapshot(persist::ByteReader &R,
+                         obs::MetricsSnapshot &Snapshot);
 
 // --- Frame transport over a connected socket --------------------------------
 

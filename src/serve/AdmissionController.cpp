@@ -79,3 +79,10 @@ AdmissionSnapshot AdmissionController::queueStats() const {
   Snap.QuotaRejects = QuotaRejectCount;
   return Snap;
 }
+
+void AdmissionController::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  AdmittedCount = 0;
+  SaturatedRejectCount = 0;
+  QuotaRejectCount = 0;
+}

@@ -100,6 +100,12 @@ public:
   /// Depth, per-class counts, oldest wait, and reject counters.
   AdmissionSnapshot queueStats() const;
 
+  /// Zeroes the monotonic counters (Admitted, SaturatedRejects,
+  /// QuotaRejects). Live admission state - in-flight tickets, class
+  /// counts - is untouched, so resetting mid-traffic is safe. Part of
+  /// the uniform telemetry reset (obs/Metrics.h).
+  void resetStats();
+
   const AdmissionOptions &options() const { return Opts; }
 
 private:

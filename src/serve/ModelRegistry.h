@@ -146,6 +146,20 @@ public:
 
   RegistryStats stats() const;
 
+  /// Zeroes the monotonic counters; the entry cache and on-disk
+  /// entries are untouched. Part of the uniform telemetry reset
+  /// (obs/Metrics.h).
+  void resetStats() {
+    PublishCount.store(0, std::memory_order_relaxed);
+    PublishSkipCount.store(0, std::memory_order_relaxed);
+    ResolveCount.store(0, std::memory_order_relaxed);
+    CacheHitCount.store(0, std::memory_order_relaxed);
+    DiskLoadCount.store(0, std::memory_order_relaxed);
+    NotFoundCount.store(0, std::memory_order_relaxed);
+    CorruptRejectCount.store(0, std::memory_order_relaxed);
+    MismatchRejectCount.store(0, std::memory_order_relaxed);
+  }
+
   /// The on-disk path \p Fp maps to (exposed so tests can corrupt or
   /// inspect entries).
   std::string entryPath(const NetworkFingerprint &Fp) const;

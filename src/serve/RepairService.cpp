@@ -28,21 +28,154 @@ const char *prdnn::serve::toString(ServeReject Reject) {
 namespace {
 
 /// The engine options a service actually runs: the shared directory
-/// wired in, and enough queue capacity that an admitted job never
-/// blocks in engine backpressure (admission is the backpressure).
-EngineOptions serviceEngineOptions(const ServiceOptions &Options) {
+/// wired in, enough queue capacity that an admitted job never blocks
+/// in engine backpressure (admission is the backpressure), and the
+/// service's telemetry sink installed.
+EngineOptions serviceEngineOptions(const ServiceOptions &Options,
+                                   std::shared_ptr<obs::Telemetry> Telem) {
   EngineOptions Engine = Options.Engine;
   Engine.StoreDirectory = Options.StoreDirectory;
   Engine.QueueCapacity = std::max(
       Engine.QueueCapacity, std::max(1, Options.Admission.MaxInFlight));
+  Engine.Telemetry = std::move(Telem);
   return Engine;
+}
+
+std::shared_ptr<obs::Telemetry> serviceTelemetry(const ServiceOptions &Opts) {
+  if (Opts.Engine.Telemetry) // caller-provided sink wins
+    return Opts.Engine.Telemetry;
+  return Opts.Telemetry ? std::make_shared<obs::Telemetry>() : nullptr;
+}
+
+/// Metric-safe spelling of a reject reason ("class-quota" ->
+/// "class_quota").
+std::string rejectSlug(ServeReject Reject) {
+  std::string Slug = toString(Reject);
+  for (char &C : Slug)
+    if (C == '-')
+      C = '_';
+  return Slug;
 }
 
 } // namespace
 
 RepairService::RepairService(ServiceOptions Options)
     : Opts(std::move(Options)), Registry(Opts.StoreDirectory),
-      Admission(Opts.Admission), Engine(serviceEngineOptions(Opts)) {}
+      Admission(Opts.Admission), Telem(serviceTelemetry(Opts)),
+      Engine(serviceEngineOptions(Opts, Telem)) {
+  if (Telem)
+    registerTelemetry();
+}
+
+RepairService::~RepairService() {
+  if (Telem)
+    Telem->Registry.removeOwner(this);
+}
+
+void RepairService::registerTelemetry() {
+  obs::MetricsRegistry &Reg = Telem->Registry;
+  Reg.addCollector(this, "prdnn_serve_accepted_total",
+                   obs::MetricType::Counter, "Requests admitted and enqueued",
+                   [this] {
+                     return double(
+                         AcceptedCount.load(std::memory_order_relaxed));
+                   });
+  Reg.addCollector(this, "prdnn_serve_rejected_total",
+                   obs::MetricType::Counter, "Requests rejected (any reason)",
+                   [this] {
+                     return double(
+                         RejectedCount.load(std::memory_order_relaxed));
+                   });
+  for (std::size_t I = 1; I < RejectCounts.size(); ++I) {
+    const auto Reason = static_cast<ServeReject>(I);
+    Reg.addCollector(this,
+                     "prdnn_serve_rejects_" + rejectSlug(Reason) + "_total",
+                     obs::MetricType::Counter,
+                     std::string("Rejections with reason ") +
+                         toString(Reason),
+                     [this, I] {
+                       return double(
+                           RejectCounts[I].load(std::memory_order_relaxed));
+                     });
+  }
+  Reg.addCollector(this, "prdnn_admission_inflight", obs::MetricType::Gauge,
+                   "Admitted jobs not yet released", [this] {
+                     return double(Admission.queueStats().Depth);
+                   });
+  Reg.addCollector(this, "prdnn_admission_oldest_wait_seconds",
+                   obs::MetricType::Gauge,
+                   "Seconds since the oldest in-flight admission", [this] {
+                     return Admission.queueStats().OldestWaitSeconds;
+                   });
+  Reg.addCollector(this, "prdnn_admission_admitted_total",
+                   obs::MetricType::Counter, "Admission grants", [this] {
+                     return double(Admission.queueStats().Admitted);
+                   });
+  Reg.addCollector(this, "prdnn_admission_saturated_rejects_total",
+                   obs::MetricType::Counter,
+                   "Admission rejects at MaxInFlight", [this] {
+                     return double(Admission.queueStats().SaturatedRejects);
+                   });
+  Reg.addCollector(this, "prdnn_admission_quota_rejects_total",
+                   obs::MetricType::Counter,
+                   "Admission rejects at a class quota", [this] {
+                     return double(Admission.queueStats().QuotaRejects);
+                   });
+  auto RegVal = [this](auto Member) {
+    return [this, Member]() { return double(Registry.stats().*Member); };
+  };
+  Reg.addCollector(this, "prdnn_registry_publishes_total",
+                   obs::MetricType::Counter, "Models published to disk",
+                   RegVal(&RegistryStats::Publishes));
+  Reg.addCollector(this, "prdnn_registry_publish_skips_total",
+                   obs::MetricType::Counter,
+                   "Publishes that found the entry already on disk",
+                   RegVal(&RegistryStats::PublishSkips));
+  Reg.addCollector(this, "prdnn_registry_resolves_total",
+                   obs::MetricType::Counter, "Fingerprint resolutions",
+                   RegVal(&RegistryStats::Resolves));
+  Reg.addCollector(this, "prdnn_registry_cache_hits_total",
+                   obs::MetricType::Counter,
+                   "Resolutions served from the in-memory model cache",
+                   RegVal(&RegistryStats::CacheHits));
+  Reg.addCollector(this, "prdnn_registry_disk_loads_total",
+                   obs::MetricType::Counter,
+                   "Resolutions loaded and verified from disk",
+                   RegVal(&RegistryStats::DiskLoads));
+  Reg.addCollector(this, "prdnn_registry_not_found_total",
+                   obs::MetricType::Counter,
+                   "Resolutions with no entry on disk",
+                   RegVal(&RegistryStats::NotFound));
+  Reg.addCollector(this, "prdnn_registry_corrupt_rejects_total",
+                   obs::MetricType::Counter,
+                   "Entries rejected for codec corruption",
+                   RegVal(&RegistryStats::CorruptRejects));
+  Reg.addCollector(this, "prdnn_registry_mismatch_rejects_total",
+                   obs::MetricType::Counter,
+                   "Entries rejected for fingerprint mismatch",
+                   RegVal(&RegistryStats::MismatchRejects));
+  Reg.addResetHook(this, [this] { resetOwnStats(); });
+}
+
+void RepairService::resetOwnStats() {
+  AcceptedCount.store(0, std::memory_order_relaxed);
+  RejectedCount.store(0, std::memory_order_relaxed);
+  for (auto &Count : RejectCounts)
+    Count.store(0, std::memory_order_relaxed);
+  Admission.resetStats();
+  Registry.resetStats();
+}
+
+void RepairService::resetStats() {
+  if (Telem) {
+    // One registry-wide reset; the hooks reach this service's
+    // counters *and* the engine's cache/store counters.
+    Telem->Registry.reset();
+    return;
+  }
+  resetOwnStats();
+  Engine.resetCacheStats();
+}
 
 ServeSubmission RepairService::submit(ServeRequest Request) {
   auto RejectWith = [&](ServeReject Reason) {

@@ -138,15 +138,24 @@ struct ServiceOptions {
   std::string StoreDirectory;
   /// Engine configuration. StoreDirectory is overridden by the field
   /// above; QueueCapacity is clamped to >= Admission.MaxInFlight (see
-  /// the file comment).
+  /// the file comment). Engine.Telemetry, when preset, is adopted as
+  /// the service's sink (overriding the Telemetry flag below).
   EngineOptions Engine;
   AdmissionOptions Admission;
+  /// Create an obs::Telemetry for this service (one registry + trace
+  /// ring spanning front end, admission, registry, engine, cache, and
+  /// store - the page the RPC Metrics exchange serves). Telemetry is
+  /// inert by contract (bit-identical reports either way,
+  /// test-enforced), so it defaults on; turn it off to shave the
+  /// atomics. Ignored when Engine.Telemetry is already set.
+  bool Telemetry = true;
 };
 
 /// See the file comment.
 class RepairService {
 public:
   explicit RepairService(ServiceOptions Options);
+  ~RepairService();
 
   RepairService(const RepairService &) = delete;
   RepairService &operator=(const RepairService &) = delete;
@@ -179,12 +188,32 @@ public:
   /// handoff to a successor process).
   void flush() { Engine.flushStore(); }
 
+  /// The service's telemetry sink - one MetricsRegistry + TraceBuffer
+  /// spanning every tier behind this front end - or null when
+  /// telemetry is off. This is what the RPC Metrics exchange
+  /// snapshots.
+  const std::shared_ptr<obs::Telemetry> &telemetry() const { return Telem; }
+
+  /// The uniform counter reset: with telemetry on, one
+  /// MetricsRegistry::reset() zeroes the front-end accept/reject
+  /// counters, admission and registry counters, engine instruments,
+  /// and cache/store counters together (via the registered hooks);
+  /// without telemetry the same tiers are reset by hand. Live state
+  /// (in-flight tickets, queue depth, cached models/artifacts) is
+  /// untouched.
+  void resetStats();
+
   const ServiceOptions &options() const { return Opts; }
 
 private:
+  void registerTelemetry();
+  void resetOwnStats();
+
   ServiceOptions Opts;
   ModelRegistry Registry;
   AdmissionController Admission;
+  /// Must precede Engine: the engine options capture this pointer.
+  std::shared_ptr<obs::Telemetry> Telem;
   RepairEngine Engine;
 
   std::atomic<std::uint64_t> AcceptedCount{0};
