@@ -2,6 +2,8 @@
 
 #include "BenchUtil.h"
 
+#include "linalg/Kernels.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -48,7 +50,10 @@ std::string BenchJson::write() const {
   Os << "{\"bench\": \"" << Name << "\", \"git_sha\": \"" PRDNN_GIT_SHA
      << "\", \"build_type\": \"" PRDNN_BUILD_TYPE
      << "\", \"hardware_concurrency\": "
-     << std::thread::hardware_concurrency() << ", \"records\": [";
+     << std::thread::hardware_concurrency()
+     << ", \"kernel_backend\": \"" << linalg::kernelBackendName()
+     << "\", \"kernel_backend_simd\": "
+     << (linalg::kernelBackendIsSimd() ? 1 : 0) << ", \"records\": [";
   for (size_t R = 0; R < Records.size(); ++R) {
     Os << (R == 0 ? "\n" : ",\n") << "  {";
     const auto &Record = Records[R];

@@ -1,0 +1,358 @@
+//===- bench/bench_kernel_backends.cpp - Strict vs Fast kernel tiers ----------===//
+//
+// Measures the two kernel determinism tiers (src/linalg/Kernels.h)
+// against each other: dense GEMM throughput (Matrix::multiply /
+// multiplyTransposed, the Jacobian-phase hot loops) in GFLOP/s at 1, 4,
+// and 8 pool threads, and end-to-end repair seconds through the public
+// RepairOptions::Determinism switch.
+//
+// The Fast tier promises epsilon-, not bit-, equality, so this bench is
+// also the executable form of the epsilon contract
+// (src/linalg/README.md): every Fast GEMM element must satisfy
+//
+//   |Fast - Strict| <= 16 * n * eps * sum_k |A(i,k) * B(k,j)|
+//
+// (n = inner dimension, eps = 2^-52), and a Fast repair must agree with
+// the Strict repair on status and objective norm to 1e-6 relative. Any
+// violation exits non-zero. In full mode (no --smoke) the bench
+// additionally gates throughput: on a SIMD backend the Fast tier must
+// reach >= 1.5x the Strict GEMM GFLOP/s; on the portable fallback it
+// must not regress below ~1x (0.95 floor for timer noise).
+//
+// Emits BENCH_kernel_backends.json: per-(shape, threads) GFLOP/s for
+// both tiers, max |delta| and its share of the bound, and per-tier
+// repair seconds. Run with --smoke (CI) for small shapes and the
+// epsilon gates only.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "api/RepairEngine.h"
+#include "linalg/Kernels.h"
+#include "linalg/Matrix.h"
+#include "nn/ActivationLayers.h"
+#include "nn/LinearLayers.h"
+#include "support/Parallel.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace prdnn;
+using namespace prdnn::bench;
+
+namespace {
+
+constexpr double kEps = 2.220446049250313e-16; // 2^-52
+constexpr double kBoundFactor = 16.0;
+
+Matrix randomMatrix(Rng &R, int Rows, int Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (int I = 0; I < Rows; ++I)
+    for (int J = 0; J < Cols; ++J)
+      M(I, J) = Scale * R.normal();
+  return M;
+}
+
+Vector randomVector(Rng &R, int Size, double Scale = 1.0) {
+  Vector V(Size);
+  for (int I = 0; I < Size; ++I)
+    V[I] = Scale * R.normal();
+  return V;
+}
+
+Matrix absMatrix(const Matrix &M) {
+  Matrix A(M.rows(), M.cols());
+  for (int I = 0; I < M.rows(); ++I)
+    for (int J = 0; J < M.cols(); ++J)
+      A(I, J) = std::fabs(M(I, J));
+  return A;
+}
+
+/// Checks the elementwise epsilon contract of \p Fast against \p Strict
+/// with the per-element magnitude envelope \p AbsRef (= |A|*|B|, the
+/// sum of absolute products each output element accumulated) and inner
+/// dimension \p N. Returns the worst |delta| and its share of the
+/// bound; Ok is false when any element exceeds its bound (or a NaN
+/// appears on one side only).
+struct EpsilonCheck {
+  bool Ok = true;
+  double MaxDiff = 0.0;
+  double MaxBoundShare = 0.0;
+};
+
+EpsilonCheck checkEpsilon(const Matrix &Strict, const Matrix &Fast,
+                          const Matrix &AbsRef, int N) {
+  EpsilonCheck Out;
+  for (int I = 0; I < Strict.rows(); ++I)
+    for (int J = 0; J < Strict.cols(); ++J) {
+      double S = Strict(I, J), F = Fast(I, J);
+      if (std::isnan(S) || std::isnan(F)) {
+        // NaN must reproduce: a tier may not invent or lose one.
+        if (std::isnan(S) != std::isnan(F))
+          Out.Ok = false;
+        continue;
+      }
+      double Diff = std::fabs(F - S);
+      double Bound = kBoundFactor * static_cast<double>(N) * kEps *
+                     AbsRef(I, J);
+      Out.MaxDiff = std::max(Out.MaxDiff, Diff);
+      if (Bound > 0.0)
+        Out.MaxBoundShare = std::max(Out.MaxBoundShare, Diff / Bound);
+      if (Diff > Bound)
+        Out.Ok = false;
+    }
+  return Out;
+}
+
+double timedMultiply(const Matrix &A, const Matrix &B,
+                     linalg::Determinism Tier, int Repeats, Matrix *Out) {
+  double Best = 1e300;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    WallTimer Timer;
+    Matrix C = A.multiply(B, Tier);
+    Best = std::min(Best, Timer.seconds());
+    if (Out)
+      *Out = std::move(C);
+  }
+  return Best;
+}
+
+double timedMultiplyT(const Matrix &A, const Matrix &B,
+                      linalg::Determinism Tier, int Repeats, Matrix *Out) {
+  double Best = 1e300;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    WallTimer Timer;
+    Matrix C = A.multiplyTransposed(B, Tier);
+    Best = std::min(Best, Timer.seconds());
+    if (Out)
+      *Out = std::move(C);
+  }
+  return Best;
+}
+
+Network makeReluClassifier(Rng &R, int InputSize, int Hidden, int Classes) {
+  Network Net;
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Hidden, InputSize, 0.9), randomVector(R, Hidden, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Hidden, Hidden, 0.9), randomVector(R, Hidden, 0.3)));
+  Net.addLayer(std::make_unique<ReLULayer>(Hidden));
+  Net.addLayer(std::make_unique<FullyConnectedLayer>(
+      randomMatrix(R, Classes, Hidden, 0.9), randomVector(R, Classes, 0.3)));
+  return Net;
+}
+
+double gflops(double Seconds, int M, int N, int K) {
+  if (Seconds <= 0.0)
+    return 0.0;
+  return 2.0 * M * N * K / Seconds / 1e9;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    Smoke = Smoke || std::strcmp(argv[I], "--smoke") == 0;
+
+  const int Repeats = Smoke ? 2 : 4;
+  std::vector<int> Sizes = Smoke ? std::vector<int>{128}
+                                 : std::vector<int>{192, 384};
+  int SavedThreads = globalThreadCount();
+
+  std::printf("=== Kernel backends: Strict vs Fast determinism tiers%s ===\n",
+              Smoke ? " (smoke)" : "");
+  std::printf("resolved backend: %s (%s); hardware concurrency: %u\n\n",
+              linalg::kernelBackendName(),
+              linalg::kernelBackendIsSimd() ? "simd" : "scalar",
+              std::thread::hardware_concurrency());
+
+  BenchJson Json("kernel_backends");
+  TablePrinter Table({"kernel", "n", "threads", "strict GF/s", "fast GF/s",
+                      "fast/strict", "max |d|", "bound share"});
+
+  bool EpsilonOk = true;
+  // Single-thread throughput ratio at the largest size, per kernel -
+  // what the full-mode speedup gate judges.
+  double GateRatioMultiply = 0.0;
+  double GateRatioMultiplyT = 0.0;
+
+  Rng R(90210);
+  for (int N : Sizes) {
+    Matrix A = randomMatrix(R, N, N);
+    Matrix B = randomMatrix(R, N, N);
+    // Magnitude envelopes for the epsilon bound: |A|*|B| under Strict.
+    Matrix AbsMul = absMatrix(A).multiply(absMatrix(B),
+                                          linalg::Determinism::Strict);
+    Matrix AbsMulT = absMatrix(A).multiplyTransposed(
+        absMatrix(B), linalg::Determinism::Strict);
+
+    for (int Threads : {1, 4, 8}) {
+      setGlobalThreadCount(Threads);
+      Matrix StrictMul(0, 0), FastMul(0, 0), StrictMulT(0, 0), FastMulT(0, 0);
+      double StrictMulS =
+          timedMultiply(A, B, linalg::Determinism::Strict, Repeats,
+                        &StrictMul);
+      double FastMulS = timedMultiply(A, B, linalg::Determinism::Fast,
+                                      Repeats, &FastMul);
+      double StrictMulTS = timedMultiplyT(A, B, linalg::Determinism::Strict,
+                                          Repeats, &StrictMulT);
+      double FastMulTS = timedMultiplyT(A, B, linalg::Determinism::Fast,
+                                        Repeats, &FastMulT);
+
+      EpsilonCheck MulCheck = checkEpsilon(StrictMul, FastMul, AbsMul, N);
+      EpsilonCheck MulTCheck = checkEpsilon(StrictMulT, FastMulT, AbsMulT, N);
+      EpsilonOk = EpsilonOk && MulCheck.Ok && MulTCheck.Ok;
+
+      double MulRatio =
+          StrictMulS > 0.0 && FastMulS > 0.0 ? StrictMulS / FastMulS : 0.0;
+      double MulTRatio = StrictMulTS > 0.0 && FastMulTS > 0.0
+                             ? StrictMulTS / FastMulTS
+                             : 0.0;
+      if (Threads == 1 && N == Sizes.back()) {
+        GateRatioMultiply = MulRatio;
+        GateRatioMultiplyT = MulTRatio;
+      }
+
+      for (int Which = 0; Which < 2; ++Which) {
+        const char *Kernel = Which == 0 ? "multiply" : "multiply_transposed";
+        double StrictS = Which == 0 ? StrictMulS : StrictMulTS;
+        double FastS = Which == 0 ? FastMulS : FastMulTS;
+        const EpsilonCheck &Check = Which == 0 ? MulCheck : MulTCheck;
+        Json.beginRecord();
+        Json.add("kernel", Kernel);
+        Json.add("n", N);
+        Json.add("threads", Threads);
+        Json.add("smoke", Smoke ? 1 : 0);
+        Json.add("tier_strict_seconds", StrictS);
+        Json.add("tier_fast_seconds", FastS);
+        Json.add("tier_strict_gflops", gflops(StrictS, N, N, N));
+        Json.add("tier_fast_gflops", gflops(FastS, N, N, N));
+        Json.add("fast_over_strict", StrictS > 0.0 ? StrictS / FastS : 0.0);
+        Json.add("max_abs_delta", Check.MaxDiff);
+        Json.add("bound_share", Check.MaxBoundShare);
+        Json.add("epsilon_ok", Check.Ok ? 1 : 0);
+        Table.addRow({Kernel, std::to_string(N), std::to_string(Threads),
+                      formatDouble(gflops(StrictS, N, N, N), 2),
+                      formatDouble(gflops(FastS, N, N, N), 2),
+                      formatDouble(Which == 0 ? MulRatio : MulTRatio, 2),
+                      formatDouble(Check.MaxDiff, 3),
+                      formatDouble(Check.MaxBoundShare, 3)});
+      }
+    }
+  }
+  setGlobalThreadCount(SavedThreads);
+
+  // --- End-to-end: the same repair under each tier --------------------------
+  // Status and objective norm must agree to epsilon; Delta vectors may
+  // differ (Fast simplex can pivot differently between equal-objective
+  // vertices), so the solution-level contract is what gates.
+  Rng WorkloadRng(777);
+  const int Hidden = Smoke ? 24 : 32;
+  const int Points = Smoke ? 12 : 24;
+  const int Classes = 4;
+  Network Net = makeReluClassifier(WorkloadRng, 6, Hidden, Classes);
+  PointSpec Spec;
+  for (int I = 0; I < Points; ++I)
+    Spec.push_back({randomVector(WorkloadRng, 6, 1.5),
+                    classificationConstraint(
+                        Classes, WorkloadRng.uniformInt(0, Classes - 1), 1e-3),
+                    std::nullopt});
+  int Layer = Net.parameterizedLayerIndices().back();
+
+  bool RepairOk = true;
+  double StrictL1 = 0.0;
+  for (int Threads : {1, 4, 8}) {
+    setGlobalThreadCount(Threads);
+    double Seconds[2] = {0.0, 0.0};
+    RepairStatus Statuses[2] = {RepairStatus::SolverFailure,
+                                RepairStatus::SolverFailure};
+    double Norms[2] = {0.0, 0.0};
+    for (int TierIdx = 0; TierIdx < 2; ++TierIdx) {
+      linalg::Determinism Tier = TierIdx == 0 ? linalg::Determinism::Strict
+                                              : linalg::Determinism::Fast;
+      RepairOptions Options;
+      Options.Determinism = Tier;
+      WallTimer Timer;
+      RepairResult Result = repairPoints(Net, Layer, Spec, Options);
+      Seconds[TierIdx] = Timer.seconds();
+      Statuses[TierIdx] = Result.Status;
+      Norms[TierIdx] = Result.DeltaL1;
+      if (Result.Stats.Determinism != Tier)
+        RepairOk = false; // the tier must be stamped through the stack
+      if (Result.Status == RepairStatus::Success &&
+          Result.Stats.VerifiedViolation > 1e-6)
+        RepairOk = false;
+    }
+    if (Threads == 1)
+      StrictL1 = Norms[0];
+    if (Statuses[0] != Statuses[1])
+      RepairOk = false;
+    double NormTol = 1e-6 * std::max(1.0, std::fabs(Norms[0]));
+    if (std::fabs(Norms[0] - Norms[1]) > NormTol)
+      RepairOk = false;
+
+    Json.beginRecord();
+    Json.add("kernel", "repair_end_to_end");
+    Json.add("threads", Threads);
+    Json.add("smoke", Smoke ? 1 : 0);
+    Json.add("spec_points", Points);
+    Json.add("tier_strict_seconds", Seconds[0]);
+    Json.add("tier_fast_seconds", Seconds[1]);
+    Json.add("strict_delta_l1", Norms[0]);
+    Json.add("fast_delta_l1", Norms[1]);
+    Json.add("status_match", Statuses[0] == Statuses[1] ? 1 : 0);
+    Table.addRow({"repair", std::to_string(Points) + "pt",
+                  std::to_string(Threads), formatDouble(Seconds[0], 3),
+                  formatDouble(Seconds[1], 3),
+                  formatDouble(Seconds[1] > 0.0 ? Seconds[0] / Seconds[1]
+                                                : 0.0,
+                               2),
+                  formatDouble(std::fabs(Norms[0] - Norms[1]), 3), "-"});
+  }
+  setGlobalThreadCount(SavedThreads);
+  (void)StrictL1;
+
+  // --- Gates ----------------------------------------------------------------
+  bool SpeedOk = true;
+  if (!Smoke) {
+    double Gate = linalg::kernelBackendIsSimd() ? 1.5 : 0.95;
+    SpeedOk = GateRatioMultiply >= Gate && GateRatioMultiplyT >= Gate;
+    std::printf("\nspeedup gate (%s backend, 1 thread, n=%d): multiply "
+                "%.2fx, multiply_transposed %.2fx, required >= %.2fx: %s\n",
+                linalg::kernelBackendName(), Sizes.back(), GateRatioMultiply,
+                GateRatioMultiplyT, Gate, SpeedOk ? "PASS" : "FAIL");
+  }
+
+  Json.beginRecord();
+  Json.add("kernel", "summary");
+  Json.add("smoke", Smoke ? 1 : 0);
+  Json.add("epsilon_ok", EpsilonOk ? 1 : 0);
+  Json.add("repair_ok", RepairOk ? 1 : 0);
+  Json.add("speed_ok", SpeedOk ? 1 : 0);
+  Json.add("gate_ratio_multiply", GateRatioMultiply);
+  Json.add("gate_ratio_multiply_transposed", GateRatioMultiplyT);
+
+  Table.print(std::cout);
+  std::string JsonFile = Json.write();
+  if (!JsonFile.empty())
+    std::printf("\nwrote %s\n", JsonFile.c_str());
+
+  bool Ok = EpsilonOk && RepairOk && SpeedOk;
+  std::printf("%s\n",
+              Ok ? "bench_kernel_backends: Fast tier within the epsilon "
+                   "contract of Strict"
+                 : "bench_kernel_backends: TIER CONTRACT CHECK FAILED");
+  return Ok ? 0 : 1;
+}

@@ -201,6 +201,10 @@ void RepairEngine::recordJobMetrics(const RepairReport &Report) {
     T->JobsFailed->inc();
     break;
   }
+  if (Report.Result.Stats.Determinism == linalg::Determinism::Fast)
+    T->JobsFastTier->inc();
+  else
+    T->JobsStrictTier->inc();
   T->QueueWaitSeconds->observe(Report.QueueSeconds);
   T->JobSeconds->observe(Report.TotalSeconds);
   for (const SweepAttempt &Attempt : Report.Sweep) {
@@ -455,11 +459,20 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   Report.QueueSeconds = QueueSeconds;
 
   const Network &Net = *Request.Net;
+  // Resolve the job's kernel determinism tier: an explicit request
+  // tier wins, otherwise the engine default applies. Every attempt of
+  // the job (and the shared polytope key points) runs under the
+  // resolved tier, which the impls stamp into RepairStats and key
+  // cached artifacts with.
+  RepairOptions Options = Request.Options;
+  if (!Options.Determinism)
+    Options.Determinism = Opts.Determinism;
+  const linalg::Determinism Tier = *Options.Determinism;
   // Hand the engine's shared artifact cache to the job. The network
   // fingerprint (content hash of topology + parameter bits) is what
   // keys this job's artifacts, so jobs on different - or mutated -
   // networks can never alias each other's entries.
-  if (Cache && Request.Options.UseCache)
+  if (Cache && Options.UseCache)
     Ctx.setCache(Cache.get(), fingerprintNetwork(Net));
   // Same written-before-run contract as setCache. run() calls land
   // here too (JobId 0), so inline runs trace alongside queued jobs.
@@ -479,7 +492,7 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
   /// (Definition 5.3), so "minimal-norm success" matches what each
   /// per-layer LP minimized.
   auto ObjectiveNorm = [&](const RepairResult &R) {
-    switch (Request.Options.Objective) {
+    switch (Options.Objective) {
     case lp::Norm::L1:
       return R.DeltaL1;
     case lp::Norm::LInf:
@@ -511,11 +524,11 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     if (!Request.isPolytope())
       return detail::repairPointsImpl(Net, Layer,
                                       std::get<PointSpec>(Request.Spec),
-                                      Request.Options, &Ctx);
+                                      Options, &Ctx);
     const auto &PolySpec = std::get<PolytopeSpec>(Request.Spec);
     if (Candidates.size() == 1)
-      return detail::repairPolytopesImpl(Net, Layer, PolySpec,
-                                         Request.Options, &Ctx);
+      return detail::repairPolytopesImpl(Net, Layer, PolySpec, Options,
+                                         &Ctx);
     WallTimer AttemptTotal;
     bool ComputedHere = false;
     if (!SharedKeyPoints) {
@@ -528,12 +541,12 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
         return Cancelled;
       }
       SharedKeyPoints.emplace(
-          keyPoints(Net, PolySpec, &Ctx, Request.Options.UseCache));
+          keyPoints(Net, PolySpec, &Ctx, Options.UseCache, Tier));
       Ctx.advance(static_cast<std::int64_t>(PolySpec.size()));
       ComputedHere = true;
     }
     RepairResult Attempt = detail::repairPointsImpl(
-        Net, Layer, SharedKeyPoints->Points, Request.Options, &Ctx);
+        Net, Layer, SharedKeyPoints->Points, Options, &Ctx);
     // Stamp the Algorithm 2 stats as repairPolytopesImpl would; the
     // transform time (and its cache lookups) land on the attempt that
     // paid it.
@@ -559,9 +572,10 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     return Attempt;
   };
 
-  auto MakeEntry = [](int Layer, const RepairResult &Attempt, int Shard) {
+  auto MakeEntry = [Tier](int Layer, const RepairResult &Attempt, int Shard) {
     SweepAttempt Entry;
     Entry.LayerIndex = Layer;
+    Entry.Determinism = Tier;
     Entry.Status = Attempt.Status;
     Entry.DeltaL1 = Attempt.DeltaL1;
     Entry.DeltaLInf = Attempt.DeltaLInf;
@@ -662,7 +676,7 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
         SawCancel = true;
       } else {
         SharedKeyPoints.emplace(
-            keyPoints(Net, PolySpec, &Ctx, Request.Options.UseCache));
+            keyPoints(Net, PolySpec, &Ctx, Options.UseCache, Tier));
         Ctx.advance(static_cast<std::int64_t>(PolySpec.size()));
         PrecomputedKeyPoints = true;
       }
@@ -733,6 +747,9 @@ RepairReport RepairEngine::execute(const RepairRequest &Request,
     Report.CacheMisses += Attempt.CacheMisses;
     Report.StoreHits += Attempt.StoreHits;
   }
+  // Attempts that ran stamped this already; restate it so jobs
+  // cancelled before any attempt still report the tier they resolved.
+  Report.Result.Stats.Determinism = Tier;
   Report.TotalSeconds = Total.seconds();
   Ctx.markDone();
   return Report;

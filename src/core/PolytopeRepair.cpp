@@ -15,9 +15,14 @@
 using namespace prdnn;
 
 KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
-                                 JobContext *Ctx, bool UseCache) {
+                                 JobContext *Ctx, bool UseCache,
+                                 linalg::Determinism Tier) {
   assert(Net.isPiecewiseLinear() &&
          "polytope repair requires a piecewise-linear network (§6)");
+  // Ambient tier for the batched work on this thread; the per-polytope
+  // transform tasks below run on pool workers and install it
+  // themselves.
+  linalg::KernelTierScope TierScope(Tier);
   int NumPolytopes = static_cast<int>(Spec.size());
   KeyPointsResult Result;
   // Wall time of the whole key-point construction, measured on the
@@ -37,6 +42,7 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
     auto Artifact = std::make_shared<SyrennTransformArtifact>();
     Artifact->Partitions.resize(static_cast<size_t>(NumPolytopes));
     parallelFor(0, NumPolytopes, [&](std::int64_t PIdx) {
+      linalg::KernelTierScope WorkerScope(Tier);
       const SpecPolytope &P = Spec[static_cast<size_t>(PIdx)];
       if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape))
         Artifact->Partitions[static_cast<size_t>(PIdx)] =
@@ -53,6 +59,7 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
     const NetworkFingerprint &Fp = Ctx->networkFingerprint();
     H.u64(Fp.Digest.Hi);
     H.u64(Fp.Digest.Lo);
+    hashDeterminism(H, Tier);
     H.i32(NumPolytopes);
     for (const SpecPolytope &P : Spec) {
       if (const auto *Segment = std::get_if<SegmentPolytope>(&P.Shape)) {
@@ -68,14 +75,14 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
       }
     }
     bool Hit = false;
-    CacheTier Tier = CacheTier::None;
+    CacheTier Served = CacheTier::None;
     Transform = std::static_pointer_cast<const SyrennTransformArtifact>(
         Cache->getOrCompute({ArtifactKind::SyrennTransform, H.digest()},
-                            ComputePartitions, &Hit, &Tier));
+                            ComputePartitions, &Hit, &Served));
     if (Hit) {
       ++Result.TransformCacheHits;
       Ctx->noteCacheHits(1);
-      if (Tier == CacheTier::L2) {
+      if (Served == CacheTier::L2) {
         ++Result.TransformStoreHits;
         Ctx->noteStoreHits(1);
       }
@@ -124,18 +131,19 @@ KeyPointsResult prdnn::keyPoints(const Network &Net, const PolytopeSpec &Spec,
     const NetworkFingerprint &Fp = Ctx->networkFingerprint();
     H.u64(Fp.Digest.Hi);
     H.u64(Fp.Digest.Lo);
+    hashDeterminism(H, Tier);
     H.i32(static_cast<int>(Reps.size()));
     for (const Vector &V : Reps)
       hashVector(H, V);
     bool Hit = false;
-    CacheTier Tier = CacheTier::None;
+    CacheTier Served = CacheTier::None;
     Patterns = std::static_pointer_cast<const PatternBatchArtifact>(
         Cache->getOrCompute({ArtifactKind::PatternBatch, H.digest()},
-                            ComputePatterns, &Hit, &Tier));
+                            ComputePatterns, &Hit, &Served));
     if (Hit) {
       ++Result.PatternCacheHits;
       Ctx->noteCacheHits(1);
-      if (Tier == CacheTier::L2) {
+      if (Served == CacheTier::L2) {
         ++Result.PatternStoreHits;
         Ctx->noteStoreHits(1);
       }
@@ -213,7 +221,9 @@ RepairResult prdnn::detail::repairPolytopesImpl(const Network &Net,
       return Result;
     }
   }
-  KeyPointsResult KeyPts = keyPoints(Net, Spec, Ctx, Options.UseCache);
+  KeyPointsResult KeyPts =
+      keyPoints(Net, Spec, Ctx, Options.UseCache,
+                Options.Determinism.value_or(linalg::Determinism::Strict));
   if (Ctx)
     Ctx->advance(static_cast<std::int64_t>(Spec.size()));
 

@@ -1,0 +1,163 @@
+//===- linalg/Kernels.cpp --------------------------------------------------===//
+//
+// Fast-tier kernel backends. Two implementations per primitive:
+//
+//  - avx2_fma: AVX2/FMA intrinsics compiled with a per-function target
+//    attribute, so this translation unit builds fine under generic
+//    flags (-mno-avx2) and the instructions only ever execute after a
+//    runtime CPUID check passes.
+//  - portable: four-accumulator unrolled scalar loops. Still
+//    reassociated relative to Strict (hence epsilon-, not bit-,
+//    comparable), but legal on any x86-64 / non-x86 host.
+//
+// The backend is resolved exactly once per process (thread-safe static
+// init) from __builtin_cpu_supports, never from compile-time macros:
+// a binary built on an AVX2 host must not SIGILL on an older machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PRDNN_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+using namespace prdnn;
+using namespace prdnn::linalg;
+
+namespace {
+
+// --- Portable backend ------------------------------------------------------
+//
+// Four independent accumulators expose instruction-level parallelism to
+// any compiler; the pairwise (S0+S1)+(S2+S3) combine keeps the error
+// profile close to the SIMD path's lane-wise reduction.
+
+double dotPortable(const double *A, const double *B, int N) {
+  double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+  int I = 0;
+  for (; I + 4 <= N; I += 4) {
+    S0 += A[I] * B[I];
+    S1 += A[I + 1] * B[I + 1];
+    S2 += A[I + 2] * B[I + 2];
+    S3 += A[I + 3] * B[I + 3];
+  }
+  double Sum = (S0 + S1) + (S2 + S3);
+  for (; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+void axpyPortable(double *Y, const double *X, double Scale, int N) {
+  // Elementwise with independent elements: auto-vectorization cannot
+  // change per-element rounding, so this matches Strict bit-for-bit
+  // under -ffp-contract=off. Kept as the Fast fallback anyway so the
+  // tier semantics ("Fast means epsilon, not bits") stay uniform.
+  for (int I = 0; I < N; ++I)
+    Y[I] += Scale * X[I];
+}
+
+#ifdef PRDNN_KERNELS_X86
+
+// --- AVX2 + FMA backend ----------------------------------------------------
+
+__attribute__((target("avx2,fma"))) double
+dotAvx2(const double *A, const double *B, int N) {
+  __m256d Acc0 = _mm256_setzero_pd();
+  __m256d Acc1 = _mm256_setzero_pd();
+  __m256d Acc2 = _mm256_setzero_pd();
+  __m256d Acc3 = _mm256_setzero_pd();
+  int I = 0;
+  for (; I + 16 <= N; I += 16) {
+    Acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(A + I), _mm256_loadu_pd(B + I),
+                           Acc0);
+    Acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(A + I + 4),
+                           _mm256_loadu_pd(B + I + 4), Acc1);
+    Acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(A + I + 8),
+                           _mm256_loadu_pd(B + I + 8), Acc2);
+    Acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(A + I + 12),
+                           _mm256_loadu_pd(B + I + 12), Acc3);
+  }
+  for (; I + 4 <= N; I += 4)
+    Acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(A + I), _mm256_loadu_pd(B + I),
+                           Acc0);
+  __m256d Acc = _mm256_add_pd(_mm256_add_pd(Acc0, Acc1),
+                              _mm256_add_pd(Acc2, Acc3));
+  __m128d Halves =
+      _mm_add_pd(_mm256_castpd256_pd128(Acc), _mm256_extractf128_pd(Acc, 1));
+  double Sum = _mm_cvtsd_f64(_mm_add_sd(Halves, _mm_unpackhi_pd(Halves,
+                                                                Halves)));
+  for (; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+__attribute__((target("avx2,fma"))) void
+axpyAvx2(double *Y, const double *X, double Scale, int N) {
+  __m256d S = _mm256_set1_pd(Scale);
+  int I = 0;
+  for (; I + 8 <= N; I += 8) {
+    _mm256_storeu_pd(
+        Y + I, _mm256_fmadd_pd(S, _mm256_loadu_pd(X + I),
+                               _mm256_loadu_pd(Y + I)));
+    _mm256_storeu_pd(
+        Y + I + 4, _mm256_fmadd_pd(S, _mm256_loadu_pd(X + I + 4),
+                                   _mm256_loadu_pd(Y + I + 4)));
+  }
+  for (; I + 4 <= N; I += 4)
+    _mm256_storeu_pd(
+        Y + I, _mm256_fmadd_pd(S, _mm256_loadu_pd(X + I),
+                               _mm256_loadu_pd(Y + I)));
+  for (; I < N; ++I)
+    Y[I] += Scale * X[I];
+}
+
+#endif // PRDNN_KERNELS_X86
+
+struct Backend {
+  double (*Dot)(const double *, const double *, int);
+  void (*Axpy)(double *, const double *, double, int);
+  const char *Name;
+  bool Simd;
+};
+
+const Backend &resolvedBackend() {
+  static const Backend B = [] {
+#ifdef PRDNN_KERNELS_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return Backend{dotAvx2, axpyAvx2, "avx2_fma", true};
+#endif
+    return Backend{dotPortable, axpyPortable, "portable", false};
+  }();
+  return B;
+}
+
+thread_local Determinism CurrentTier = Determinism::Strict;
+
+} // namespace
+
+const char *linalg::toString(Determinism Tier) {
+  return Tier == Determinism::Strict ? "strict" : "fast";
+}
+
+const char *linalg::kernelBackendName() { return resolvedBackend().Name; }
+
+bool linalg::kernelBackendIsSimd() { return resolvedBackend().Simd; }
+
+double detail::fastDot(const double *A, const double *B, int N) {
+  return resolvedBackend().Dot(A, B, N);
+}
+
+void detail::fastAxpy(double *Y, const double *X, double Scale, int N) {
+  resolvedBackend().Axpy(Y, X, Scale, N);
+}
+
+Determinism linalg::currentKernelTier() { return CurrentTier; }
+
+KernelTierScope::KernelTierScope(Determinism Tier) : Saved(CurrentTier) {
+  CurrentTier = Tier;
+}
+
+KernelTierScope::~KernelTierScope() { CurrentTier = Saved; }

@@ -606,12 +606,15 @@ bool Worker::refactor() {
       double Factor = B[static_cast<size_t>(I) * M + K];
       if (Factor == 0.0)
         return;
-      for (int C = 0; C < M; ++C) {
-        B[static_cast<size_t>(I) * M + C] -=
-            Factor * B[static_cast<size_t>(K) * M + C];
-        Inv[static_cast<size_t>(I) * M + C] -=
-            Factor * Inv[static_cast<size_t>(K) * M + C];
-      }
+      // y -= F * x as axpy(y, x, -F): exact in IEEE, so the Strict bits
+      // match the fused loop; splitting B/Inv into two sweeps only
+      // reorders independent elementwise updates.
+      linalg::kernelAxpy(B.data() + static_cast<size_t>(I) * M,
+                         B.data() + static_cast<size_t>(K) * M, -Factor, M,
+                         Opt.Determinism);
+      linalg::kernelAxpy(Inv.data() + static_cast<size_t>(I) * M,
+                         Inv.data() + static_cast<size_t>(K) * M, -Factor, M,
+                         Opt.Determinism);
     };
     if (Par)
       parallelFor(0, M,
@@ -635,8 +638,7 @@ void Worker::recomputeBasicValues() {
       continue;
     if (J < NS) {
       const double *Col = ColA.data() + static_cast<size_t>(J) * M;
-      for (int I = 0; I < M; ++I)
-        Rhs[I] -= Col[I] * X[J];
+      linalg::kernelAxpy(Rhs.data(), Col, -X[J], M, Opt.Determinism);
     } else {
       Rhs[J - NS] += X[J];
     }
@@ -644,11 +646,9 @@ void Worker::recomputeBasicValues() {
   // Basic entries of X are distinct slots, so the row-blocked matvec
   // writes disjointly; each element keeps its scalar accumulation order.
   auto RowValue = [&](int R) {
-    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
-    double Sum = 0.0;
-    for (int I = 0; I < M; ++I)
-      Sum += Row[I] * Rhs[I];
-    X[Basis[R]] = Sum;
+    X[Basis[R]] = linalg::kernelDot(
+        Binv.data() + static_cast<size_t>(R) * M, Rhs.data(), M,
+        Opt.Determinism);
   };
   if (Par)
     parallelFor(0, M, [&](std::int64_t R) { RowValue(static_cast<int>(R)); });
@@ -686,10 +686,7 @@ double Worker::columnDot(const std::vector<double> &Vec, int J) const {
   if (J >= NS)
     return -Vec[J - NS];
   const double *Col = ColA.data() + static_cast<size_t>(J) * M;
-  double Sum = 0.0;
-  for (int I = 0; I < M; ++I)
-    Sum += Vec[I] * Col[I];
-  return Sum;
+  return linalg::kernelDot(Vec.data(), Col, M, Opt.Determinism);
 }
 
 void Worker::computeColumn(int J) {
@@ -705,11 +702,8 @@ void Worker::computeColumn(int J) {
   }
   const double *Col = ColA.data() + static_cast<size_t>(J) * M;
   auto RowDot = [&](int R) {
-    const double *Row = Binv.data() + static_cast<size_t>(R) * M;
-    double Sum = 0.0;
-    for (int I = 0; I < M; ++I)
-      Sum += Row[I] * Col[I];
-    W[R] = Sum;
+    W[R] = linalg::kernelDot(Binv.data() + static_cast<size_t>(R) * M, Col,
+                             M, Opt.Determinism);
   };
   if (Par)
     parallelFor(0, M, [&](std::int64_t R) { RowDot(static_cast<int>(R)); });
@@ -730,9 +724,8 @@ void Worker::computeDuals() {
       double C = Cb[R];
       if (C == 0.0)
         continue;
-      const double *Row = Binv.data() + static_cast<size_t>(R) * M;
-      for (int I = 0; I < M; ++I)
-        Y[I] += C * Row[I];
+      linalg::kernelAxpy(Y.data(), Binv.data() + static_cast<size_t>(R) * M,
+                         C, M, Opt.Determinism);
     }
     return;
   }
@@ -743,8 +736,8 @@ void Worker::computeDuals() {
       if (C == 0.0)
         continue;
       const double *Row = Binv.data() + static_cast<size_t>(R) * M;
-      for (std::int64_t I = Begin; I < End; ++I)
-        Y[I] += C * Row[I];
+      linalg::kernelAxpy(Y.data() + Begin, Row + Begin, C,
+                         static_cast<int>(End - Begin), Opt.Determinism);
     }
   });
 }
@@ -1057,9 +1050,8 @@ void Worker::updateBinv(int PivotRow) {
     double Factor = W[R];
     if (Factor == 0.0)
       return;
-    double *Row = Binv.data() + static_cast<size_t>(R) * M;
-    for (int C = 0; C < M; ++C)
-      Row[C] -= Factor * PivRow[C];
+    linalg::kernelAxpy(Binv.data() + static_cast<size_t>(R) * M, PivRow,
+                       -Factor, M, Opt.Determinism);
   };
   if (Par)
     parallelFor(0, M, [&](std::int64_t R) { UpdateRow(static_cast<int>(R)); });
